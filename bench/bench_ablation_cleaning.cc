@@ -1,0 +1,106 @@
+// Ablation: block-cleaning knobs and final clustering choice.
+//
+// Not tied to one surveyed table; this sweeps the design choices the
+// pipeline exposes (DESIGN.md, architecture section): how much block
+// filtering to apply, whether automatic purging runs, and which
+// clustering closes the pipeline. The shape of interest: filtering ratio
+// moves smoothly along the PC/cost frontier; purging is a near-free
+// order-of-magnitude cost cut; center clustering trades recall for
+// precision against connected components on noisy match graphs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "blocking/block_filtering.h"
+#include "blocking/block_purging.h"
+#include "blocking/token_blocking.h"
+#include "core/pipeline.h"
+#include "eval/match_metrics.h"
+#include "matching/matcher.h"
+
+namespace weber {
+namespace {
+
+const datagen::Corpus& Corpus() {
+  static const datagen::Corpus& corpus = *new datagen::Corpus(
+      bench::DirtyCorpus(/*seed=*/53, /*num_entities=*/1000,
+                         /*somehow_similar=*/0.3));
+  return corpus;
+}
+
+// --- Filtering ratio sweep (with purging fixed on). ---
+void BM_FilterRatio(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  double ratio = state.range(0) / 100.0;
+  blocking::BlockCollection blocks;
+  for (auto _ : state) {
+    blocks = blocking::TokenBlocking().Build(corpus.collection);
+    blocking::AutoPurgeBlocks(blocks);
+    blocks = blocking::FilterBlocks(blocks, ratio);
+  }
+  eval::BlockingQuality q = eval::EvaluateBlocks(blocks, corpus.truth);
+  state.counters["ratio"] = ratio;
+  state.counters["PC"] = q.PairCompleteness();
+  state.counters["pairs"] = static_cast<double>(q.comparisons);
+}
+BENCHMARK(BM_FilterRatio)->Arg(20)->Arg(40)->Arg(60)->Arg(80)->Arg(100)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// --- Purging on/off. ---
+void BM_Purging(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  bool purge = state.range(0) != 0;
+  blocking::BlockCollection blocks;
+  for (auto _ : state) {
+    blocks = blocking::TokenBlocking().Build(corpus.collection);
+    if (purge) blocking::AutoPurgeBlocks(blocks);
+  }
+  eval::BlockingQuality q = eval::EvaluateBlocks(blocks, corpus.truth);
+  state.counters["purge"] = purge ? 1 : 0;
+  state.counters["PC"] = q.PairCompleteness();
+  state.counters["pairs"] = static_cast<double>(q.comparisons);
+}
+BENCHMARK(BM_Purging)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// --- Clustering algorithm under a deliberately noisy matcher. ---
+void BM_Clustering(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  core::PipelineConfig config;
+  config.blocker = &blocker;
+  config.auto_purge = true;
+  config.matcher = &matcher;
+  config.match_threshold = 0.3;  // Loose: chains form in the match graph.
+  config.clustering =
+      static_cast<core::ClusteringAlgorithm>(state.range(0));
+  core::PipelineResult result;
+  for (auto _ : state) {
+    result = core::RunPipeline(corpus.collection, corpus.truth, config);
+  }
+  eval::MatchQuality q = eval::EvaluateClusters(result.clusters,
+                                                corpus.truth);
+  state.counters["precision"] = q.Precision();
+  state.counters["recall"] = q.Recall();
+  state.counters["F1"] = q.F1();
+  state.counters["clusters"] = static_cast<double>(result.clusters.size());
+  switch (config.clustering) {
+    case core::ClusteringAlgorithm::kConnectedComponents:
+      state.SetLabel("connected_components");
+      break;
+    case core::ClusteringAlgorithm::kCenter:
+      state.SetLabel("center");
+      break;
+    case core::ClusteringAlgorithm::kMergeCenter:
+      state.SetLabel("merge_center");
+      break;
+  }
+}
+BENCHMARK(BM_Clustering)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace weber
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// E3 (§II, [7]): the PC/RR trade-off across blocking families.
+//
+// Claim to reproduce (Christen's indexing survey): every blocking method
+// trades pair completeness against reduction ratio along its own knob —
+// sorted neighbourhood recall grows with the window at the price of RR;
+// q-grams blocking is more recall-robust (and more expensive) than token
+// blocking; suffix blocking sits between; canopy depends on its two
+// thresholds.
+//
+// Rows: (method, knob). Counters: PC, PQ, RR, distinct pairs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "blocking/block_purging.h"
+#include "blocking/canopy_clustering.h"
+#include "blocking/lsh_blocking.h"
+#include "blocking/qgrams_blocking.h"
+#include "blocking/sorted_neighborhood.h"
+#include "blocking/suffix_blocking.h"
+#include "blocking/token_blocking.h"
+#include "eval/blocking_metrics.h"
+
+namespace weber {
+namespace {
+
+const datagen::Corpus& Corpus() {
+  static const datagen::Corpus& corpus = *new datagen::Corpus(
+      bench::DirtyCorpus(/*seed=*/5, /*num_entities=*/1200,
+                         /*somehow_similar=*/0.3));
+  return corpus;
+}
+
+void Report(benchmark::State& state, const blocking::BlockCollection& blocks,
+            const model::GroundTruth& truth) {
+  eval::BlockingQuality q = eval::EvaluateBlocks(blocks, truth);
+  state.counters["PC"] = q.PairCompleteness();
+  state.counters["PQ"] = q.PairQuality();
+  state.counters["RR"] = q.ReductionRatio();
+  state.counters["pairs"] = static_cast<double>(q.comparisons);
+}
+
+void BM_TokenBlocking(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::TokenBlocking blocker;
+  blocking::BlockCollection blocks;
+  for (auto _ : state) {
+    blocks = blocker.Build(corpus.collection);
+    blocking::AutoPurgeBlocks(blocks);
+  }
+  Report(state, blocks, corpus.truth);
+}
+BENCHMARK(BM_TokenBlocking)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_SortedNeighborhood(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::SortedNeighborhood blocker(static_cast<size_t>(state.range(0)));
+  blocking::BlockCollection blocks;
+  for (auto _ : state) {
+    blocks = blocker.Build(corpus.collection);
+  }
+  Report(state, blocks, corpus.truth);
+}
+BENCHMARK(BM_SortedNeighborhood)
+    ->Arg(3)->Arg(5)->Arg(9)->Arg(17)->Arg(33)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_QGramsBlocking(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::QGramsBlocking blocker(static_cast<size_t>(state.range(0)));
+  blocking::BlockCollection blocks;
+  for (auto _ : state) {
+    blocks = blocker.Build(corpus.collection);
+    blocking::AutoPurgeBlocks(blocks);
+  }
+  Report(state, blocks, corpus.truth);
+}
+BENCHMARK(BM_QGramsBlocking)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_SuffixBlocking(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::SuffixBlocking blocker(static_cast<size_t>(state.range(0)),
+                                   /*max_block_size=*/128);
+  blocking::BlockCollection blocks;
+  for (auto _ : state) {
+    blocks = blocker.Build(corpus.collection);
+  }
+  Report(state, blocks, corpus.truth);
+}
+BENCHMARK(BM_SuffixBlocking)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_CanopyClustering(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::CanopyOptions options;
+  options.loose_threshold = state.range(0) / 100.0;
+  options.tight_threshold = options.loose_threshold + 0.25;
+  blocking::CanopyClustering blocker(options);
+  blocking::BlockCollection blocks;
+  for (auto _ : state) {
+    blocks = blocker.Build(corpus.collection);
+  }
+  Report(state, blocks, corpus.truth);
+}
+BENCHMARK(BM_CanopyClustering)->Arg(10)->Arg(20)->Arg(35)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// MinHash-LSH: the (bands, rows) pair is the knob; arg encodes
+// rows_per_band with bands = 64 / rows.
+void BM_LshBlocking(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::LshOptions options;
+  options.rows_per_band = static_cast<size_t>(state.range(0));
+  options.bands = 64 / options.rows_per_band;
+  blocking::LshBlocking blocker(options);
+  blocking::BlockCollection blocks;
+  for (auto _ : state) {
+    blocks = blocker.Build(corpus.collection);
+  }
+  Report(state, blocks, corpus.truth);
+  state.counters["s_curve_threshold"] = blocker.ThresholdEstimate();
+}
+BENCHMARK(BM_LshBlocking)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace weber
+
+BENCHMARK_MAIN();

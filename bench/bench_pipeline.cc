@@ -1,0 +1,127 @@
+// E1 (Fig. 1): the four-phase ER pipeline end to end.
+//
+// Regenerates the framework-level claim of the tutorial's only figure:
+// blocking feeds scheduling feeds matching, the update phase feeds back,
+// and optional block cleaning / meta-blocking stages slot in between.
+// Rows compare pipeline variants on the same corpus; counters report the
+// quality each variant reaches and the comparisons it pays.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "blocking/token_blocking.h"
+#include "core/pipeline.h"
+#include "eval/match_metrics.h"
+#include "matching/matcher.h"
+#include "progressive/progressive_sn.h"
+
+namespace weber {
+namespace {
+
+const datagen::Corpus& Corpus() {
+  static const datagen::Corpus& corpus = *new datagen::Corpus(
+      bench::DirtyCorpus(/*seed=*/42, /*num_entities=*/800));
+  return corpus;
+}
+
+void ReportQuality(benchmark::State& state, const core::PipelineResult& r,
+                   const model::GroundTruth& truth) {
+  eval::MatchQuality q = eval::EvaluateMatchPairs(r.matches, truth);
+  state.counters["PC_blocking"] = r.blocking_quality.PairCompleteness();
+  state.counters["RR_blocking"] = r.blocking_quality.ReductionRatio();
+  state.counters["candidates"] = static_cast<double>(r.candidates);
+  state.counters["comparisons"] = static_cast<double>(r.comparisons);
+  state.counters["precision"] = q.Precision();
+  state.counters["recall"] = q.Recall();
+  state.counters["F1"] = q.F1();
+  state.counters["clusters"] = static_cast<double>(r.clusters.size());
+}
+
+void BM_Pipeline_PlainBlocking(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  core::PipelineConfig config;
+  config.blocker = &blocker;
+  config.matcher = &matcher;
+  config.match_threshold = 0.5;
+  core::PipelineResult result;
+  for (auto _ : state) {
+    result = core::RunPipeline(corpus.collection, corpus.truth, config);
+  }
+  ReportQuality(state, result, corpus.truth);
+}
+BENCHMARK(BM_Pipeline_PlainBlocking)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_Pipeline_PurgedAndFiltered(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  core::PipelineConfig config;
+  config.blocker = &blocker;
+  config.auto_purge = true;
+  config.filter_ratio = 0.8;
+  config.matcher = &matcher;
+  config.match_threshold = 0.5;
+  core::PipelineResult result;
+  for (auto _ : state) {
+    result = core::RunPipeline(corpus.collection, corpus.truth, config);
+  }
+  ReportQuality(state, result, corpus.truth);
+}
+BENCHMARK(BM_Pipeline_PurgedAndFiltered)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_Pipeline_MetaBlocking(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  core::PipelineConfig config;
+  config.blocker = &blocker;
+  config.auto_purge = true;
+  config.meta_blocking = {{metablocking::WeightScheme::kJs,
+                           metablocking::PruningScheme::kWnp}};
+  config.matcher = &matcher;
+  config.match_threshold = 0.5;
+  core::PipelineResult result;
+  for (auto _ : state) {
+    result = core::RunPipeline(corpus.collection, corpus.truth, config);
+  }
+  ReportQuality(state, result, corpus.truth);
+}
+BENCHMARK(BM_Pipeline_MetaBlocking)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Budgeted progressive variant: the update phase (scheduler feedback)
+// participates, demonstrating the full Fig. 1 loop.
+void BM_Pipeline_ProgressiveBudgeted(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  core::PipelineConfig config;
+  config.blocker = &blocker;
+  config.auto_purge = true;
+  config.matcher = &matcher;
+  config.match_threshold = 0.5;
+  config.budget = corpus.collection.size() * 5;
+  config.make_scheduler = [](const model::EntityCollection& collection,
+                             std::vector<model::IdPair>)
+      -> std::unique_ptr<progressive::PairScheduler> {
+    return std::make_unique<progressive::ProgressiveSnScheduler>(collection);
+  };
+  core::PipelineResult result;
+  for (auto _ : state) {
+    result = core::RunPipeline(corpus.collection, corpus.truth, config);
+  }
+  ReportQuality(state, result, corpus.truth);
+  state.counters["recall_at_budget"] =
+      result.curve.RecallAt(config.budget);
+}
+BENCHMARK(BM_Pipeline_ProgressiveBudgeted)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace weber
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// E10 (§IV, [26]): pay-as-you-go hints vs unordered resolution.
+//
+// Claim to reproduce (Whang et al., TKDE'13): for any fixed budget, the
+// sorted-list hint (progressive sorted neighbourhood) and the hierarchy
+// of record partitions find far more matches than resolving blocking
+// pairs in arbitrary order; the hierarchy front-loads the highly similar
+// pairs hardest, the sorted list catches up as the budget grows.
+//
+// Rows: (scheduler, budget as multiple of n). Counters: recall@budget,
+// AUC@budget.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "blocking/token_blocking.h"
+#include "matching/matcher.h"
+#include "progressive/ordered_blocks.h"
+#include "progressive/partition_hierarchy.h"
+#include "progressive/progressive_sn.h"
+#include "progressive/scheduler.h"
+
+namespace weber {
+namespace {
+
+struct Workload {
+  datagen::Corpus corpus;
+  blocking::BlockCollection blocks;
+  std::vector<model::IdPair> unordered;
+};
+
+const Workload& GetWorkload() {
+  static const Workload& workload = *[] {
+    auto* w = new Workload{
+        bench::DirtyCorpus(/*seed=*/31, /*num_entities=*/1500), {}, {}};
+    w->blocks = blocking::TokenBlocking().Build(w->corpus.collection);
+    for (const model::IdPair& pair : w->blocks.DistinctPairs()) {
+      w->unordered.push_back(pair);
+    }
+    return w;
+  }();
+  return workload;
+}
+
+void Report(benchmark::State& state,
+            const progressive::ProgressiveRunResult& run, uint64_t budget) {
+  state.counters["budget"] = static_cast<double>(budget);
+  state.counters["recall_at_budget"] = run.curve.RecallAt(budget);
+  state.counters["AUC"] = run.curve.AreaUnderCurve(budget);
+}
+
+uint64_t BudgetOf(const benchmark::State& state) {
+  return GetWorkload().corpus.collection.size() *
+         static_cast<uint64_t>(state.range(0));
+}
+
+void BM_Unordered(benchmark::State& state) {
+  const Workload& workload = GetWorkload();
+  matching::TokenJaccardMatcher matcher;
+  uint64_t budget = BudgetOf(state);
+  progressive::ProgressiveRunResult run(0);
+  for (auto _ : state) {
+    progressive::StaticListScheduler scheduler(workload.unordered);
+    run = progressive::RunProgressive(workload.corpus.collection, scheduler,
+                                      {&matcher, 0.5}, budget,
+                                      workload.corpus.truth);
+  }
+  Report(state, run, budget);
+}
+BENCHMARK(BM_Unordered)->Arg(1)->Arg(2)->Arg(5)->Arg(10)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_SortedListHint(benchmark::State& state) {
+  const Workload& workload = GetWorkload();
+  matching::TokenJaccardMatcher matcher;
+  uint64_t budget = BudgetOf(state);
+  progressive::ProgressiveRunResult run(0);
+  for (auto _ : state) {
+    progressive::ProgressiveSnScheduler scheduler(
+        workload.corpus.collection);
+    run = progressive::RunProgressive(workload.corpus.collection, scheduler,
+                                      {&matcher, 0.5}, budget,
+                                      workload.corpus.truth);
+  }
+  Report(state, run, budget);
+}
+BENCHMARK(BM_SortedListHint)->Arg(1)->Arg(2)->Arg(5)->Arg(10)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_PartitionHierarchyHint(benchmark::State& state) {
+  const Workload& workload = GetWorkload();
+  matching::TokenJaccardMatcher matcher;
+  uint64_t budget = BudgetOf(state);
+  blocking::SortedOrderOptions sort_options;
+  sort_options.key_attribute = "attr0";
+  progressive::ProgressiveRunResult run(0);
+  for (auto _ : state) {
+    progressive::PartitionHierarchyScheduler scheduler(
+        workload.corpus.collection, {16, 12, 8, 4, 2, 0}, sort_options);
+    run = progressive::RunProgressive(workload.corpus.collection, scheduler,
+                                      {&matcher, 0.5}, budget,
+                                      workload.corpus.truth);
+  }
+  Report(state, run, budget);
+}
+BENCHMARK(BM_PartitionHierarchyHint)->Arg(1)->Arg(2)->Arg(5)->Arg(10)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_OrderedBlocksHint(benchmark::State& state) {
+  const Workload& workload = GetWorkload();
+  matching::TokenJaccardMatcher matcher;
+  uint64_t budget = BudgetOf(state);
+  progressive::ProgressiveRunResult run(0);
+  for (auto _ : state) {
+    progressive::OrderedBlocksScheduler scheduler(workload.blocks);
+    run = progressive::RunProgressive(workload.corpus.collection, scheduler,
+                                      {&matcher, 0.5}, budget,
+                                      workload.corpus.truth);
+  }
+  Report(state, run, budget);
+}
+BENCHMARK(BM_OrderedBlocksHint)->Arg(1)->Arg(2)->Arg(5)->Arg(10)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace weber
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Library hygiene micro-benchmarks: throughput of the text-similarity
+// primitives everything else is built on. Not tied to a surveyed result;
+// useful for spotting regressions in the hot per-pair path (matching
+// cost dominates every ER budget model in Section IV).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "text/minhash.h"
+#include "text/phonetic.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace weber {
+namespace {
+
+std::vector<std::string> RandomTokens(size_t count, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::string> tokens;
+  tokens.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    tokens.push_back(rng.NextToken(5 + rng.NextBounded(8)));
+  }
+  return tokens;
+}
+
+void BM_Levenshtein(benchmark::State& state) {
+  util::Rng rng(1);
+  std::string a = rng.NextToken(static_cast<size_t>(state.range(0)));
+  std::string b = rng.NextToken(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  util::Rng rng(2);
+  std::string a = rng.NextToken(static_cast<size_t>(state.range(0)));
+  std::string b = rng.NextToken(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::JaroWinklerSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaroWinkler)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_JaccardTokenSets(benchmark::State& state) {
+  auto a = RandomTokens(static_cast<size_t>(state.range(0)), 3);
+  auto b = RandomTokens(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::JaccardSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaccardTokenSets)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Soundex(benchmark::State& state) {
+  util::Rng rng(5);
+  std::string word = rng.NextToken(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::Soundex(word));
+  }
+}
+BENCHMARK(BM_Soundex);
+
+void BM_MinHashSignature(benchmark::State& state) {
+  text::MinHasher hasher(static_cast<size_t>(state.range(0)));
+  auto tokens = RandomTokens(30, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Signature(tokens));
+  }
+}
+BENCHMARK(BM_MinHashSignature)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_NormalizeAndTokenize(benchmark::State& state) {
+  std::string value =
+      "Jean-Luc Picard, Captain of the U.S.S. Enterprise (NCC-1701-D)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::NormalizeAndTokenize(value));
+  }
+}
+BENCHMARK(BM_NormalizeAndTokenize);
+
+}  // namespace
+}  // namespace weber
+
+BENCHMARK_MAIN();

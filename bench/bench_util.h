@@ -1,0 +1,61 @@
+#ifndef WEBER_BENCH_BENCH_UTIL_H_
+#define WEBER_BENCH_BENCH_UTIL_H_
+
+// Shared corpus builders for the benchmark harness. Each experiment bench
+// (see DESIGN.md, per-experiment index) reports quality counters through
+// benchmark::State::counters so that one `--benchmark_format=console` run
+// regenerates the table/series the corresponding surveyed result reports.
+
+#include <cstdint>
+
+#include "datagen/corpus_generator.h"
+
+namespace weber::bench {
+
+/// The default dirty workload: 2000 entities, half duplicated, light
+/// noise. ~2800 descriptions.
+inline datagen::Corpus DirtyCorpus(uint64_t seed = 42,
+                                   size_t num_entities = 2000,
+                                   double somehow_similar = 0.2) {
+  datagen::CorpusConfig config;
+  config.num_entities = num_entities;
+  config.duplicate_fraction = 0.5;
+  config.max_extra_descriptions = 2;
+  config.somehow_similar_fraction = somehow_similar;
+  config.seed = seed;
+  return datagen::CorpusGenerator(config).GenerateDirty();
+}
+
+/// Clean-clean workload with tunable schema divergence (the structural-
+/// heterogeneity knob of experiment E2).
+inline datagen::Corpus CleanCleanCorpus(double schema_divergence,
+                                        uint64_t seed = 43,
+                                        size_t num_entities = 1500) {
+  datagen::CorpusConfig config;
+  config.num_entities = num_entities;
+  config.duplicate_fraction = 0.5;
+  config.schema_divergence = schema_divergence;
+  config.somehow_similar_fraction = 0.2;
+  config.seed = seed;
+  return datagen::CorpusGenerator(config).GenerateCleanClean();
+}
+
+/// Two-type relational workload (experiments E9/E12).
+inline datagen::RelationalCorpus RelationalCorpus(uint64_t seed = 44) {
+  datagen::RelationalConfig config;
+  config.tail.num_entities = 250;
+  config.tail.duplicate_fraction = 0.7;
+  config.tail.type_name = "architect";
+  config.tail.seed = seed;
+  config.head.num_entities = 400;
+  config.head.duplicate_fraction = 0.5;
+  config.head.type_name = "building";
+  config.relation_predicate = "architect";
+  config.name_pool_fraction = 0.12;
+  config.seed = seed + 1;
+  return datagen::RelationalCorpusGenerator(config).Generate();
+}
+
+}  // namespace weber::bench
+
+#endif  // WEBER_BENCH_BENCH_UTIL_H_

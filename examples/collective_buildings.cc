@@ -1,0 +1,78 @@
+// Relationship-based collective ER: buildings and their architects.
+//
+// Section III's running example: a pair of building descriptions is
+// ambiguous on attributes alone (many buildings share names), but when
+// their architects are identified as matches, the building pair gains
+// relational evidence and is promoted — new matches trigger further
+// iterations across entity types.
+
+#include <cstdio>
+#include <vector>
+
+#include "datagen/corpus_generator.h"
+#include "eval/match_metrics.h"
+#include "iterative/collective.h"
+#include "matching/matcher.h"
+
+int main() {
+  using namespace weber;
+
+  datagen::RelationalConfig config;
+  config.tail.num_entities = 300;
+  config.tail.duplicate_fraction = 0.7;
+  config.tail.type_name = "architect";
+  config.tail.seed = 3;
+  config.head.num_entities = 500;
+  config.head.duplicate_fraction = 0.5;
+  config.head.type_name = "building";
+  config.relation_predicate = "architect";
+  config.name_pool_fraction = 0.12;
+  config.seed = 4;
+  datagen::RelationalCorpus corpus =
+      datagen::RelationalCorpusGenerator(config).Generate();
+  std::printf("corpus: %zu architect + %zu building descriptions, %zu true matches\n",
+              corpus.tail_end, corpus.collection.size() - corpus.tail_end,
+              corpus.truth.NumMatches());
+
+  // Candidates: all same-type pairs (a blocking method would normally
+  // shrink this; kept exhaustive here to isolate the relational effect).
+  std::vector<model::IdPair> candidates;
+  for (model::EntityId i = 0; i < corpus.collection.size(); ++i) {
+    for (model::EntityId j = i + 1; j < corpus.collection.size(); ++j) {
+      if (corpus.collection[i].type() == corpus.collection[j].type()) {
+        candidates.push_back(model::IdPair::Of(i, j));
+      }
+    }
+  }
+
+  matching::TokenJaccardMatcher matcher;
+  iterative::CollectiveOptions attributes_only;
+  attributes_only.alpha = 0.0;
+  attributes_only.match_threshold = 0.75;
+  iterative::CollectiveOptions collective = attributes_only;
+  collective.alpha = 0.35;
+
+  iterative::CollectiveResult base = iterative::CollectiveResolve(
+      corpus.collection, candidates, matcher, attributes_only);
+  iterative::CollectiveResult rel = iterative::CollectiveResolve(
+      corpus.collection, candidates, matcher, collective);
+
+  eval::MatchQuality base_q = eval::EvaluateClusters(base.clusters,
+                                                     corpus.truth);
+  eval::MatchQuality rel_q = eval::EvaluateClusters(rel.clusters,
+                                                    corpus.truth);
+  std::printf("\n%-28s %10s %10s %10s %12s %10s\n", "resolver", "precision",
+              "recall", "F1", "comparisons", "requeues");
+  std::printf("%-28s %10.3f %10.3f %10.3f %12llu %10llu\n",
+              "attributes only", base_q.Precision(), base_q.Recall(),
+              base_q.F1(), static_cast<unsigned long long>(base.comparisons),
+              static_cast<unsigned long long>(base.requeues));
+  std::printf("%-28s %10.3f %10.3f %10.3f %12llu %10llu\n",
+              "collective (attr+relations)", rel_q.Precision(),
+              rel_q.Recall(), rel_q.F1(),
+              static_cast<unsigned long long>(rel.comparisons),
+              static_cast<unsigned long long>(rel.requeues));
+  std::printf("\nmatches that needed relational evidence: %llu\n",
+              static_cast<unsigned long long>(rel.relational_matches));
+  return 0;
+}

@@ -1,0 +1,195 @@
+// Command-line entity resolution over an N-Triples file.
+//
+// Usage:
+//   er_cli INPUT.nt [--threshold T] [--blocker token|qgrams|sn|pis]
+//          [--meta WEIGHT PRUNING] [--truth TRUTH_FILE] [--budget N]
+//          [--out LINKS_FILE]
+//
+// Reads entity descriptions from INPUT.nt, resolves them, and writes the
+// discovered links as owl:sameAs N-Triples to stdout (or --out). With
+// --truth (lines of "<uri1> <uri2>") it also prints quality metrics.
+// Run without arguments for a self-contained demo on a generated corpus.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "blocking/block_purging.h"
+#include "blocking/prefix_infix_suffix.h"
+#include "blocking/qgrams_blocking.h"
+#include "blocking/sorted_neighborhood.h"
+#include "blocking/token_blocking.h"
+#include "core/pipeline.h"
+#include "datagen/corpus_generator.h"
+#include "eval/match_metrics.h"
+#include "matching/matcher.h"
+#include "metablocking/weight_schemes.h"
+#include "model/io.h"
+
+namespace {
+
+using namespace weber;
+
+std::unique_ptr<blocking::Blocker> MakeBlocker(const std::string& name) {
+  if (name == "token") return std::make_unique<blocking::TokenBlocking>();
+  if (name == "qgrams") return std::make_unique<blocking::QGramsBlocking>(3);
+  if (name == "sn") {
+    return std::make_unique<blocking::SortedNeighborhood>(8);
+  }
+  if (name == "pis") {
+    return std::make_unique<blocking::PrefixInfixSuffixBlocking>();
+  }
+  return nullptr;
+}
+
+std::optional<metablocking::PruningScheme> ParsePruning(
+    const std::string& name) {
+  for (metablocking::PruningScheme scheme :
+       metablocking::kAllPruningSchemes) {
+    if (metablocking::ToString(scheme) == name) return scheme;
+  }
+  return std::nullopt;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "er_cli: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path;
+  std::string truth_path;
+  std::string out_path;
+  std::string blocker_name = "token";
+  double threshold = 0.5;
+  uint64_t budget = 0;
+  std::optional<std::pair<metablocking::WeightScheme,
+                          metablocking::PruningScheme>>
+      meta;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::optional<std::string> {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "er_cli: %s needs a value\n", flag);
+        return std::nullopt;
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--threshold") {
+      auto v = next("--threshold");
+      if (!v) return 1;
+      threshold = std::stod(*v);
+    } else if (arg == "--blocker") {
+      auto v = next("--blocker");
+      if (!v) return 1;
+      blocker_name = *v;
+    } else if (arg == "--truth") {
+      auto v = next("--truth");
+      if (!v) return 1;
+      truth_path = *v;
+    } else if (arg == "--out") {
+      auto v = next("--out");
+      if (!v) return 1;
+      out_path = *v;
+    } else if (arg == "--budget") {
+      auto v = next("--budget");
+      if (!v) return 1;
+      budget = std::stoull(*v);
+    } else if (arg == "--meta") {
+      auto w = next("--meta");
+      if (!w) return 1;
+      auto p = next("--meta");
+      if (!p) return 1;
+      auto weight = metablocking::ParseWeightScheme(*w);
+      auto pruning = ParsePruning(*p);
+      if (!weight || !pruning) {
+        return Fail("unknown meta-blocking scheme " + *w + " " + *p);
+      }
+      meta = {{*weight, *pruning}};
+    } else if (!arg.empty() && arg[0] != '-') {
+      input_path = arg;
+    } else {
+      return Fail("unknown flag " + arg);
+    }
+  }
+
+  // Load (or generate for the demo) the collection and optional truth.
+  model::EntityCollection collection;
+  model::GroundTruth truth;
+  if (input_path.empty()) {
+    std::fprintf(stderr,
+                 "er_cli: no input given; running demo on a generated "
+                 "corpus of 500 entities\n");
+    datagen::CorpusConfig config;
+    config.num_entities = 500;
+    config.seed = 1;
+    datagen::Corpus corpus = datagen::CorpusGenerator(config).GenerateDirty();
+    collection = std::move(corpus.collection);
+    truth = std::move(corpus.truth);
+    truth_path = "<generated>";
+  } else {
+    std::ifstream in(input_path);
+    if (!in) return Fail("cannot open " + input_path);
+    size_t skipped = 0;
+    collection = model::ReadNTriples(in, &skipped);
+    if (skipped > 0) {
+      std::fprintf(stderr, "er_cli: skipped %zu malformed lines\n", skipped);
+    }
+    if (!truth_path.empty()) {
+      std::ifstream truth_in(truth_path);
+      if (!truth_in) return Fail("cannot open " + truth_path);
+      truth = model::ReadGroundTruth(truth_in, collection);
+    }
+  }
+  if (collection.empty()) return Fail("no descriptions parsed");
+
+  std::unique_ptr<blocking::Blocker> blocker = MakeBlocker(blocker_name);
+  if (blocker == nullptr) return Fail("unknown blocker " + blocker_name);
+
+  matching::TokenJaccardMatcher matcher;
+  core::PipelineConfig config;
+  config.blocker = blocker.get();
+  config.auto_purge = true;
+  config.meta_blocking = meta;
+  config.matcher = &matcher;
+  config.match_threshold = threshold;
+  config.budget = budget;
+  core::PipelineResult result = core::RunPipeline(collection, truth, config);
+
+  std::fprintf(stderr,
+               "er_cli: %zu descriptions, %llu candidates, %llu "
+               "comparisons, %zu links, %zu clusters\n",
+               collection.size(),
+               static_cast<unsigned long long>(result.candidates),
+               static_cast<unsigned long long>(result.comparisons),
+               result.matches.size(), result.clusters.size());
+  if (truth.NumMatches() > 0) {
+    eval::MatchQuality quality =
+        eval::EvaluateMatchPairs(result.matches, truth);
+    std::fprintf(stderr,
+                 "er_cli: precision=%.3f recall=%.3f F1=%.3f (truth: %s)\n",
+                 quality.Precision(), quality.Recall(), quality.F1(),
+                 truth_path.c_str());
+  }
+
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) return Fail("cannot write " + out_path);
+    out = &out_file;
+  }
+  for (const model::IdPair& pair : result.matches) {
+    *out << '<' << collection[pair.low].uri()
+         << "> <http://www.w3.org/2002/07/owl#sameAs> <"
+         << collection[pair.high].uri() << "> .\n";
+  }
+  return 0;
+}

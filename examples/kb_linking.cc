@@ -1,0 +1,88 @@
+// Linking two heterogeneous knowledge bases (clean-clean ER).
+//
+// The scenario motivating the tutorial's Section II: KB2 describes many
+// of KB1's entities but renames attributes (proprietary vocabularies) and
+// corrupts values. Schema-based standard blocking collapses; schema-
+// agnostic token blocking and attribute-clustering blocking keep recall,
+// and block purging + meta-blocking tame the comparison count.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "blocking/attribute_clustering.h"
+#include "blocking/block_purging.h"
+#include "blocking/standard_blocking.h"
+#include "blocking/token_blocking.h"
+#include "datagen/corpus_generator.h"
+#include "eval/block_stats.h"
+#include "eval/blocking_metrics.h"
+#include "eval/match_metrics.h"
+#include "matching/matcher.h"
+#include "metablocking/pruning_schemes.h"
+
+int main() {
+  using namespace weber;
+
+  // Two sources sharing half their entities; 70% of KB2's attributes are
+  // renamed wholesale and a third of the duplicates are only "somehow
+  // similar" (heavy token noise + per-pair renames).
+  datagen::CorpusConfig config;
+  config.num_entities = 1500;
+  config.duplicate_fraction = 0.5;
+  config.schema_divergence = 0.7;
+  config.somehow_similar_fraction = 0.33;
+  config.seed = 7;
+  datagen::Corpus corpus =
+      datagen::CorpusGenerator(config).GenerateCleanClean();
+  std::printf("KB1: %zu descriptions, KB2: %zu descriptions, overlap: %zu entities\n",
+              corpus.collection.split(),
+              corpus.collection.size() - corpus.collection.split(),
+              corpus.truth.NumMatches());
+
+  // --- Compare three blocking strategies on the same task. ---
+  blocking::StandardBlocking standard({"attr0"});
+  blocking::TokenBlocking token;
+  blocking::AttributeClusteringBlocking clustering;
+  struct Row {
+    const char* label;
+    const blocking::Blocker* blocker;
+  };
+  std::printf("\n%-24s %10s %8s %8s %8s\n", "blocking method", "pairs", "PC",
+              "PQ", "RR");
+  for (const Row& row : std::vector<Row>{{"standard (schema key)", &standard},
+                                         {"token (schema-agnostic)", &token},
+                                         {"attribute clustering",
+                                          &clustering}}) {
+    blocking::BlockCollection blocks = row.blocker->Build(corpus.collection);
+    blocking::AutoPurgeBlocks(blocks);
+    eval::BlockingQuality q = eval::EvaluateBlocks(blocks, corpus.truth);
+    std::printf("%-24s %10llu %8.3f %8.4f %8.4f\n", row.label,
+                static_cast<unsigned long long>(q.comparisons),
+                q.PairCompleteness(), q.PairQuality(), q.ReductionRatio());
+  }
+
+  // --- Full link run: token blocking + meta-blocking + matching. ---
+  blocking::BlockCollection blocks = token.Build(corpus.collection);
+  blocking::AutoPurgeBlocks(blocks);
+  std::printf("\nblock structure after purging: %s\n",
+              eval::ComputeBlockStats(blocks).ToString().c_str());
+  std::vector<model::IdPair> candidates = metablocking::MetaBlock(
+      blocks, metablocking::WeightScheme::kArcs,
+      metablocking::PruningScheme::kCnp);
+  matching::TokenJaccardMatcher matcher;
+  std::vector<model::IdPair> links;
+  for (const model::IdPair& pair : candidates) {
+    if (matcher.Similarity(corpus.collection[pair.low],
+                           corpus.collection[pair.high]) >= 0.4) {
+      links.push_back(pair);
+    }
+  }
+  eval::MatchQuality quality = eval::EvaluateMatchPairs(links, corpus.truth);
+  std::printf("\nlink run: %zu candidates -> %zu links | precision=%.3f recall=%.3f F1=%.3f\n",
+              candidates.size(), links.size(), quality.Precision(),
+              quality.Recall(), quality.F1());
+  std::printf("owl:sameAs statements that a Linked-Data publisher could now emit: %zu\n",
+              links.size());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Bring-your-own-data: N-Triples in, owl:sameAs links out.
+//
+// Shows the I/O path a Linked-Data publisher would use: dump a corpus as
+// N-Triples (here: generated, in practice: your RDF export), read it
+// back, resolve it, and emit the discovered links plus the ground-truth
+// files that make the run reproducible.
+
+#include <cstdio>
+#include <sstream>
+
+#include "blocking/block_purging.h"
+#include "blocking/token_blocking.h"
+#include "datagen/corpus_generator.h"
+#include "eval/match_metrics.h"
+#include "matching/matcher.h"
+#include "metablocking/pruning_schemes.h"
+#include "model/io.h"
+
+int main() {
+  using namespace weber;
+
+  // 1. A corpus on disk (stand-in: serialise a generated one).
+  datagen::CorpusConfig config;
+  config.num_entities = 600;
+  config.duplicate_fraction = 0.5;
+  config.seed = 2026;
+  datagen::Corpus original = datagen::CorpusGenerator(config).GenerateDirty();
+  std::stringstream ntriples;
+  model::WriteNTriples(original.collection, ntriples);
+  std::stringstream truth_file;
+  model::WriteGroundTruth(original.truth, original.collection, truth_file);
+  std::printf("serialised %zu descriptions to %zu bytes of N-Triples\n",
+              original.collection.size(), ntriples.str().size());
+
+  // 2. Read it back, as a downstream user would.
+  size_t skipped = 0;
+  model::EntityCollection collection = model::ReadNTriples(ntriples,
+                                                           &skipped);
+  model::GroundTruth truth = model::ReadGroundTruth(truth_file, collection);
+  std::printf("parsed %zu descriptions (%zu malformed lines skipped), %zu truth pairs\n",
+              collection.size(), skipped, truth.NumMatches());
+
+  // 3. Resolve.
+  blocking::BlockCollection blocks =
+      blocking::TokenBlocking().Build(collection);
+  blocking::AutoPurgeBlocks(blocks);
+  auto candidates = metablocking::MetaBlock(
+      blocks, metablocking::WeightScheme::kArcs,
+      metablocking::PruningScheme::kCnp);
+  matching::TokenJaccardMatcher matcher;
+  std::vector<model::IdPair> links;
+  for (const model::IdPair& pair : candidates) {
+    if (matcher.Similarity(collection[pair.low], collection[pair.high]) >=
+        0.5) {
+      links.push_back(pair);
+    }
+  }
+  eval::MatchQuality quality = eval::EvaluateMatchPairs(links, truth);
+  std::printf("resolved: %zu links, precision=%.3f recall=%.3f F1=%.3f\n",
+              links.size(), quality.Precision(), quality.Recall(),
+              quality.F1());
+
+  // 4. Emit a few links as owl:sameAs triples.
+  std::printf("\nsample output triples:\n");
+  for (size_t i = 0; i < links.size() && i < 3; ++i) {
+    std::printf("<%s> <http://www.w3.org/2002/07/owl#sameAs> <%s> .\n",
+                collection[links[i].low].uri().c_str(),
+                collection[links[i].high].uri().c_str());
+  }
+  return 0;
+}

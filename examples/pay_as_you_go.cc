@@ -1,0 +1,99 @@
+// Pay-as-you-go entity resolution under a comparison budget.
+//
+// Section IV of the tutorial: with a fixed budget of pairwise
+// comparisons, the scheduling phase decides which comparisons run first.
+// This example contrasts an unordered schedule with the three progressive
+// hints (sorted list / partition hierarchy / PSNM lookahead) and prints
+// recall at increasing budget fractions.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "blocking/token_blocking.h"
+#include "datagen/corpus_generator.h"
+#include "matching/matcher.h"
+#include "progressive/ordered_blocks.h"
+#include "progressive/partition_hierarchy.h"
+#include "progressive/progressive_sn.h"
+#include "progressive/psnm.h"
+#include "progressive/scheduler.h"
+
+int main() {
+  using namespace weber;
+
+  datagen::CorpusConfig config;
+  config.num_entities = 1200;
+  config.duplicate_fraction = 0.3;
+  config.max_extra_descriptions = 4;
+  config.seed = 99;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).GenerateDirty();
+  matching::TokenJaccardMatcher matcher;
+  matching::ThresholdMatcher threshold(&matcher, 0.5);
+
+  uint64_t full_budget = corpus.collection.size() * 8;
+  std::printf("collection: %zu descriptions, %zu matches; budget sweep up to %llu comparisons\n\n",
+              corpus.collection.size(), corpus.truth.NumMatches(),
+              static_cast<unsigned long long>(full_budget));
+
+  // Unordered baseline: blocking pairs in arbitrary order.
+  blocking::BlockCollection blocks =
+      blocking::TokenBlocking().Build(corpus.collection);
+  std::vector<model::IdPair> unordered;
+  for (const model::IdPair& pair : blocks.DistinctPairs()) {
+    unordered.push_back(pair);
+  }
+
+  struct Run {
+    const char* label;
+    eval::ProgressiveCurve curve;
+  };
+  std::vector<Run> runs;
+  {
+    progressive::StaticListScheduler scheduler(unordered, "Unordered");
+    auto r = progressive::RunProgressive(corpus.collection, scheduler,
+                                         threshold, full_budget, corpus.truth);
+    runs.push_back({"unordered blocking pairs", std::move(r.curve)});
+  }
+  {
+    progressive::ProgressiveSnScheduler scheduler(corpus.collection);
+    auto r = progressive::RunProgressive(corpus.collection, scheduler,
+                                         threshold, full_budget, corpus.truth);
+    runs.push_back({"progressive sorted nbhd", std::move(r.curve)});
+  }
+  {
+    blocking::SortedOrderOptions sort_options;
+    sort_options.key_attribute = "attr0";
+    progressive::PartitionHierarchyScheduler scheduler(
+        corpus.collection, {16, 12, 8, 4, 2, 0}, sort_options);
+    auto r = progressive::RunProgressive(corpus.collection, scheduler,
+                                         threshold, full_budget, corpus.truth);
+    runs.push_back({"partition hierarchy", std::move(r.curve)});
+  }
+  {
+    progressive::PsnmScheduler scheduler(corpus.collection);
+    auto r = progressive::RunProgressive(corpus.collection, scheduler,
+                                         threshold, full_budget, corpus.truth);
+    runs.push_back({"PSNM (lookahead)", std::move(r.curve)});
+  }
+  {
+    progressive::OrderedBlocksScheduler scheduler(blocks);
+    auto r = progressive::RunProgressive(corpus.collection, scheduler,
+                                         threshold, full_budget, corpus.truth);
+    runs.push_back({"ordered blocks", std::move(r.curve)});
+  }
+
+  std::printf("%-26s", "recall @ budget fraction");
+  for (int pct : {5, 10, 25, 50, 100}) std::printf("%8d%%", pct);
+  std::printf("%10s\n", "AUC");
+  for (const Run& run : runs) {
+    std::printf("%-26s", run.label);
+    for (int pct : {5, 10, 25, 50, 100}) {
+      uint64_t budget = full_budget * pct / 100;
+      std::printf("%9.3f", run.curve.RecallAt(budget));
+    }
+    std::printf("%10.3f\n", run.curve.AreaUnderCurve(full_budget));
+  }
+  std::printf("\nHigher early-budget recall = more matches before the money runs out.\n");
+  return 0;
+}

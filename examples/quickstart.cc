@@ -1,0 +1,66 @@
+// Quickstart: resolve a small dirty collection end to end.
+//
+// Demonstrates the four-phase framework of the tutorial's Fig. 1 on a
+// synthetic Web-of-data corpus: schema-agnostic token blocking,
+// meta-blocking for comparison pruning, token-Jaccard matching, and
+// connected-components clustering — with quality metrics at each step.
+
+#include <cstdio>
+
+#include "blocking/token_blocking.h"
+#include "core/pipeline.h"
+#include "datagen/corpus_generator.h"
+#include "eval/match_metrics.h"
+#include "matching/matcher.h"
+
+int main() {
+  using namespace weber;
+
+  // 1. A synthetic dirty collection: 1000 real-world entities, half of
+  //    them described more than once, with token-level noise.
+  datagen::CorpusConfig config;
+  config.num_entities = 1000;
+  config.duplicate_fraction = 0.5;
+  config.seed = 42;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).GenerateDirty();
+  std::printf("collection: %zu descriptions, %zu true matches, %llu possible comparisons\n",
+              corpus.collection.size(), corpus.truth.NumMatches(),
+              static_cast<unsigned long long>(
+                  corpus.collection.TotalComparisons()));
+
+  // 2. Configure the pipeline: blocking -> meta-blocking -> matching ->
+  //    clustering.
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  core::PipelineConfig pipeline;
+  pipeline.blocker = &blocker;
+  pipeline.auto_purge = true;  // Drop oversized stop-token blocks.
+  pipeline.meta_blocking = {{metablocking::WeightScheme::kJs,
+                             metablocking::PruningScheme::kWnp}};
+  pipeline.matcher = &matcher;
+  pipeline.match_threshold = 0.5;
+
+  // 3. Run.
+  core::PipelineResult result =
+      core::RunPipeline(corpus.collection, corpus.truth, pipeline);
+
+  // 4. Report.
+  std::printf("blocking:   PC=%.3f PQ=%.4f RR=%.4f (%llu distinct pairs)\n",
+              result.blocking_quality.PairCompleteness(),
+              result.blocking_quality.PairQuality(),
+              result.blocking_quality.ReductionRatio(),
+              static_cast<unsigned long long>(
+                  result.blocking_quality.comparisons));
+  std::printf("meta-block: %llu candidate pairs scheduled\n",
+              static_cast<unsigned long long>(result.candidates));
+  eval::MatchQuality quality =
+      eval::EvaluateMatchPairs(result.matches, corpus.truth);
+  std::printf("matching:   precision=%.3f recall=%.3f F1=%.3f (%llu comparisons)\n",
+              quality.Precision(), quality.Recall(), quality.F1(),
+              static_cast<unsigned long long>(result.comparisons));
+  std::printf("clusters:   %zu resolved entities\n", result.clusters.size());
+  std::printf("timings:    blocking %.3fs, scheduling %.3fs, matching %.3fs\n",
+              result.blocking_seconds, result.scheduling_seconds,
+              result.matching_seconds);
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "blocking/attribute_clustering.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "util/union_find.h"
+
+namespace weber::blocking {
+
+namespace {
+
+// Aggregated (bounded) token profile of one attribute.
+using AttributeProfiles =
+    std::map<std::string, std::unordered_set<std::string>>;
+
+AttributeProfiles CollectProfiles(const model::EntityCollection& collection,
+                                  size_t max_tokens) {
+  AttributeProfiles profiles;
+  for (const model::EntityDescription& entity : collection.descriptions()) {
+    for (const model::AttributeValue& pair : entity.pairs()) {
+      std::unordered_set<std::string>& profile = profiles[pair.attribute];
+      if (profile.size() >= max_tokens) continue;
+      for (std::string& token : text::NormalizeAndTokenize(pair.value)) {
+        profile.insert(std::move(token));
+        if (profile.size() >= max_tokens) break;
+      }
+    }
+  }
+  return profiles;
+}
+
+double ProfileJaccard(const std::unordered_set<std::string>& a,
+                      const std::unordered_set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const auto& smaller = a.size() <= b.size() ? a : b;
+  const auto& larger = a.size() <= b.size() ? b : a;
+  size_t intersection = 0;
+  for (const std::string& token : smaller) {
+    if (larger.contains(token)) ++intersection;
+  }
+  size_t union_size = a.size() + b.size() - intersection;
+  return union_size == 0 ? 1.0
+                         : static_cast<double>(intersection) / union_size;
+}
+
+}  // namespace
+
+std::unordered_map<std::string, uint32_t>
+AttributeClusteringBlocking::ClusterAttributes(
+    const model::EntityCollection& collection) const {
+  AttributeProfiles profiles =
+      CollectProfiles(collection, options_.max_tokens_per_attribute);
+  std::vector<const std::string*> names;
+  std::vector<const std::unordered_set<std::string>*> tokens;
+  names.reserve(profiles.size());
+  for (const auto& [name, profile] : profiles) {
+    names.push_back(&name);
+    tokens.push_back(&profile);
+  }
+
+  // Link every attribute to its most similar other attribute if the
+  // similarity clears the threshold, then take connected components.
+  util::UnionFind forest(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    double best = options_.link_threshold;
+    int64_t best_j = -1;
+    for (size_t j = 0; j < names.size(); ++j) {
+      if (i == j) continue;
+      double sim = ProfileJaccard(*tokens[i], *tokens[j]);
+      if (sim > best) {
+        best = sim;
+        best_j = static_cast<int64_t>(j);
+      }
+    }
+    if (best_j >= 0) {
+      forest.Union(static_cast<uint32_t>(i), static_cast<uint32_t>(best_j));
+    }
+  }
+
+  // Re-label roots densely; singleton attributes share one "glue" cluster
+  // so that their tokens still block against each other (as in the
+  // original method's catch-all cluster).
+  std::unordered_map<uint32_t, uint32_t> root_to_cluster;
+  std::unordered_map<std::string, uint32_t> assignment;
+  uint32_t next_cluster = 1;  // Cluster 0 is the glue cluster.
+  for (size_t i = 0; i < names.size(); ++i) {
+    uint32_t root = forest.Find(static_cast<uint32_t>(i));
+    uint32_t cluster;
+    if (forest.SizeOf(root) < 2) {
+      cluster = 0;
+    } else {
+      auto [it, inserted] = root_to_cluster.emplace(root, next_cluster);
+      if (inserted) ++next_cluster;
+      cluster = it->second;
+    }
+    assignment.emplace(*names[i], cluster);
+  }
+  return assignment;
+}
+
+BlockCollection AttributeClusteringBlocking::Build(
+    const model::EntityCollection& collection) const {
+  std::unordered_map<std::string, uint32_t> clusters =
+      ClusterAttributes(collection);
+  // (cluster, token) -> entities.
+  std::map<std::string, std::vector<model::EntityId>> index;
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    std::set<std::string> keys;  // Dedup per entity.
+    for (const model::AttributeValue& pair : collection[id].pairs()) {
+      auto it = clusters.find(pair.attribute);
+      uint32_t cluster = it == clusters.end() ? 0 : it->second;
+      for (const std::string& token : text::NormalizeAndTokenize(pair.value)) {
+        keys.insert(std::to_string(cluster) + "#" + token);
+      }
+    }
+    for (const std::string& key : keys) {
+      index[key].push_back(id);
+    }
+  }
+  BlockCollection result(&collection);
+  for (auto& [key, entities] : index) {
+    result.AddBlock(Block{key, std::move(entities)});
+  }
+  return result;
+}
+
+}  // namespace weber::blocking

@@ -1,0 +1,109 @@
+#include "blocking/block.h"
+
+#include <algorithm>
+
+namespace weber::blocking {
+
+uint64_t Block::NumComparisons(
+    const model::EntityCollection& collection) const {
+  uint64_t n = entities.size();
+  if (n < 2) return 0;
+  if (collection.setting() == model::ErSetting::kDirty) {
+    return n * (n - 1) / 2;
+  }
+  uint64_t from_first = 0;
+  for (model::EntityId id : entities) {
+    if (collection.InFirstSource(id)) ++from_first;
+  }
+  return from_first * (n - from_first);
+}
+
+void BlockCollection::AddBlock(Block block) {
+  std::sort(block.entities.begin(), block.entities.end());
+  block.entities.erase(
+      std::unique(block.entities.begin(), block.entities.end()),
+      block.entities.end());
+  if (block.entities.size() < 2) return;
+  if (collection_ != nullptr && block.NumComparisons(*collection_) == 0) {
+    return;  // e.g., clean-clean block with entities from one source only.
+  }
+  blocks_.push_back(std::move(block));
+}
+
+uint64_t BlockCollection::TotalComparisonsWithRedundancy() const {
+  uint64_t total = 0;
+  for (const Block& block : blocks_) {
+    total += collection_ != nullptr
+                 ? block.NumComparisons(*collection_)
+                 : block.size() * (block.size() - 1) / 2;
+  }
+  return total;
+}
+
+model::IdPairSet BlockCollection::DistinctPairs() const {
+  model::IdPairSet pairs;
+  VisitDistinctPairs([&pairs](model::EntityId a, model::EntityId b) {
+    pairs.insert(model::IdPair::Of(a, b));
+  });
+  return pairs;
+}
+
+void BlockCollection::VisitDistinctPairs(
+    const std::function<void(model::EntityId, model::EntityId)>& visitor)
+    const {
+  model::IdPairSet seen;
+  for (const Block& block : blocks_) {
+    for (size_t i = 0; i < block.entities.size(); ++i) {
+      for (size_t j = i + 1; j < block.entities.size(); ++j) {
+        model::EntityId a = block.entities[i];
+        model::EntityId b = block.entities[j];
+        if (collection_ != nullptr && !collection_->Comparable(a, b)) {
+          continue;
+        }
+        if (seen.insert(model::IdPair::Of(a, b)).second) visitor(a, b);
+      }
+    }
+  }
+}
+
+std::vector<std::vector<uint32_t>> BlockCollection::EntityToBlocks() const {
+  size_t n = collection_ != nullptr ? collection_->size() : 0;
+  if (n == 0) {
+    for (const Block& block : blocks_) {
+      for (model::EntityId id : block.entities) {
+        n = std::max<size_t>(n, id + 1);
+      }
+    }
+  }
+  std::vector<std::vector<uint32_t>> index(n);
+  for (uint32_t b = 0; b < blocks_.size(); ++b) {
+    for (model::EntityId id : blocks_[b].entities) {
+      index[id].push_back(b);
+    }
+  }
+  return index;
+}
+
+int64_t BlockCollection::LargestBlock() const {
+  int64_t best = -1;
+  size_t best_size = 0;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].size() > best_size) {
+      best_size = blocks_[i].size();
+      best = static_cast<int64_t>(i);
+    }
+  }
+  return best;
+}
+
+void BlockCollection::SortBlocksBySize() {
+  std::sort(blocks_.begin(), blocks_.end(),
+            [](const Block& x, const Block& y) {
+              if (x.entities.size() != y.entities.size()) {
+                return x.entities.size() < y.entities.size();
+              }
+              return x.key < y.key;
+            });
+}
+
+}  // namespace weber::blocking

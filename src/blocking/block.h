@@ -1,0 +1,96 @@
+#ifndef WEBER_BLOCKING_BLOCK_H_
+#define WEBER_BLOCKING_BLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/entity.h"
+#include "model/ground_truth.h"
+
+namespace weber::blocking {
+
+/// A block: the set of entity ids that share a blocking key. Entities are
+/// kept sorted and distinct.
+struct Block {
+  std::string key;
+  std::vector<model::EntityId> entities;
+
+  size_t size() const { return entities.size(); }
+
+  /// Number of comparisons this block suggests on its own, honouring the
+  /// collection's setting: all pairs for dirty ER, cross-source pairs for
+  /// clean-clean.
+  uint64_t NumComparisons(const model::EntityCollection& collection) const;
+};
+
+/// A blocking collection: the output of a blocking method over one entity
+/// collection. Keeps a non-owning pointer to the collection so that
+/// downstream consumers (meta-blocking, evaluation) can honour the ER
+/// setting.
+class BlockCollection {
+ public:
+  BlockCollection() = default;
+  explicit BlockCollection(const model::EntityCollection* collection)
+      : collection_(collection) {}
+
+  /// Appends a block. Entities are sorted and deduplicated; blocks that
+  /// suggest no comparison under the collection's setting are dropped.
+  void AddBlock(Block block);
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+  std::vector<Block>& mutable_blocks() { return blocks_; }
+  size_t NumBlocks() const { return blocks_.size(); }
+  bool empty() const { return blocks_.empty(); }
+
+  const model::EntityCollection* collection() const { return collection_; }
+
+  /// Aggregate comparisons over all blocks, counting a pair once per block
+  /// it co-occurs in (i.e., including redundancy). This is the cost a
+  /// naive executor would pay.
+  uint64_t TotalComparisonsWithRedundancy() const;
+
+  /// The distinct candidate pairs suggested by the collection (each pair
+  /// once, no matter how many blocks it co-occurs in).
+  model::IdPairSet DistinctPairs() const;
+
+  /// Visits every distinct candidate pair once. Lower memory than
+  /// DistinctPairs for large collections; see comparison_propagation.h for
+  /// the hash-free variant.
+  void VisitDistinctPairs(
+      const std::function<void(model::EntityId, model::EntityId)>& visitor)
+      const;
+
+  /// Builds the inverted index from entity id to the (ascending) list of
+  /// block indices that contain it.
+  std::vector<std::vector<uint32_t>> EntityToBlocks() const;
+
+  /// Index of the largest block, or -1 if empty.
+  int64_t LargestBlock() const;
+
+  /// Sorts blocks by ascending cardinality (comparison count); useful
+  /// before purging and for progressive block processing.
+  void SortBlocksBySize();
+
+ private:
+  std::vector<Block> blocks_;
+  const model::EntityCollection* collection_ = nullptr;
+};
+
+/// Interface implemented by every blocking method.
+class Blocker {
+ public:
+  virtual ~Blocker() = default;
+
+  /// Builds the blocking collection for the given entities.
+  virtual BlockCollection Build(
+      const model::EntityCollection& collection) const = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace weber::blocking
+
+#endif  // WEBER_BLOCKING_BLOCK_H_

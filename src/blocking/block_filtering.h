@@ -1,0 +1,20 @@
+#ifndef WEBER_BLOCKING_BLOCK_FILTERING_H_
+#define WEBER_BLOCKING_BLOCK_FILTERING_H_
+
+#include "blocking/block.h"
+
+namespace weber::blocking {
+
+/// Block filtering (Papadakis et al.): each entity keeps only its
+/// `ratio` fraction of smallest blocks (its most discriminative ones) and
+/// is removed from the rest. Returns the rebuilt collection. Ratio is
+/// clamped to (0, 1]; ratio = 1 keeps everything.
+///
+/// Filtering is a lighter-weight alternative to meta-blocking: it shrinks
+/// oversized blocks instead of deleting them, retaining the long tail of
+/// matches that purging would lose.
+BlockCollection FilterBlocks(const BlockCollection& blocks, double ratio);
+
+}  // namespace weber::blocking
+
+#endif  // WEBER_BLOCKING_BLOCK_FILTERING_H_

@@ -1,0 +1,30 @@
+#ifndef WEBER_BLOCKING_BLOCK_PURGING_H_
+#define WEBER_BLOCKING_BLOCK_PURGING_H_
+
+#include <cstdint>
+
+#include "blocking/block.h"
+
+namespace weber::blocking {
+
+/// Removes blocks whose comparison cardinality exceeds the threshold.
+/// Returns the number of blocks removed. Oversized blocks stem from
+/// stop-word-like tokens: they cost quadratically many comparisons while
+/// contributing almost no unique matches.
+size_t PurgeBlocksAbove(BlockCollection& blocks, uint64_t max_comparisons);
+
+/// Automatic block purging (Papadakis et al.): groups blocks into tiers
+/// of equal comparison cardinality and, walking from the largest tier
+/// down, purges a tier while its marginal efficiency — block assignments
+/// per comparison within the tier — is below `efficiency_ratio` times
+/// the efficiency of the remaining (smaller) tiers. Stop-word blocks are
+/// quadratically inefficient and get dropped; collections with a uniform
+/// block-size profile (e.g., sorted-neighbourhood windows) are left
+/// untouched. Returns the chosen cardinality threshold (0 when nothing
+/// was purged).
+uint64_t AutoPurgeBlocks(BlockCollection& blocks,
+                         double efficiency_ratio = 0.25);
+
+}  // namespace weber::blocking
+
+#endif  // WEBER_BLOCKING_BLOCK_PURGING_H_

@@ -1,0 +1,66 @@
+#include "blocking/canopy_clustering.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "text/tfidf.h"
+#include "util/random.h"
+
+namespace weber::blocking {
+
+BlockCollection CanopyClustering::Build(
+    const model::EntityCollection& collection) const {
+  BlockCollection result(&collection);
+  if (collection.size() < 2) return result;
+
+  text::TfIdfModel model = text::TfIdfModel::Fit(collection);
+  std::vector<text::TfIdfVector> vectors = model.VectorizeAll(collection);
+
+  // Inverted index: token id -> entities containing it, to restrict cosine
+  // evaluations to entities sharing at least one token with the seed.
+  std::unordered_map<uint32_t, std::vector<model::EntityId>> postings;
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    for (const auto& [token, weight] : vectors[id].entries) {
+      postings[token].push_back(id);
+    }
+  }
+
+  std::vector<bool> removed(collection.size(), false);
+  std::vector<model::EntityId> pool(collection.size());
+  for (model::EntityId id = 0; id < collection.size(); ++id) pool[id] = id;
+  util::Rng rng(options_.seed);
+  rng.Shuffle(pool);
+
+  size_t canopy_id = 0;
+  for (model::EntityId seed_entity : pool) {
+    if (removed[seed_entity]) continue;
+    removed[seed_entity] = true;
+
+    // Gather candidates sharing a token with the seed.
+    std::unordered_set<model::EntityId> candidates;
+    for (const auto& [token, weight] : vectors[seed_entity].entries) {
+      auto it = postings.find(token);
+      if (it == postings.end()) continue;
+      for (model::EntityId other : it->second) {
+        if (other != seed_entity) candidates.insert(other);
+      }
+    }
+
+    Block block;
+    block.key = "canopy" + std::to_string(canopy_id++);
+    block.entities.push_back(seed_entity);
+    for (model::EntityId other : candidates) {
+      double sim =
+          text::TfIdfModel::Cosine(vectors[seed_entity], vectors[other]);
+      if (sim >= options_.loose_threshold) {
+        block.entities.push_back(other);
+        if (sim >= options_.tight_threshold) removed[other] = true;
+      }
+    }
+    result.AddBlock(std::move(block));
+  }
+  return result;
+}
+
+}  // namespace weber::blocking

@@ -1,0 +1,42 @@
+#ifndef WEBER_BLOCKING_CANOPY_CLUSTERING_H_
+#define WEBER_BLOCKING_CANOPY_CLUSTERING_H_
+
+#include <string>
+
+#include "blocking/block.h"
+
+namespace weber::blocking {
+
+/// Options for canopy clustering. Similarities are TF-IDF cosine in
+/// [0, 1]; tight_threshold must be >= loose_threshold.
+struct CanopyOptions {
+  /// Entities with similarity >= loose_threshold to the seed join the
+  /// canopy (and may join more canopies later).
+  double loose_threshold = 0.15;
+  /// Entities with similarity >= tight_threshold are removed from the
+  /// candidate pool and seed no further canopy.
+  double tight_threshold = 0.35;
+  /// Seed selection order (deterministic).
+  uint64_t seed = 7;
+};
+
+/// Canopy clustering (McCallum et al.) used as a blocking method: cheap
+/// TF-IDF cosine forms overlapping canopies; each canopy is a block.
+/// Canopies overlap when loose < tight, which preserves recall across
+/// cluster boundaries.
+class CanopyClustering : public Blocker {
+ public:
+  explicit CanopyClustering(CanopyOptions options = {}) : options_(options) {}
+
+  BlockCollection Build(
+      const model::EntityCollection& collection) const override;
+
+  std::string name() const override { return "CanopyClustering"; }
+
+ private:
+  CanopyOptions options_;
+};
+
+}  // namespace weber::blocking
+
+#endif  // WEBER_BLOCKING_CANOPY_CLUSTERING_H_

@@ -1,0 +1,52 @@
+#include "blocking/comparison_propagation.h"
+
+#include <algorithm>
+
+namespace weber::blocking {
+
+ComparisonPropagation::ComparisonPropagation(const BlockCollection& blocks)
+    : blocks_(blocks), entity_to_blocks_(blocks.EntityToBlocks()) {}
+
+bool ComparisonPropagation::IsLeastCommonBlock(model::EntityId a,
+                                               model::EntityId b,
+                                               uint32_t block_index) const {
+  // Merge-scan the two ascending block lists for the first common index.
+  const std::vector<uint32_t>& list_a = entity_to_blocks_[a];
+  const std::vector<uint32_t>& list_b = entity_to_blocks_[b];
+  size_t i = 0;
+  size_t j = 0;
+  while (i < list_a.size() && j < list_b.size()) {
+    if (list_a[i] == list_b[j]) return list_a[i] == block_index;
+    if (list_a[i] < list_b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+void ComparisonPropagation::VisitPairs(
+    const std::function<void(model::EntityId, model::EntityId)>& visitor)
+    const {
+  const model::EntityCollection* collection = blocks_.collection();
+  for (uint32_t b = 0; b < blocks_.NumBlocks(); ++b) {
+    const Block& block = blocks_.blocks()[b];
+    for (size_t i = 0; i < block.entities.size(); ++i) {
+      for (size_t j = i + 1; j < block.entities.size(); ++j) {
+        model::EntityId x = block.entities[i];
+        model::EntityId y = block.entities[j];
+        if (collection != nullptr && !collection->Comparable(x, y)) continue;
+        if (IsLeastCommonBlock(x, y, b)) visitor(x, y);
+      }
+    }
+  }
+}
+
+uint64_t ComparisonPropagation::CountDistinctPairs() const {
+  uint64_t count = 0;
+  VisitPairs([&count](model::EntityId, model::EntityId) { ++count; });
+  return count;
+}
+
+}  // namespace weber::blocking

@@ -1,0 +1,48 @@
+#ifndef WEBER_BLOCKING_COMPARISON_PROPAGATION_H_
+#define WEBER_BLOCKING_COMPARISON_PROPAGATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "blocking/block.h"
+#include "model/ground_truth.h"
+
+namespace weber::blocking {
+
+/// Comparison propagation via the least-common-block-index (LeCoBI)
+/// condition: a pair (a, b) is executed only inside the first block (in
+/// block order) that contains both, so each distinct pair is visited
+/// exactly once without materialising a hash set of executed pairs.
+///
+/// This is the hash-free redundancy eliminator used by block-centric
+/// executors (iterative blocking, parallel processing); it needs only the
+/// entity-to-blocks inverted index.
+class ComparisonPropagation {
+ public:
+  explicit ComparisonPropagation(const BlockCollection& blocks);
+
+  /// True if block_index is the least common block of a and b, i.e., the
+  /// comparison (a, b) should be executed in this block.
+  bool IsLeastCommonBlock(model::EntityId a, model::EntityId b,
+                          uint32_t block_index) const;
+
+  /// Visits every distinct comparable pair exactly once, in block order.
+  void VisitPairs(
+      const std::function<void(model::EntityId, model::EntityId)>& visitor)
+      const;
+
+  /// Counts distinct pairs without materialising them.
+  uint64_t CountDistinctPairs() const;
+
+  const std::vector<std::vector<uint32_t>>& entity_to_blocks() const {
+    return entity_to_blocks_;
+  }
+
+ private:
+  const BlockCollection& blocks_;
+  std::vector<std::vector<uint32_t>> entity_to_blocks_;  // Ascending lists.
+};
+
+}  // namespace weber::blocking
+
+#endif  // WEBER_BLOCKING_COMPARISON_PROPAGATION_H_

@@ -1,0 +1,67 @@
+#include "blocking/frequent_tokens.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace weber::blocking {
+
+BlockCollection FrequentTokenPairBlocking::Build(
+    const model::EntityCollection& collection) const {
+  // Pass 1: token document frequencies.
+  std::vector<std::vector<std::string>> tokens_of(collection.size());
+  std::unordered_map<std::string, uint32_t> frequency;
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    tokens_of[id] = text::ValueTokens(collection[id]);
+    for (const std::string& token : tokens_of[id]) ++frequency[token];
+  }
+
+  // Pass 2: per entity, keep its rarest eligible tokens and emit pairs.
+  std::map<std::pair<std::string, std::string>,
+           std::vector<model::EntityId>>
+      pair_index;
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    std::vector<std::string>& tokens = tokens_of[id];
+    if (options_.max_token_frequency != 0) {
+      tokens.erase(std::remove_if(tokens.begin(), tokens.end(),
+                                  [this, &frequency](const std::string& t) {
+                                    return frequency[t] >
+                                           options_.max_token_frequency;
+                                  }),
+                   tokens.end());
+    }
+    std::sort(tokens.begin(), tokens.end(),
+              [&frequency](const std::string& x, const std::string& y) {
+                uint32_t fx = frequency[x];
+                uint32_t fy = frequency[y];
+                if (fx != fy) return fx < fy;  // Rarest first.
+                return x < y;
+              });
+    if (tokens.size() > options_.max_tokens_per_entity) {
+      tokens.resize(options_.max_tokens_per_entity);
+    }
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      for (size_t j = i + 1; j < tokens.size(); ++j) {
+        std::pair<std::string, std::string> key =
+            tokens[i] < tokens[j]
+                ? std::make_pair(tokens[i], tokens[j])
+                : std::make_pair(tokens[j], tokens[i]);
+        pair_index[std::move(key)].push_back(id);
+      }
+    }
+  }
+
+  BlockCollection result(&collection);
+  for (auto& [key, entities] : pair_index) {
+    if (entities.size() < std::max<size_t>(options_.min_support, 2)) {
+      continue;
+    }
+    result.AddBlock(Block{key.first + "+" + key.second,
+                          std::move(entities)});
+  }
+  return result;
+}
+
+}  // namespace weber::blocking

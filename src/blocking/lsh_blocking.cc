@@ -1,0 +1,48 @@
+#include "blocking/lsh_blocking.h"
+
+#include <cmath>
+#include <map>
+
+#include "text/minhash.h"
+#include "text/tokenizer.h"
+
+namespace weber::blocking {
+
+double LshBlocking::ThresholdEstimate() const {
+  double b = static_cast<double>(std::max<size_t>(options_.bands, 1));
+  double r = static_cast<double>(std::max<size_t>(options_.rows_per_band, 1));
+  return std::pow(1.0 / b, 1.0 / r);
+}
+
+BlockCollection LshBlocking::Build(
+    const model::EntityCollection& collection) const {
+  size_t bands = std::max<size_t>(options_.bands, 1);
+  size_t rows = std::max<size_t>(options_.rows_per_band, 1);
+  text::MinHasher hasher(bands * rows, options_.seed);
+
+  // Bucket key: band index + the band's row values, rendered to a string
+  // (band-scoped so identical row tuples in different bands don't
+  // collide).
+  std::map<std::string, std::vector<model::EntityId>> buckets;
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    std::vector<std::string> tokens = text::ValueTokens(collection[id]);
+    if (tokens.empty()) continue;
+    std::vector<uint64_t> signature = hasher.Signature(tokens);
+    for (size_t band = 0; band < bands; ++band) {
+      std::string key = "b" + std::to_string(band);
+      for (size_t row = 0; row < rows; ++row) {
+        key.push_back('#');
+        key += std::to_string(signature[band * rows + row]);
+      }
+      buckets[std::move(key)].push_back(id);
+    }
+  }
+
+  BlockCollection result(&collection);
+  for (auto& [key, entities] : buckets) {
+    result.AddBlock(Block{key, std::move(entities)});
+  }
+  return result;
+}
+
+}  // namespace weber::blocking

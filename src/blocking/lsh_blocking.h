@@ -1,0 +1,46 @@
+#ifndef WEBER_BLOCKING_LSH_BLOCKING_H_
+#define WEBER_BLOCKING_LSH_BLOCKING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "blocking/block.h"
+
+namespace weber::blocking {
+
+/// Options of MinHash-LSH blocking. With b bands of r rows each, the
+/// probability that a pair with Jaccard s shares at least one band bucket
+/// is 1 - (1 - s^r)^b — the classic S-curve whose threshold sits near
+/// (1/b)^(1/r).
+struct LshOptions {
+  size_t bands = 16;
+  size_t rows_per_band = 4;
+  uint64_t seed = 1;
+};
+
+/// MinHash-LSH blocking: each description's value-token set is sketched
+/// into bands*rows MinHash values; each band's row tuple is a bucket key,
+/// and descriptions sharing any bucket co-occur in a block. Sub-quadratic
+/// candidate generation whose recall/precision knob is the (bands, rows)
+/// pair — the go-to technique when even token blocking's inverted index
+/// is too dense.
+class LshBlocking : public Blocker {
+ public:
+  explicit LshBlocking(LshOptions options = {}) : options_(options) {}
+
+  BlockCollection Build(
+      const model::EntityCollection& collection) const override;
+
+  std::string name() const override { return "LshBlocking"; }
+
+  /// The Jaccard level at which a pair has ~50% co-occurrence
+  /// probability: (1/b)^(1/r).
+  double ThresholdEstimate() const;
+
+ private:
+  LshOptions options_;
+};
+
+}  // namespace weber::blocking
+
+#endif  // WEBER_BLOCKING_LSH_BLOCKING_H_

@@ -1,0 +1,50 @@
+#ifndef WEBER_BLOCKING_MULTIDIMENSIONAL_H_
+#define WEBER_BLOCKING_MULTIDIMENSIONAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocking/block.h"
+#include "model/ground_truth.h"
+
+namespace weber::blocking {
+
+/// Multidimensional overlapping blocks (inspired by [17], Isele et al.,
+/// WebDB'11): several blocking collections — typically one per similarity
+/// dimension/function — are aggregated into a single collection that
+/// keeps only the candidate pairs co-occurring in at least
+/// `min_agreement` of the input collections. Agreement across dimensions
+/// stands in for the original's multidimensional index overlap test:
+/// pairs supported by several independent similarity views are far more
+/// likely to match.
+///
+/// Returns a BlockCollection of one block per surviving pair (blocks_ of
+/// size two), annotated with the agreement count in the key, so that all
+/// downstream machinery (evaluation, scheduling, meta-blocking) applies
+/// unchanged.
+BlockCollection AggregateMultidimensional(
+    const std::vector<const BlockCollection*>& dimensions,
+    size_t min_agreement);
+
+/// Convenience wrapper that builds each dimension from a blocker and
+/// aggregates. Blockers are borrowed.
+class MultidimensionalBlocking : public Blocker {
+ public:
+  MultidimensionalBlocking(std::vector<const Blocker*> dimensions,
+                           size_t min_agreement)
+      : dimensions_(std::move(dimensions)), min_agreement_(min_agreement) {}
+
+  BlockCollection Build(
+      const model::EntityCollection& collection) const override;
+
+  std::string name() const override { return "MultidimensionalBlocking"; }
+
+ private:
+  std::vector<const Blocker*> dimensions_;
+  size_t min_agreement_;
+};
+
+}  // namespace weber::blocking
+
+#endif  // WEBER_BLOCKING_MULTIDIMENSIONAL_H_

@@ -1,0 +1,33 @@
+#include "blocking/phonetic_blocking.h"
+
+#include <map>
+#include <set>
+
+#include "text/phonetic.h"
+#include "text/tokenizer.h"
+
+namespace weber::blocking {
+
+BlockCollection PhoneticBlocking::Build(
+    const model::EntityCollection& collection) const {
+  std::map<std::string, std::vector<model::EntityId>> index;
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    std::set<std::string> codes;
+    for (const std::string& token : text::ValueTokens(collection[id])) {
+      if (token.size() < min_token_length_) continue;
+      std::string code = use_soundex_ ? text::Soundex(token)
+                                      : text::PhoneticKey(token);
+      if (!code.empty()) codes.insert(std::move(code));
+    }
+    for (const std::string& code : codes) {
+      index[code].push_back(id);
+    }
+  }
+  BlockCollection result(&collection);
+  for (auto& [code, entities] : index) {
+    result.AddBlock(Block{code, std::move(entities)});
+  }
+  return result;
+}
+
+}  // namespace weber::blocking

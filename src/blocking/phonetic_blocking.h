@@ -1,0 +1,35 @@
+#ifndef WEBER_BLOCKING_PHONETIC_BLOCKING_H_
+#define WEBER_BLOCKING_PHONETIC_BLOCKING_H_
+
+#include <string>
+
+#include "blocking/block.h"
+
+namespace weber::blocking {
+
+/// Phonetic blocking: every value token is encoded with Soundex (or the
+/// lighter PhoneticKey) and descriptions sharing a code co-occur. Catches
+/// phonetic misspellings ("smith"/"smyth", "jon"/"john") that exact token
+/// blocking misses, at the cost of bigger, less precise blocks — the
+/// classic phonetic-encoding entry of Christen's indexing survey.
+class PhoneticBlocking : public Blocker {
+ public:
+  /// use_soundex = false switches to the longer PhoneticKey codes
+  /// (smaller blocks, less phonetic tolerance).
+  explicit PhoneticBlocking(bool use_soundex = true,
+                            size_t min_token_length = 3)
+      : use_soundex_(use_soundex), min_token_length_(min_token_length) {}
+
+  BlockCollection Build(
+      const model::EntityCollection& collection) const override;
+
+  std::string name() const override { return "PhoneticBlocking"; }
+
+ private:
+  bool use_soundex_;
+  size_t min_token_length_;
+};
+
+}  // namespace weber::blocking
+
+#endif  // WEBER_BLOCKING_PHONETIC_BLOCKING_H_

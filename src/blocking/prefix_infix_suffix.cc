@@ -1,0 +1,82 @@
+#include "blocking/prefix_infix_suffix.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "text/tokenizer.h"
+
+namespace weber::blocking {
+
+namespace {
+
+bool IsNumericSegment(std::string_view segment) {
+  if (segment.empty()) return false;
+  return std::all_of(segment.begin(), segment.end(), [](unsigned char c) {
+    return std::isdigit(c);
+  });
+}
+
+}  // namespace
+
+UriParts SplitUri(std::string_view uri) {
+  UriParts parts;
+  if (uri.empty()) return parts;
+
+  // Segment boundaries: '/', '#', ':'. Find the last two segments.
+  size_t last = uri.find_last_of("/#");
+  if (last == std::string_view::npos) {
+    parts.infix = std::string(uri);
+    return parts;
+  }
+  std::string_view tail = uri.substr(last + 1);
+  std::string_view head = uri.substr(0, last);
+
+  if ((IsNumericSegment(tail) || tail.size() <= 2) && !head.empty()) {
+    // Trailing id or short tag: treat as suffix, infix is the segment
+    // before it.
+    parts.suffix = std::string(tail);
+    size_t prev = head.find_last_of("/#");
+    if (prev == std::string_view::npos) {
+      parts.infix = std::string(head);
+    } else {
+      parts.infix = std::string(head.substr(prev + 1));
+      parts.prefix = std::string(head.substr(0, prev + 1));
+    }
+  } else {
+    parts.infix = std::string(tail);
+    parts.prefix = std::string(uri.substr(0, last + 1));
+  }
+  return parts;
+}
+
+BlockCollection PrefixInfixSuffixBlocking::Build(
+    const model::EntityCollection& collection) const {
+  std::map<std::string, std::vector<model::EntityId>> index;
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    std::set<std::string> keys;
+    UriParts parts = SplitUri(collection[id].uri());
+    // Tokens of the infix; URI infixes use '_' and '-' which Normalize
+    // already treats as punctuation.
+    for (std::string& token : text::NormalizeAndTokenize(parts.infix)) {
+      keys.insert("i#" + std::move(token));
+    }
+    if (!parts.suffix.empty()) keys.insert("s#" + parts.suffix);
+    if (include_value_tokens_) {
+      for (std::string& token : text::ValueTokens(collection[id])) {
+        keys.insert("t#" + std::move(token));
+      }
+    }
+    for (const std::string& key : keys) {
+      index[key].push_back(id);
+    }
+  }
+  BlockCollection result(&collection);
+  for (auto& [key, entities] : index) {
+    result.AddBlock(Block{key, std::move(entities)});
+  }
+  return result;
+}
+
+}  // namespace weber::blocking

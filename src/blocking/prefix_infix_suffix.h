@@ -1,0 +1,47 @@
+#ifndef WEBER_BLOCKING_PREFIX_INFIX_SUFFIX_H_
+#define WEBER_BLOCKING_PREFIX_INFIX_SUFFIX_H_
+
+#include <string>
+
+#include "blocking/block.h"
+
+namespace weber::blocking {
+
+/// Decomposition of a Linked-Data URI into its source-specific prefix
+/// (scheme + authority + leading path), its entity-identifying infix, and
+/// an optional technical suffix (e.g., a trailing version or format tag).
+struct UriParts {
+  std::string prefix;
+  std::string infix;
+  std::string suffix;
+};
+
+/// Splits a URI: the infix is the last non-numeric path segment (with
+/// '#'-fragments treated as segments); a purely numeric or very short
+/// final segment is treated as a suffix of the preceding infix.
+UriParts SplitUri(std::string_view uri);
+
+/// Prefix-infix(-suffix) blocking (Papadakis et al., WSDM'12): entity URIs
+/// in the Web of data typically embed a human-readable, source-independent
+/// infix ("…/resource/Berlin"). Blocks are built from the tokens of the
+/// URI infix in addition to the tokens of literal values, so descriptions
+/// that share nothing but their URI naming still co-occur.
+class PrefixInfixSuffixBlocking : public Blocker {
+ public:
+  /// When include_value_tokens is true (default) blocks also include
+  /// plain token-blocking keys of attribute values.
+  explicit PrefixInfixSuffixBlocking(bool include_value_tokens = true)
+      : include_value_tokens_(include_value_tokens) {}
+
+  BlockCollection Build(
+      const model::EntityCollection& collection) const override;
+
+  std::string name() const override { return "PrefixInfixSuffixBlocking"; }
+
+ private:
+  bool include_value_tokens_;
+};
+
+}  // namespace weber::blocking
+
+#endif  // WEBER_BLOCKING_PREFIX_INFIX_SUFFIX_H_

@@ -1,0 +1,33 @@
+#include "blocking/qgrams_blocking.h"
+
+#include <map>
+#include <unordered_set>
+
+#include "text/qgram.h"
+#include "text/tokenizer.h"
+
+namespace weber::blocking {
+
+BlockCollection QGramsBlocking::Build(
+    const model::EntityCollection& collection) const {
+  std::map<std::string, std::vector<model::EntityId>> index;
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    std::unordered_set<std::string> grams;
+    for (const std::string& token : text::ValueTokens(collection[id])) {
+      if (token.size() < min_token_length_) continue;
+      for (std::string& gram : text::DistinctQGrams(token, q_)) {
+        grams.insert(std::move(gram));
+      }
+    }
+    for (const std::string& gram : grams) {
+      index[gram].push_back(id);
+    }
+  }
+  BlockCollection result(&collection);
+  for (auto& [gram, entities] : index) {
+    result.AddBlock(Block{gram, std::move(entities)});
+  }
+  return result;
+}
+
+}  // namespace weber::blocking

@@ -1,0 +1,31 @@
+#ifndef WEBER_BLOCKING_QGRAMS_BLOCKING_H_
+#define WEBER_BLOCKING_QGRAMS_BLOCKING_H_
+
+#include <string>
+
+#include "blocking/block.h"
+
+namespace weber::blocking {
+
+/// Q-grams blocking: every distinct character q-gram of every value token
+/// defines a block. More redundancy (and thus higher recall under typos)
+/// than token blocking, at the price of more and bigger blocks — the
+/// classic robustness/cost trade-off surveyed in Section II.
+class QGramsBlocking : public Blocker {
+ public:
+  explicit QGramsBlocking(size_t q = 3, size_t min_token_length = 3)
+      : q_(q), min_token_length_(min_token_length) {}
+
+  BlockCollection Build(
+      const model::EntityCollection& collection) const override;
+
+  std::string name() const override { return "QGramsBlocking"; }
+
+ private:
+  size_t q_;
+  size_t min_token_length_;
+};
+
+}  // namespace weber::blocking
+
+#endif  // WEBER_BLOCKING_QGRAMS_BLOCKING_H_

@@ -1,0 +1,42 @@
+#include "blocking/standard_blocking.h"
+
+#include <map>
+
+#include "text/normalizer.h"
+
+namespace weber::blocking {
+
+std::string StandardBlockingKey(const model::EntityDescription& entity,
+                                const std::vector<std::string>& attributes,
+                                size_t value_prefix) {
+  std::string key;
+  for (const std::string& attribute : attributes) {
+    auto value = entity.FirstValueOf(attribute);
+    if (!value.has_value()) continue;
+    std::string normalized = text::Normalize(*value);
+    if (value_prefix > 0 && normalized.size() > value_prefix) {
+      normalized.resize(value_prefix);
+    }
+    if (!key.empty()) key.push_back('|');
+    key.append(normalized);
+  }
+  return key;
+}
+
+BlockCollection StandardBlocking::Build(
+    const model::EntityCollection& collection) const {
+  std::map<std::string, std::vector<model::EntityId>> index;
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    std::string key =
+        StandardBlockingKey(collection[id], key_attributes_, value_prefix_);
+    if (key.empty()) continue;  // No key attribute present: unblocked.
+    index[std::move(key)].push_back(id);
+  }
+  BlockCollection result(&collection);
+  for (auto& [key, entities] : index) {
+    result.AddBlock(Block{key, std::move(entities)});
+  }
+  return result;
+}
+
+}  // namespace weber::blocking

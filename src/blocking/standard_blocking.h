@@ -1,0 +1,46 @@
+#ifndef WEBER_BLOCKING_STANDARD_BLOCKING_H_
+#define WEBER_BLOCKING_STANDARD_BLOCKING_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/block.h"
+#include "model/entity.h"
+
+namespace weber::blocking {
+
+/// Builds the classic relational blocking key of a description: the
+/// concatenation of the normalised first values of the given attributes,
+/// optionally truncating each value to a prefix. Descriptions missing all
+/// key attributes get an empty key.
+std::string StandardBlockingKey(const model::EntityDescription& entity,
+                                const std::vector<std::string>& attributes,
+                                size_t value_prefix = 0);
+
+/// Traditional schema-based (standard) blocking: descriptions are grouped
+/// by equality of a key built from pre-selected attributes. Included as
+/// the baseline the tutorial contrasts with schema-agnostic methods: on
+/// heterogeneous Web data the key attributes are often missing or named
+/// differently across sources, so matches are lost (low PC).
+class StandardBlocking : public Blocker {
+ public:
+  /// Blocks on the given key attributes; values truncated to value_prefix
+  /// characters when value_prefix > 0.
+  StandardBlocking(std::vector<std::string> key_attributes,
+                   size_t value_prefix = 0)
+      : key_attributes_(std::move(key_attributes)),
+        value_prefix_(value_prefix) {}
+
+  BlockCollection Build(
+      const model::EntityCollection& collection) const override;
+
+  std::string name() const override { return "StandardBlocking"; }
+
+ private:
+  std::vector<std::string> key_attributes_;
+  size_t value_prefix_;
+};
+
+}  // namespace weber::blocking
+
+#endif  // WEBER_BLOCKING_STANDARD_BLOCKING_H_

@@ -1,0 +1,34 @@
+#include "blocking/suffix_blocking.h"
+
+#include <map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace weber::blocking {
+
+BlockCollection SuffixBlocking::Build(
+    const model::EntityCollection& collection) const {
+  std::map<std::string, std::vector<model::EntityId>> index;
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    std::unordered_set<std::string> suffixes;
+    for (const std::string& token : text::ValueTokens(collection[id])) {
+      if (token.size() < min_suffix_length_) continue;
+      for (size_t start = 0; token.size() - start >= min_suffix_length_;
+           ++start) {
+        suffixes.insert(token.substr(start));
+      }
+    }
+    for (const std::string& suffix : suffixes) {
+      index[suffix].push_back(id);
+    }
+  }
+  BlockCollection result(&collection);
+  for (auto& [suffix, entities] : index) {
+    if (max_block_size_ != 0 && entities.size() > max_block_size_) continue;
+    result.AddBlock(Block{suffix, std::move(entities)});
+  }
+  return result;
+}
+
+}  // namespace weber::blocking

@@ -1,0 +1,32 @@
+#ifndef WEBER_BLOCKING_SUFFIX_BLOCKING_H_
+#define WEBER_BLOCKING_SUFFIX_BLOCKING_H_
+
+#include <string>
+
+#include "blocking/block.h"
+
+namespace weber::blocking {
+
+/// Suffix-array blocking: every suffix (of length >= min_suffix_length) of
+/// every value token defines a block; blocks exceeding max_block_size are
+/// discarded, as in the original suffix-array indexing technique for record
+/// linkage. Catches prefix typos that q-gram prefixes miss.
+class SuffixBlocking : public Blocker {
+ public:
+  SuffixBlocking(size_t min_suffix_length = 4, size_t max_block_size = 64)
+      : min_suffix_length_(min_suffix_length),
+        max_block_size_(max_block_size) {}
+
+  BlockCollection Build(
+      const model::EntityCollection& collection) const override;
+
+  std::string name() const override { return "SuffixBlocking"; }
+
+ private:
+  size_t min_suffix_length_;
+  size_t max_block_size_;
+};
+
+}  // namespace weber::blocking
+
+#endif  // WEBER_BLOCKING_SUFFIX_BLOCKING_H_

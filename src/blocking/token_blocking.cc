@@ -1,0 +1,32 @@
+#include "blocking/token_blocking.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace weber::blocking {
+
+BlockCollection TokenBlocking::Build(
+    const model::EntityCollection& collection) const {
+  // token -> entity ids. std::map keeps block order deterministic.
+  std::map<std::string, std::vector<model::EntityId>> index;
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    for (std::string& token :
+         text::ValueTokens(collection[id], options_.normalize)) {
+      if (token.size() < options_.min_token_length) continue;
+      index[std::move(token)].push_back(id);
+    }
+  }
+  BlockCollection result(&collection);
+  for (auto& [token, entities] : index) {
+    if (options_.max_block_size != 0 &&
+        entities.size() > options_.max_block_size) {
+      continue;
+    }
+    result.AddBlock(Block{token, std::move(entities)});
+  }
+  return result;
+}
+
+}  // namespace weber::blocking

@@ -1,0 +1,44 @@
+#ifndef WEBER_BLOCKING_TOKEN_BLOCKING_H_
+#define WEBER_BLOCKING_TOKEN_BLOCKING_H_
+
+#include <string>
+
+#include "blocking/block.h"
+#include "text/normalizer.h"
+
+namespace weber::blocking {
+
+/// Options for schema-agnostic token blocking.
+struct TokenBlockingOptions {
+  /// Normalisation applied to attribute values before tokenisation.
+  text::NormalizeOptions normalize;
+  /// Tokens shorter than this do not form blocks (noise control).
+  size_t min_token_length = 1;
+  /// Blocks larger than this are dropped outright (0 = keep all). Most
+  /// deployments instead run BlockPurging afterwards.
+  size_t max_block_size = 0;
+};
+
+/// Schema-agnostic token blocking (Papadakis et al.): every distinct token
+/// appearing in any attribute value defines a block containing all
+/// descriptions featuring that token. Two descriptions co-occur if they
+/// share at least one token, regardless of attribute names — the key
+/// property that makes the method robust to the structural heterogeneity
+/// of the Web of data.
+class TokenBlocking : public Blocker {
+ public:
+  explicit TokenBlocking(TokenBlockingOptions options = {})
+      : options_(options) {}
+
+  BlockCollection Build(
+      const model::EntityCollection& collection) const override;
+
+  std::string name() const override { return "TokenBlocking"; }
+
+ private:
+  TokenBlockingOptions options_;
+};
+
+}  // namespace weber::blocking
+
+#endif  // WEBER_BLOCKING_TOKEN_BLOCKING_H_

@@ -1,0 +1,89 @@
+#include "core/pipeline.h"
+
+#include <cassert>
+#include <limits>
+
+#include "blocking/block_filtering.h"
+#include "blocking/block_purging.h"
+#include "util/timer.h"
+
+namespace weber::core {
+
+PipelineResult RunPipeline(const model::EntityCollection& collection,
+                           const model::GroundTruth& truth,
+                           const PipelineConfig& config) {
+  assert(config.blocker != nullptr && "pipeline needs a blocker");
+  assert(config.matcher != nullptr && "pipeline needs a matcher");
+  PipelineResult result;
+  util::Timer timer;
+
+  // ---- Blocking phase (plus optional cleaning). ----
+  blocking::BlockCollection blocks = config.blocker->Build(collection);
+  if (config.auto_purge) {
+    blocking::AutoPurgeBlocks(blocks);
+  }
+  if (config.filter_ratio < 1.0) {
+    blocks = blocking::FilterBlocks(blocks, config.filter_ratio);
+  }
+  result.blocking_quality = eval::EvaluateBlocks(blocks, truth);
+  result.blocking_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  // ---- Candidate generation: meta-blocking or distinct block pairs. ----
+  std::vector<model::IdPair> candidates;
+  if (config.meta_blocking.has_value()) {
+    candidates = metablocking::MetaBlock(blocks,
+                                         config.meta_blocking->first,
+                                         config.meta_blocking->second);
+  } else {
+    blocks.VisitDistinctPairs(
+        [&candidates](model::EntityId a, model::EntityId b) {
+          candidates.push_back(model::IdPair::Of(a, b));
+        });
+  }
+  result.candidates = candidates.size();
+
+  // ---- Scheduling phase. ----
+  std::unique_ptr<progressive::PairScheduler> scheduler;
+  if (config.make_scheduler) {
+    scheduler = config.make_scheduler(collection, std::move(candidates));
+  } else {
+    scheduler = std::make_unique<progressive::StaticListScheduler>(
+        std::move(candidates));
+  }
+  result.scheduling_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  // ---- Matching + update phases under the budget. ----
+  matching::ThresholdMatcher threshold_matcher(config.matcher,
+                                               config.match_threshold);
+  uint64_t budget = config.budget == 0
+                        ? std::numeric_limits<uint64_t>::max()
+                        : config.budget;
+  progressive::ProgressiveRunResult run = progressive::RunProgressive(
+      collection, *scheduler, threshold_matcher, budget, truth);
+  result.comparisons = run.comparisons;
+  result.matches = std::move(run.reported);
+  result.curve = std::move(run.curve);
+  result.matching_seconds = timer.ElapsedSeconds();
+
+  // ---- Clustering. ----
+  matching::MatchGraph graph(collection.size());
+  for (const model::IdPair& pair : result.matches) {
+    graph.AddMatch(pair.low, pair.high);
+  }
+  switch (config.clustering) {
+    case ClusteringAlgorithm::kConnectedComponents:
+      result.clusters = matching::ConnectedComponents(graph);
+      break;
+    case ClusteringAlgorithm::kCenter:
+      result.clusters = matching::CenterClustering(graph);
+      break;
+    case ClusteringAlgorithm::kMergeCenter:
+      result.clusters = matching::MergeCenterClustering(graph);
+      break;
+  }
+  return result;
+}
+
+}  // namespace weber::core

@@ -1,0 +1,95 @@
+#ifndef WEBER_CORE_PIPELINE_H_
+#define WEBER_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "blocking/block.h"
+#include "eval/blocking_metrics.h"
+#include "eval/progressive_curve.h"
+#include "matching/clustering.h"
+#include "matching/matcher.h"
+#include "metablocking/pruning_schemes.h"
+#include "model/entity.h"
+#include "model/ground_truth.h"
+#include "progressive/scheduler.h"
+
+namespace weber::core {
+
+/// Which clustering closes the pipeline.
+enum class ClusteringAlgorithm {
+  kConnectedComponents,
+  kCenter,
+  kMergeCenter,
+};
+
+/// Configuration of the end-to-end ER pipeline of Fig. 1:
+///   Blocking -> (block cleaning / meta-blocking) -> Scheduling ->
+///   Matching -> Update -> ... -> Clustering.
+/// Stage objects are borrowed, not owned; they must outlive the pipeline
+/// run.
+struct PipelineConfig {
+  /// Blocking phase (required).
+  const blocking::Blocker* blocker = nullptr;
+
+  /// Optional block cleaning: automatic purging of oversized blocks and
+  /// per-entity block filtering (1.0 = keep all).
+  bool auto_purge = false;
+  double filter_ratio = 1.0;
+
+  /// Optional meta-blocking; when set, the candidate pairs are the pruned
+  /// blocking-graph edges instead of all distinct block pairs.
+  std::optional<std::pair<metablocking::WeightScheme,
+                          metablocking::PruningScheme>>
+      meta_blocking;
+
+  /// Scheduling phase: builds the pair scheduler from the candidate list.
+  /// Default: a static schedule in candidate order (non-progressive).
+  std::function<std::unique_ptr<progressive::PairScheduler>(
+      const model::EntityCollection&, std::vector<model::IdPair>)>
+      make_scheduler;
+
+  /// Matching phase (required): matcher plus decision threshold.
+  const matching::Matcher* matcher = nullptr;
+  double match_threshold = 0.5;
+
+  /// Comparison budget (0 = run the schedule to exhaustion).
+  uint64_t budget = 0;
+
+  /// Final clustering.
+  ClusteringAlgorithm clustering = ClusteringAlgorithm::kConnectedComponents;
+};
+
+/// Everything a pipeline run reports.
+struct PipelineResult {
+  /// Blocking quality (against the supplied truth).
+  eval::BlockingQuality blocking_quality;
+  /// Candidate pairs entering the scheduling phase.
+  uint64_t candidates = 0;
+  /// Comparisons executed by the matching phase.
+  uint64_t comparisons = 0;
+  /// Pairs declared matching.
+  std::vector<model::IdPair> matches;
+  /// Final clusters (singletons included).
+  matching::Clusters clusters;
+  /// Progressive trajectory of true-match discovery.
+  eval::ProgressiveCurve curve{0};
+  /// Per-phase wall-clock seconds.
+  double blocking_seconds = 0.0;
+  double scheduling_seconds = 0.0;
+  double matching_seconds = 0.0;
+};
+
+/// Runs the pipeline on a collection. `truth` drives the quality metrics
+/// and the progressive curve; pass an empty GroundTruth when unknown (the
+/// pipeline itself never peeks at it for decisions).
+PipelineResult RunPipeline(const model::EntityCollection& collection,
+                           const model::GroundTruth& truth,
+                           const PipelineConfig& config);
+
+}  // namespace weber::core
+
+#endif  // WEBER_CORE_PIPELINE_H_

@@ -1,0 +1,327 @@
+#include "datagen/corpus_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace weber::datagen {
+
+ZipfTable::ZipfTable(size_t n, double skew) {
+  cdf_.resize(std::max<size_t>(n, 1));
+  double acc = 0.0;
+  for (size_t i = 0; i < cdf_.size(); ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = acc;
+  }
+  for (double& value : cdf_) value /= acc;
+}
+
+size_t ZipfTable::Sample(util::Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+CorpusGenerator::CorpusGenerator(CorpusConfig config)
+    : config_(std::move(config)),
+      zipf_(config_.vocabulary_size, config_.zipf_skew) {
+  // A private vocabulary stream keeps token shapes independent of how many
+  // entities are generated later.
+  util::Rng vocab_rng(config_.seed ^ 0x0CABF00DULL);
+  vocabulary_.reserve(config_.vocabulary_size);
+  for (size_t i = 0; i < config_.vocabulary_size; ++i) {
+    vocabulary_.push_back(vocab_rng.NextToken(config_.token_length));
+  }
+}
+
+std::string CorpusGenerator::MakeValue(util::Rng& rng) const {
+  std::string value;
+  for (size_t t = 0; t < config_.tokens_per_value; ++t) {
+    if (t > 0) value.push_back(' ');
+    value.append(vocabulary_[zipf_.Sample(rng)]);
+  }
+  return value;
+}
+
+model::EntityDescription CorpusGenerator::MakeBase(size_t index,
+                                                   util::Rng& rng) const {
+  model::EntityDescription base("", config_.type_name);
+  for (size_t a = 0; a < config_.attributes_per_entity; ++a) {
+    base.AddPair("attr" + std::to_string(a), MakeValue(rng));
+  }
+  // URI embeds the first value's tokens as the infix (like
+  // .../resource/Claude_Shannon/0), so URI-based blocking has signal.
+  std::string infix;
+  if (!base.pairs().empty()) {
+    for (const std::string& token :
+         text::TokenizeWords(base.pairs().front().value)) {
+      if (!infix.empty()) infix.push_back('_');
+      infix.append(token);
+    }
+  }
+  base.set_uri(config_.uri_prefix + "/resource/" + infix + "_" +
+               std::to_string(index) + "/0");
+  return base;
+}
+
+const NoiseConfig& CorpusGenerator::PickNoise(util::Rng& rng) const {
+  if (rng.NextBool(config_.somehow_similar_fraction)) {
+    return config_.somehow_similar_noise;
+  }
+  return config_.highly_similar_noise;
+}
+
+namespace {
+
+// Replaces the trailing "/<k>" description index of a URI.
+std::string WithDescriptionIndex(const std::string& base_uri, size_t k) {
+  size_t slash = base_uri.find_last_of('/');
+  return base_uri.substr(0, slash + 1) + std::to_string(k);
+}
+
+}  // namespace
+
+Corpus CorpusGenerator::GenerateDirty() const {
+  util::Rng rng(config_.seed);
+  std::vector<model::EntityDescription> descriptions;
+  std::vector<uint32_t> entity_of;
+
+  // Base descriptions.
+  std::vector<model::EntityDescription> bases;
+  bases.reserve(config_.num_entities);
+  for (size_t i = 0; i < config_.num_entities; ++i) {
+    bases.push_back(MakeBase(i, rng));
+  }
+
+  size_t num_duplicated = static_cast<size_t>(
+      std::llround(config_.duplicate_fraction *
+                   static_cast<double>(config_.num_entities)));
+  std::vector<size_t> duplicated =
+      rng.SampleWithoutReplacement(config_.num_entities, num_duplicated);
+
+  for (size_t i = 0; i < config_.num_entities; ++i) {
+    descriptions.push_back(bases[i]);
+    entity_of.push_back(static_cast<uint32_t>(i));
+  }
+  for (size_t i : duplicated) {
+    size_t extras =
+        1 + rng.NextBounded(std::max<size_t>(config_.max_extra_descriptions,
+                                             1));
+    for (size_t k = 1; k <= extras; ++k) {
+      descriptions.push_back(
+          CorruptDescription(bases[i], WithDescriptionIndex(bases[i].uri(), k),
+                             PickNoise(rng), rng));
+      entity_of.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  // Shuffle so ids carry no information about duplicate structure.
+  std::vector<size_t> order(descriptions.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng.Shuffle(order);
+
+  Corpus corpus;
+  std::unordered_map<uint32_t, model::EntityId> first_seen;
+  for (size_t position = 0; position < order.size(); ++position) {
+    size_t original = order[position];
+    model::EntityId id = corpus.collection.Add(descriptions[original]);
+    uint32_t entity = entity_of[original];
+    auto [it, inserted] = first_seen.emplace(entity, id);
+    if (!inserted) corpus.truth.AddMatch(it->second, id);
+  }
+  return corpus;
+}
+
+Corpus CorpusGenerator::GenerateCleanClean() const {
+  util::Rng rng(config_.seed);
+  std::vector<model::EntityDescription> source1;
+  source1.reserve(config_.num_entities);
+  for (size_t i = 0; i < config_.num_entities; ++i) {
+    source1.push_back(MakeBase(i, rng));
+  }
+
+  // Global schema map of source 2: some attributes are renamed wholesale.
+  std::unordered_map<std::string, std::string> schema_map;
+  for (size_t a = 0; a < config_.attributes_per_entity; ++a) {
+    std::string name = "attr" + std::to_string(a);
+    schema_map[name] = rng.NextBool(config_.schema_divergence)
+                           ? name + "_kb2"
+                           : name;
+  }
+
+  size_t overlap = static_cast<size_t>(
+      std::llround(config_.duplicate_fraction *
+                   static_cast<double>(config_.num_entities)));
+  std::vector<size_t> overlapping =
+      rng.SampleWithoutReplacement(config_.num_entities, overlap);
+
+  std::vector<model::EntityDescription> source2;
+  std::vector<int64_t> source2_entity;  // Entity index or -1 for fresh.
+  for (size_t i : overlapping) {
+    model::EntityDescription dup = CorruptDescription(
+        source1[i], WithDescriptionIndex(source1[i].uri(), 1),
+        PickNoise(rng), rng);
+    // Apply the global schema map on top of per-pair renames.
+    model::EntityDescription remapped(dup.uri(), dup.type());
+    for (const model::AttributeValue& pair : dup.pairs()) {
+      auto it = schema_map.find(pair.attribute);
+      remapped.AddPair(it != schema_map.end() ? it->second : pair.attribute,
+                       pair.value);
+    }
+    source2.push_back(std::move(remapped));
+    source2_entity.push_back(static_cast<int64_t>(i));
+  }
+  // Fresh source-2-only entities to keep |D2| == |D1|.
+  for (size_t i = config_.num_entities;
+       source2.size() < config_.num_entities; ++i) {
+    model::EntityDescription fresh = MakeBase(i, rng);
+    model::EntityDescription remapped(fresh.uri(), fresh.type());
+    for (const model::AttributeValue& pair : fresh.pairs()) {
+      auto it = schema_map.find(pair.attribute);
+      remapped.AddPair(it != schema_map.end() ? it->second : pair.attribute,
+                       pair.value);
+    }
+    source2.push_back(std::move(remapped));
+    source2_entity.push_back(-1);
+  }
+  (void)source2_entity;
+
+  Corpus corpus;
+  corpus.collection =
+      model::EntityCollection::CleanClean(std::move(source1), source2);
+  // Truth: source-1 id overlapping[j] matches source-2 id split+j (the
+  // j-th description appended to source 2).
+  for (size_t j = 0; j < overlapping.size(); ++j) {
+    corpus.truth.AddMatch(
+        static_cast<model::EntityId>(overlapping[j]),
+        static_cast<model::EntityId>(config_.num_entities + j));
+  }
+  return corpus;
+}
+
+RelationalCorpus RelationalCorpusGenerator::Generate() const {
+  util::Rng rng(config_.seed);
+
+  // ---- Tail type (referenced entities), dirty with duplicates. ----
+  CorpusGenerator tail_gen(config_.tail);
+  std::vector<model::EntityDescription> tail_descriptions;
+  std::vector<uint32_t> tail_entity_of;
+  std::vector<std::vector<size_t>> tail_descs_of_entity(
+      config_.tail.num_entities);
+  {
+    util::Rng tail_rng(config_.tail.seed);
+    std::vector<model::EntityDescription> bases;
+    for (size_t i = 0; i < config_.tail.num_entities; ++i) {
+      bases.push_back(tail_gen.MakeBase(i, tail_rng));
+    }
+    size_t num_duplicated = static_cast<size_t>(
+        std::llround(config_.tail.duplicate_fraction *
+                     static_cast<double>(config_.tail.num_entities)));
+    std::vector<size_t> duplicated = tail_rng.SampleWithoutReplacement(
+        config_.tail.num_entities, num_duplicated);
+    for (size_t i = 0; i < bases.size(); ++i) {
+      tail_descs_of_entity[i].push_back(tail_descriptions.size());
+      tail_descriptions.push_back(bases[i]);
+      tail_entity_of.push_back(static_cast<uint32_t>(i));
+    }
+    for (size_t i : duplicated) {
+      size_t extras = 1 + tail_rng.NextBounded(std::max<size_t>(
+                              config_.tail.max_extra_descriptions, 1));
+      for (size_t k = 1; k <= extras; ++k) {
+        tail_descs_of_entity[i].push_back(tail_descriptions.size());
+        tail_descriptions.push_back(CorruptDescription(
+            bases[i], WithDescriptionIndex(bases[i].uri(), k),
+            tail_gen.PickNoise(tail_rng), tail_rng));
+        tail_entity_of.push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+
+  // ---- Head type: ambiguous names + relations to tails. ----
+  CorpusGenerator head_gen(config_.head);
+  size_t pool_size = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(
+             config_.name_pool_fraction *
+             static_cast<double>(config_.head.num_entities))));
+  std::vector<std::string> name_pool;
+  std::vector<std::string> locality_pool;
+  for (size_t p = 0; p < pool_size; ++p) {
+    name_pool.push_back(head_gen.MakeValue(rng));
+    locality_pool.push_back(head_gen.MakeValue(rng));
+  }
+
+  std::vector<model::EntityDescription> head_descriptions;
+  std::vector<uint32_t> head_entity_of;
+  std::vector<size_t> head_tail_of;  // Tail entity referenced by head i.
+  std::vector<model::EntityDescription> head_bases;
+  for (size_t i = 0; i < config_.head.num_entities; ++i) {
+    model::EntityDescription base("", config_.head.type_name);
+    std::string name = name_pool[rng.NextBounded(name_pool.size())];
+    base.AddPair("name", name);
+    base.AddPair("locality",
+                 locality_pool[rng.NextBounded(locality_pool.size())]);
+    size_t tail_entity = rng.NextBounded(config_.tail.num_entities);
+    head_tail_of.push_back(tail_entity);
+    size_t tail_desc = tail_descs_of_entity[tail_entity].front();
+    base.AddRelation(config_.relation_predicate,
+                     tail_descriptions[tail_desc].uri());
+    base.set_uri(config_.head.uri_prefix + "/head/" + std::to_string(i) +
+                 "/0");
+    head_bases.push_back(base);
+  }
+  size_t num_head_dup = static_cast<size_t>(
+      std::llround(config_.head.duplicate_fraction *
+                   static_cast<double>(config_.head.num_entities)));
+  std::vector<size_t> head_duplicated =
+      rng.SampleWithoutReplacement(config_.head.num_entities, num_head_dup);
+
+  for (size_t i = 0; i < head_bases.size(); ++i) {
+    head_descriptions.push_back(head_bases[i]);
+    head_entity_of.push_back(static_cast<uint32_t>(i));
+  }
+  for (size_t i : head_duplicated) {
+    model::EntityDescription dup = CorruptDescription(
+        head_bases[i], WithDescriptionIndex(head_bases[i].uri(), 1),
+        head_gen.PickNoise(rng), rng);
+    // Rewire the relation to a *different* description of the same tail
+    // entity when one exists: the duplicate "lives" in another KB that
+    // names the same architect by another URI.
+    const std::vector<size_t>& choices =
+        tail_descs_of_entity[head_tail_of[i]];
+    if (choices.size() > 1) {
+      size_t alt = choices[1 + rng.NextBounded(choices.size() - 1)];
+      model::EntityDescription rewired(dup.uri(), dup.type());
+      for (const model::AttributeValue& pair : dup.pairs()) {
+        rewired.AddPair(pair.attribute, pair.value);
+      }
+      rewired.AddRelation(config_.relation_predicate,
+                          tail_descriptions[alt].uri());
+      dup = std::move(rewired);
+    }
+    head_descriptions.push_back(std::move(dup));
+    head_entity_of.push_back(static_cast<uint32_t>(i));
+  }
+
+  // ---- Assemble: tails first, then heads. ----
+  RelationalCorpus corpus;
+  corpus.tail_end = tail_descriptions.size();
+  std::unordered_map<uint32_t, model::EntityId> first_tail;
+  for (size_t d = 0; d < tail_descriptions.size(); ++d) {
+    model::EntityId id = corpus.collection.Add(tail_descriptions[d]);
+    auto [it, inserted] = first_tail.emplace(tail_entity_of[d], id);
+    if (!inserted) corpus.truth.AddMatch(it->second, id);
+  }
+  std::unordered_map<uint32_t, model::EntityId> first_head;
+  for (size_t d = 0; d < head_descriptions.size(); ++d) {
+    model::EntityId id = corpus.collection.Add(head_descriptions[d]);
+    auto [it, inserted] = first_head.emplace(head_entity_of[d], id);
+    if (!inserted) corpus.truth.AddMatch(it->second, id);
+  }
+  return corpus;
+}
+
+}  // namespace weber::datagen

@@ -1,0 +1,151 @@
+#ifndef WEBER_DATAGEN_CORPUS_GENERATOR_H_
+#define WEBER_DATAGEN_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/noise.h"
+#include "model/entity.h"
+#include "model/ground_truth.h"
+#include "util/random.h"
+
+namespace weber::datagen {
+
+/// Configuration of one synthetic Web-of-data corpus. The generator
+/// models the distributional properties the surveyed algorithms are
+/// sensitive to: skewed token popularity (block-size skew), duplicate
+/// classes from highly to somehow similar, and schema heterogeneity via
+/// per-source attribute renaming.
+struct CorpusConfig {
+  /// Number of distinct real-world entities.
+  size_t num_entities = 1000;
+  /// Fraction of entities with at least one duplicate description.
+  double duplicate_fraction = 0.5;
+  /// Each duplicated entity gets 1..max_extra_descriptions extra
+  /// descriptions (uniform).
+  size_t max_extra_descriptions = 2;
+  /// Attribute-value pairs per base description.
+  size_t attributes_per_entity = 5;
+  /// Tokens per attribute value.
+  size_t tokens_per_value = 3;
+  /// Size of the shared token vocabulary.
+  size_t vocabulary_size = 3000;
+  /// Zipf skew of token popularity (0 = uniform; ~1 = Web-like).
+  double zipf_skew = 0.9;
+  /// Length of a vocabulary token in characters.
+  size_t token_length = 7;
+  /// Noise applied to "highly similar" duplicates.
+  NoiseConfig highly_similar_noise;
+  /// Noise applied to "somehow similar" duplicates.
+  NoiseConfig somehow_similar_noise = SomehowSimilarNoise();
+  /// Fraction of duplicates drawn from the somehow-similar class.
+  double somehow_similar_fraction = 0.0;
+  /// For clean-clean generation: per attribute name, the probability that
+  /// source 2 renames it globally (structural heterogeneity between KBs).
+  double schema_divergence = 0.0;
+  /// Entity type tag and URI prefix.
+  std::string type_name = "thing";
+  std::string uri_prefix = "http://kb";
+  uint64_t seed = 42;
+};
+
+/// A generated ER task: the collection plus its ground truth.
+struct Corpus {
+  model::EntityCollection collection;
+  model::GroundTruth truth;
+};
+
+/// Pre-tabulated Zipf sampler (O(log n) per draw).
+class ZipfTable {
+ public:
+  ZipfTable(size_t n, double skew);
+  size_t Sample(util::Rng& rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Generator for dirty, clean-clean and relational corpora.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(CorpusConfig config);
+
+  /// One dirty collection: base descriptions plus duplicate descriptions
+  /// of a subset of entities, shuffled; truth links all descriptions of
+  /// the same entity.
+  Corpus GenerateDirty() const;
+
+  /// Two clean sources: source 1 holds one description per entity;
+  /// source 2 holds a corrupted description for `duplicate_fraction` of
+  /// the entities (plus unrelated fresh entities to keep the sources the
+  /// same size). Schema divergence renames a fraction of source-2
+  /// attributes globally.
+  Corpus GenerateCleanClean() const;
+
+  const CorpusConfig& config() const { return config_; }
+
+ private:
+  friend class RelationalCorpusGenerator;
+
+  /// Builds the base description of entity `index`.
+  model::EntityDescription MakeBase(size_t index, util::Rng& rng) const;
+
+  /// Samples one attribute value (tokens_per_value tokens).
+  std::string MakeValue(util::Rng& rng) const;
+
+  /// Picks the noise configuration for one duplicate.
+  const NoiseConfig& PickNoise(util::Rng& rng) const;
+
+  CorpusConfig config_;
+  std::vector<std::string> vocabulary_;
+  ZipfTable zipf_;
+};
+
+/// Configuration of a two-type relational corpus (e.g., buildings that
+/// reference architects), the workload for relationship-based collective
+/// ER and influence-aware progressive scheduling.
+struct RelationalConfig {
+  /// The referenced type ("tail", e.g., architects).
+  CorpusConfig tail;
+  /// The referencing type ("head", e.g., buildings). num_entities,
+  /// duplicate_fraction etc. apply to the head type.
+  CorpusConfig head;
+  /// Predicate used for head -> tail relations.
+  std::string relation_predicate = "relatedTo";
+  /// Head names are drawn from a pool of size
+  /// max(1, name_pool_fraction * head.num_entities): smaller pools mean
+  /// more distinct head entities sharing near-identical attribute values,
+  /// i.e., more pairs that only relations can disambiguate.
+  double name_pool_fraction = 0.15;
+  uint64_t seed = 99;
+};
+
+/// A relational corpus: one mixed collection (tail descriptions first,
+/// then head descriptions), its truth, and the id ranges of each type.
+struct RelationalCorpus {
+  model::EntityCollection collection;
+  model::GroundTruth truth;
+  /// Ids [0, tail_end) are tail descriptions; [tail_end, size) are head.
+  size_t tail_end = 0;
+};
+
+/// Generates the two-type corpus. Head duplicates reference a *different*
+/// description of the same tail entity than their base does (when one
+/// exists), so resolving tails first reveals head matches — the iteration
+/// trigger of relationship-based ER.
+class RelationalCorpusGenerator {
+ public:
+  explicit RelationalCorpusGenerator(RelationalConfig config)
+      : config_(std::move(config)) {}
+
+  RelationalCorpus Generate() const;
+
+ private:
+  RelationalConfig config_;
+};
+
+}  // namespace weber::datagen
+
+#endif  // WEBER_DATAGEN_CORPUS_GENERATOR_H_

@@ -1,0 +1,86 @@
+#include "datagen/noise.h"
+
+#include "text/tokenizer.h"
+
+namespace weber::datagen {
+
+NoiseConfig SomehowSimilarNoise() {
+  NoiseConfig noise;
+  noise.token_edit_prob = 0.35;
+  noise.token_drop_prob = 0.30;
+  noise.value_shuffle_prob = 0.3;
+  noise.attribute_drop_prob = 0.35;
+  noise.attribute_rename_prob = 0.7;
+  return noise;
+}
+
+std::string EditTokenOnce(const std::string& token, util::Rng& rng) {
+  if (token.empty()) return token;
+  std::string edited = token;
+  size_t pos = static_cast<size_t>(rng.NextBounded(edited.size()));
+  switch (rng.NextBounded(3)) {
+    case 0:  // Substitution.
+      edited[pos] = static_cast<char>('a' + rng.NextBounded(26));
+      break;
+    case 1:  // Insertion.
+      edited.insert(edited.begin() + pos,
+                    static_cast<char>('a' + rng.NextBounded(26)));
+      break;
+    default:  // Deletion (keep at least one character).
+      if (edited.size() > 1) edited.erase(edited.begin() + pos);
+      break;
+  }
+  return edited;
+}
+
+std::string CorruptValue(const std::string& value, const NoiseConfig& noise,
+                         util::Rng& rng) {
+  std::vector<std::string> tokens = text::TokenizeWords(value);
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size());
+  for (std::string& token : tokens) {
+    if (rng.NextBool(noise.token_drop_prob) && tokens.size() > 1) continue;
+    if (rng.NextBool(noise.token_edit_prob)) {
+      token = EditTokenOnce(token, rng);
+    }
+    kept.push_back(std::move(token));
+  }
+  if (kept.empty() && !tokens.empty()) kept.push_back(tokens[0]);
+  if (rng.NextBool(noise.value_shuffle_prob)) rng.Shuffle(kept);
+  std::string corrupted;
+  for (size_t i = 0; i < kept.size(); ++i) {
+    if (i > 0) corrupted.push_back(' ');
+    corrupted.append(kept[i]);
+  }
+  return corrupted;
+}
+
+model::EntityDescription CorruptDescription(
+    const model::EntityDescription& base, std::string new_uri,
+    const NoiseConfig& noise, util::Rng& rng) {
+  model::EntityDescription duplicate(std::move(new_uri), base.type());
+  bool kept_any = false;
+  for (const model::AttributeValue& pair : base.pairs()) {
+    if (rng.NextBool(noise.attribute_drop_prob) && base.pairs().size() > 1) {
+      continue;
+    }
+    std::string attribute = pair.attribute;
+    if (rng.NextBool(noise.attribute_rename_prob)) {
+      attribute += noise.rename_suffix;
+    }
+    duplicate.AddPair(std::move(attribute),
+                      CorruptValue(pair.value, noise, rng));
+    kept_any = true;
+  }
+  if (!kept_any && !base.pairs().empty()) {
+    // Never emit an empty duplicate: keep the first pair, corrupted.
+    const model::AttributeValue& pair = base.pairs().front();
+    duplicate.AddPair(pair.attribute, CorruptValue(pair.value, noise, rng));
+  }
+  for (const model::Relation& relation : base.relations()) {
+    duplicate.AddRelation(relation.predicate, relation.target_uri);
+  }
+  return duplicate;
+}
+
+}  // namespace weber::datagen

@@ -1,0 +1,54 @@
+#ifndef WEBER_DATAGEN_NOISE_H_
+#define WEBER_DATAGEN_NOISE_H_
+
+#include <string>
+#include <vector>
+
+#include "model/entity.h"
+#include "util/random.h"
+
+namespace weber::datagen {
+
+/// Corruption knobs applied when deriving a duplicate description from a
+/// base description. Light settings produce the "highly similar"
+/// duplicates typical of the LOD-cloud centre; heavy settings (plus
+/// attribute renames) produce the "somehow similar" duplicates of the
+/// periphery that share few tokens and little structure.
+struct NoiseConfig {
+  /// Per token: probability of one random character edit
+  /// (substitution/insertion/deletion).
+  double token_edit_prob = 0.1;
+  /// Per token: probability of dropping the token entirely.
+  double token_drop_prob = 0.05;
+  /// Per value: probability of shuffling its token order.
+  double value_shuffle_prob = 0.1;
+  /// Per attribute-value pair: probability of dropping the pair.
+  double attribute_drop_prob = 0.1;
+  /// Per attribute-value pair: probability of renaming the attribute to a
+  /// source-specific alias (simulating proprietary vocabularies).
+  double attribute_rename_prob = 0.0;
+  /// Alias suffix used by attribute renames.
+  std::string rename_suffix = "_alt";
+};
+
+/// Returns a heavy-noise configuration modelling "somehow similar"
+/// descriptions: aggressive token edits/drops and systematic attribute
+/// renames.
+NoiseConfig SomehowSimilarNoise();
+
+/// Applies one random character edit to the token.
+std::string EditTokenOnce(const std::string& token, util::Rng& rng);
+
+/// Corrupts a single attribute value under the configuration.
+std::string CorruptValue(const std::string& value, const NoiseConfig& noise,
+                         util::Rng& rng);
+
+/// Derives a corrupted duplicate of `base` with the given URI. Relations
+/// are copied verbatim (relation rewiring is corpus-level logic).
+model::EntityDescription CorruptDescription(
+    const model::EntityDescription& base, std::string new_uri,
+    const NoiseConfig& noise, util::Rng& rng);
+
+}  // namespace weber::datagen
+
+#endif  // WEBER_DATAGEN_NOISE_H_

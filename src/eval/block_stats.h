@@ -1,0 +1,41 @@
+#ifndef WEBER_EVAL_BLOCK_STATS_H_
+#define WEBER_EVAL_BLOCK_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "blocking/block.h"
+
+namespace weber::eval {
+
+/// Structural statistics of a blocking collection, independent of ground
+/// truth. The block-size skew is the load-balance problem parallel
+/// meta-blocking fights; the redundancy factor is what comparison
+/// propagation removes.
+struct BlockStats {
+  size_t num_blocks = 0;
+  size_t min_size = 0;
+  size_t max_size = 0;
+  double mean_size = 0.0;
+  double median_size = 0.0;
+  /// Sum of block sizes (block assignments).
+  uint64_t total_assignments = 0;
+  /// Comparisons counting redundancy, and distinct.
+  uint64_t comparisons_with_redundancy = 0;
+  uint64_t distinct_comparisons = 0;
+  /// comparisons_with_redundancy / distinct_comparisons (>= 1).
+  double redundancy_factor = 0.0;
+  /// Share of all comparisons contributed by the largest block.
+  double largest_block_share = 0.0;
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Computes the statistics (one pass over blocks plus one distinct-pair
+/// enumeration).
+BlockStats ComputeBlockStats(const blocking::BlockCollection& blocks);
+
+}  // namespace weber::eval
+
+#endif  // WEBER_EVAL_BLOCK_STATS_H_

@@ -1,0 +1,53 @@
+#ifndef WEBER_EVAL_BLOCKING_METRICS_H_
+#define WEBER_EVAL_BLOCKING_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blocking/block.h"
+#include "model/entity.h"
+#include "model/ground_truth.h"
+
+namespace weber::eval {
+
+/// Quality of a blocking collection (or any candidate-pair set) against
+/// ground truth, in the standard PC/PQ/RR vocabulary of the blocking
+/// literature (Christen, TKDE'12).
+struct BlockingQuality {
+  /// Distinct candidate pairs suggested.
+  uint64_t comparisons = 0;
+  /// Comparisons counting each block separately (redundancy included);
+  /// equals `comparisons` for pair sets.
+  uint64_t comparisons_with_redundancy = 0;
+  /// Ground-truth matches covered by at least one candidate pair.
+  uint64_t matches_covered = 0;
+  /// Total ground-truth matches.
+  uint64_t total_matches = 0;
+  /// The quadratic comparison count of the unblocked task.
+  uint64_t total_possible_comparisons = 0;
+
+  /// PC (pair completeness, a.k.a. blocking recall):
+  /// matches_covered / total_matches.
+  double PairCompleteness() const;
+  /// PQ (pair quality, a.k.a. blocking precision):
+  /// matches_covered / comparisons.
+  double PairQuality() const;
+  /// RR (reduction ratio): 1 - comparisons / total_possible_comparisons.
+  double ReductionRatio() const;
+  /// Harmonic mean of PC and RR (the usual scalar summary).
+  double FMeasure() const;
+};
+
+/// Evaluates a blocking collection: distinct pairs, redundancy, coverage.
+BlockingQuality EvaluateBlocks(const blocking::BlockCollection& blocks,
+                               const model::GroundTruth& truth);
+
+/// Evaluates an explicit candidate-pair set (e.g., the output of
+/// meta-blocking or a similarity join) against the truth.
+BlockingQuality EvaluatePairs(const std::vector<model::IdPair>& pairs,
+                              const model::GroundTruth& truth,
+                              const model::EntityCollection& collection);
+
+}  // namespace weber::eval
+
+#endif  // WEBER_EVAL_BLOCKING_METRICS_H_

@@ -1,0 +1,51 @@
+#ifndef WEBER_EVAL_MATCH_METRICS_H_
+#define WEBER_EVAL_MATCH_METRICS_H_
+
+#include <vector>
+
+#include "matching/clustering.h"
+#include "model/ground_truth.h"
+
+namespace weber::eval {
+
+/// Pairwise precision/recall/F1 of an ER result against ground truth.
+struct MatchQuality {
+  uint64_t true_positives = 0;
+  uint64_t reported = 0;       // Distinct pairs reported as matches.
+  uint64_t total_matches = 0;  // Ground-truth pairs.
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+/// Evaluates a set of reported match pairs.
+MatchQuality EvaluateMatchPairs(const std::vector<model::IdPair>& reported,
+                                const model::GroundTruth& truth);
+
+/// Evaluates clusters by their intra-cluster pairs (pairwise F-measure).
+MatchQuality EvaluateClusters(const matching::Clusters& clusters,
+                              const model::GroundTruth& truth);
+
+/// B-cubed clustering quality (Bagga & Baldwin): per element, precision
+/// is the fraction of its predicted cluster that truly co-refers with it,
+/// recall the fraction of its true cluster it was placed with; both
+/// averaged over all elements. Less chaining-sensitive than pairwise
+/// F-measure, and the second standard metric of the ER literature.
+struct BCubedQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+
+  double F1() const;
+};
+
+/// Evaluates predicted clusters against the truth's clusters over
+/// `num_entities` elements (elements absent from `clusters` are treated
+/// as singletons; truth singletons likewise).
+BCubedQuality EvaluateBCubed(const matching::Clusters& clusters,
+                             const model::GroundTruth& truth,
+                             size_t num_entities);
+
+}  // namespace weber::eval
+
+#endif  // WEBER_EVAL_MATCH_METRICS_H_

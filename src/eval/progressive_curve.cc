@@ -1,0 +1,59 @@
+#include "eval/progressive_curve.h"
+
+#include <algorithm>
+
+namespace weber::eval {
+
+void ProgressiveCurve::Record(bool found_match) {
+  found_.push_back(found_match);
+}
+
+uint64_t ProgressiveCurve::MatchesAt(uint64_t budget) const {
+  uint64_t limit = std::min<uint64_t>(budget, found_.size());
+  uint64_t matches = 0;
+  for (uint64_t i = 0; i < limit; ++i) {
+    if (found_[i]) ++matches;
+  }
+  return matches;
+}
+
+double ProgressiveCurve::RecallAt(uint64_t budget) const {
+  if (total_matches_ == 0) return 1.0;
+  return static_cast<double>(MatchesAt(budget)) /
+         static_cast<double>(total_matches_);
+}
+
+double ProgressiveCurve::AreaUnderCurve(uint64_t budget) const {
+  uint64_t limit = budget == 0 ? found_.size()
+                               : std::min<uint64_t>(budget, found_.size());
+  if (limit == 0 || total_matches_ == 0) return 0.0;
+  uint64_t matches = 0;
+  uint64_t area = 0;  // Sum over steps of matches-so-far.
+  for (uint64_t i = 0; i < limit; ++i) {
+    if (found_[i]) ++matches;
+    area += matches;
+  }
+  // Normalise by the ideal curve: all matches found in the first
+  // total_matches_ comparisons, then flat.
+  uint64_t ideal;
+  if (limit <= total_matches_) {
+    ideal = limit * (limit + 1) / 2;
+  } else {
+    ideal = total_matches_ * (total_matches_ + 1) / 2 +
+            (limit - total_matches_) * total_matches_;
+  }
+  if (ideal == 0) return 0.0;
+  return static_cast<double>(area) / static_cast<double>(ideal);
+}
+
+std::vector<uint64_t> ProgressiveCurve::CumulativeMatches() const {
+  std::vector<uint64_t> cumulative(found_.size());
+  uint64_t matches = 0;
+  for (size_t i = 0; i < found_.size(); ++i) {
+    if (found_[i]) ++matches;
+    cumulative[i] = matches;
+  }
+  return cumulative;
+}
+
+}  // namespace weber::eval

@@ -1,0 +1,49 @@
+#ifndef WEBER_EVAL_PROGRESSIVE_CURVE_H_
+#define WEBER_EVAL_PROGRESSIVE_CURVE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace weber::eval {
+
+/// Records the trajectory of a progressive ER run: after each executed
+/// comparison, whether it produced a (true) match. From the trajectory we
+/// derive recall-at-budget and the normalised area under the progressive
+/// recall curve — the standard figures of merit for pay-as-you-go ER
+/// (Whang et al., TKDE'13; Papenbrock et al., TKDE'15).
+class ProgressiveCurve {
+ public:
+  /// `total_matches` is the ground-truth match count the recall is
+  /// normalised by.
+  explicit ProgressiveCurve(uint64_t total_matches)
+      : total_matches_(total_matches) {}
+
+  /// Records one executed comparison and whether it found a new true
+  /// match.
+  void Record(bool found_match);
+
+  /// Number of comparisons recorded so far.
+  uint64_t NumComparisons() const { return found_.size(); }
+
+  /// Matches found within the first `budget` comparisons.
+  uint64_t MatchesAt(uint64_t budget) const;
+
+  /// Recall within the first `budget` comparisons.
+  double RecallAt(uint64_t budget) const;
+
+  /// Normalised area under the recall-vs-comparisons curve over the first
+  /// `budget` comparisons (1.0 = every match found immediately). When
+  /// budget is 0, uses all recorded comparisons.
+  double AreaUnderCurve(uint64_t budget = 0) const;
+
+  /// The cumulative match counts after each comparison (prefix sums).
+  std::vector<uint64_t> CumulativeMatches() const;
+
+ private:
+  uint64_t total_matches_;
+  std::vector<bool> found_;
+};
+
+}  // namespace weber::eval
+
+#endif  // WEBER_EVAL_PROGRESSIVE_CURVE_H_

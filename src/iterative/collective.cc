@@ -1,0 +1,190 @@
+#include "iterative/collective.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/union_find.h"
+
+namespace weber::iterative {
+
+namespace {
+
+struct QueueEntry {
+  double priority;
+  model::EntityId a;
+  model::EntityId b;
+
+  friend bool operator<(const QueueEntry& x, const QueueEntry& y) {
+    // std::priority_queue is a max-heap; break priority ties by pair id
+    // for determinism.
+    if (x.priority != y.priority) return x.priority < y.priority;
+    if (x.a != y.a) return x.a > y.a;
+    return x.b > y.b;
+  }
+};
+
+}  // namespace
+
+CollectiveResult CollectiveResolve(
+    const model::EntityCollection& collection,
+    const std::vector<model::IdPair>& candidates,
+    const matching::Matcher& attribute_matcher,
+    const CollectiveOptions& options) {
+  CollectiveResult result;
+  size_t n = collection.size();
+  if (n == 0) return result;
+
+  // ---- Reference graph (resolved once; URIs outside the collection are
+  // ignored). ----
+  std::vector<std::vector<model::EntityId>> out_refs(n);
+  std::vector<std::vector<model::EntityId>> in_refs(n);
+  for (model::EntityId id = 0; id < n; ++id) {
+    for (const model::Relation& relation : collection[id].relations()) {
+      auto target = collection.FindByUri(relation.target_uri);
+      if (!target.has_value() || *target == id) continue;
+      out_refs[id].push_back(*target);
+      in_refs[*target].push_back(id);
+    }
+  }
+
+  util::UnionFind forest(n);
+
+  // Attribute similarities are immutable: cache them per pair.
+  std::unordered_map<model::IdPair, double, model::IdPairHash> attr_cache;
+  auto attribute_sim = [&](model::EntityId a, model::EntityId b) {
+    model::IdPair pair = model::IdPair::Of(a, b);
+    auto it = attr_cache.find(pair);
+    if (it != attr_cache.end()) return it->second;
+    double sim = attribute_matcher.Similarity(collection[a], collection[b]);
+    attr_cache.emplace(pair, sim);
+    return sim;
+  };
+
+  // Relational similarity: Jaccard of the *cluster ids* of the two
+  // neighbourhoods under the current resolution state.
+  auto neighbor_roots = [&](model::EntityId x) {
+    std::unordered_set<uint32_t> roots;
+    for (model::EntityId y : out_refs[x]) roots.insert(forest.Find(y));
+    for (model::EntityId y : in_refs[x]) roots.insert(forest.Find(y));
+    return roots;
+  };
+  auto relational_sim = [&](model::EntityId a, model::EntityId b) {
+    std::unordered_set<uint32_t> na = neighbor_roots(a);
+    std::unordered_set<uint32_t> nb = neighbor_roots(b);
+    if (na.empty() || nb.empty()) return 0.0;
+    size_t overlap = 0;
+    const auto& smaller = na.size() <= nb.size() ? na : nb;
+    const auto& larger = na.size() <= nb.size() ? nb : na;
+    for (uint32_t root : smaller) {
+      if (larger.contains(root)) ++overlap;
+    }
+    return static_cast<double>(overlap) /
+           static_cast<double>(na.size() + nb.size() - overlap);
+  };
+  auto combined = [&](model::EntityId a, model::EntityId b) {
+    return std::min(1.0, attribute_sim(a, b) +
+                             options.alpha * relational_sim(a, b));
+  };
+
+  // ---- Initialisation phase: enqueue the blocking candidates. ----
+  std::priority_queue<QueueEntry> queue;
+  for (const model::IdPair& pair : candidates) {
+    if (pair.low == pair.high || pair.high >= n) continue;
+    if (!collection.Comparable(pair.low, pair.high)) continue;
+    double score = combined(pair.low, pair.high);
+    ++result.comparisons;
+    if (score >= options.enqueue_floor) {
+      queue.push({score, pair.low, pair.high});
+    }
+  }
+
+  // Members of each cluster (for influence propagation).
+  std::unordered_map<uint32_t, std::vector<model::EntityId>> members;
+  for (model::EntityId id = 0; id < n; ++id) {
+    members[id] = {id};
+  }
+
+  // ---- Iterative phase. ----
+  model::IdPairSet matched;
+  while (!queue.empty()) {
+    if (options.max_comparisons != 0 &&
+        result.comparisons >= options.max_comparisons) {
+      break;
+    }
+    QueueEntry entry = queue.top();
+    queue.pop();
+    if (forest.Connected(entry.a, entry.b)) continue;
+    if (collection.setting() == model::ErSetting::kCleanClean &&
+        (forest.SizeOf(entry.a) > 1 && forest.SizeOf(entry.b) > 1)) {
+      continue;  // Both already linked: clean sources forbid bigger merges.
+    }
+    // Re-evaluate under the current resolution state (the queued priority
+    // may be stale in either direction).
+    double attr = attribute_sim(entry.a, entry.b);
+    double score = std::min(
+        1.0, attr + options.alpha * relational_sim(entry.a, entry.b));
+    ++result.comparisons;
+    if (score < options.match_threshold) {
+      continue;  // May be re-enqueued later with stronger evidence.
+    }
+
+    // ---- Match: merge clusters. ----
+    model::IdPair pair = model::IdPair::Of(entry.a, entry.b);
+    matched.insert(pair);
+    result.matches.push_back(pair);
+    if (attr < options.match_threshold) {
+      // Attribute evidence alone would not have matched this pair.
+      ++result.relational_matches;
+    }
+    uint32_t root_a = forest.Find(entry.a);
+    uint32_t root_b = forest.Find(entry.b);
+    forest.Union(entry.a, entry.b);
+    uint32_t survivor = forest.Find(entry.a);
+    uint32_t absorbed = survivor == root_a ? root_b : root_a;
+    std::vector<model::EntityId>& surviving_members = members[survivor];
+    std::vector<model::EntityId>& absorbed_members = members[absorbed];
+    surviving_members.insert(surviving_members.end(),
+                             absorbed_members.begin(),
+                             absorbed_members.end());
+    if (absorbed != survivor) members.erase(absorbed);
+
+    // ---- Update phase: re-enqueue influenced pairs. The neighbours of
+    // the merged clusters now share a resolved neighbour, so pairs among
+    // them gained relational evidence. ----
+    std::vector<model::EntityId> influenced;
+    for (model::EntityId member : members[survivor]) {
+      for (model::EntityId x : in_refs[member]) influenced.push_back(x);
+      for (model::EntityId x : out_refs[member]) influenced.push_back(x);
+      if (influenced.size() > options.max_influence_fanout) break;
+    }
+    std::sort(influenced.begin(), influenced.end());
+    influenced.erase(std::unique(influenced.begin(), influenced.end()),
+                     influenced.end());
+    if (influenced.size() > options.max_influence_fanout) {
+      influenced.resize(options.max_influence_fanout);
+    }
+    for (size_t i = 0; i < influenced.size(); ++i) {
+      for (size_t j = i + 1; j < influenced.size(); ++j) {
+        model::EntityId x = influenced[i];
+        model::EntityId y = influenced[j];
+        if (!collection.Comparable(x, y)) continue;
+        if (forest.Connected(x, y)) continue;
+        if (collection[x].type() != collection[y].type()) continue;
+        if (matched.contains(model::IdPair::Of(x, y))) continue;
+        double s = combined(x, y);
+        ++result.comparisons;
+        if (s >= options.enqueue_floor) {
+          queue.push({s, x, y});
+          ++result.requeues;
+        }
+      }
+    }
+  }
+
+  result.clusters = forest.Groups(/*include_singletons=*/true);
+  return result;
+}
+
+}  // namespace weber::iterative

@@ -1,0 +1,67 @@
+#ifndef WEBER_ITERATIVE_COLLECTIVE_H_
+#define WEBER_ITERATIVE_COLLECTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matching/clustering.h"
+#include "matching/matcher.h"
+#include "model/entity.h"
+#include "model/ground_truth.h"
+
+namespace weber::iterative {
+
+/// Options of the relationship-based collective resolver.
+struct CollectiveOptions {
+  /// A pair matches when
+  /// min(1, attribute_sim + alpha * relational_sim) >= this. The
+  /// relational term is an additive boost: before any entity is resolved
+  /// every pair has relational_sim 0, so the first matches must clear the
+  /// threshold on attributes alone — exactly the bootstrap behaviour of
+  /// collective ER.
+  double match_threshold = 0.75;
+  /// Weight of the relational evidence.
+  double alpha = 0.4;
+  /// Pairs whose combined score is below this are not (re-)enqueued.
+  double enqueue_floor = 0.2;
+  /// Cap on the neighbour fan-out considered when propagating a match
+  /// (guards against hub explosions).
+  size_t max_influence_fanout = 64;
+  /// Hard cap on pair evaluations (0 = unlimited).
+  uint64_t max_comparisons = 0;
+};
+
+/// Result of a collective resolution run.
+struct CollectiveResult {
+  matching::Clusters clusters;
+  std::vector<model::IdPair> matches;
+  /// Pair evaluations performed.
+  uint64_t comparisons = 0;
+  /// Pairs (re-)enqueued by the update phase after a match.
+  uint64_t requeues = 0;
+  /// Matches whose attribute similarity alone was below the threshold —
+  /// i.e., matches that only relational evidence made possible.
+  uint64_t relational_matches = 0;
+};
+
+/// Relationship-based collective ER (in the spirit of Bhattacharya &
+/// Getoor, TKDD'07, and LINDA): candidate pairs wait in a priority queue
+/// ordered by combined attribute + relational similarity; whenever a pair
+/// is declared a match, related pairs — descriptions that reference, or
+/// are referenced by, the newly merged clusters — are re-enqueued with
+/// their (now higher) relational evidence. Iterates to fixpoint or until
+/// the comparison cap.
+///
+/// Relational similarity of (a, b) is the Jaccard overlap of the cluster
+/// ids of their graph neighbourhoods (out-references and in-references),
+/// so it grows as related entities get resolved: the iteration trigger of
+/// Section III's relationship-based family.
+CollectiveResult CollectiveResolve(
+    const model::EntityCollection& collection,
+    const std::vector<model::IdPair>& candidates,
+    const matching::Matcher& attribute_matcher,
+    const CollectiveOptions& options = {});
+
+}  // namespace weber::iterative
+
+#endif  // WEBER_ITERATIVE_COLLECTIVE_H_

@@ -1,0 +1,51 @@
+#ifndef WEBER_ITERATIVE_ITERATIVE_BLOCKING_H_
+#define WEBER_ITERATIVE_ITERATIVE_BLOCKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blocking/block.h"
+#include "matching/clustering.h"
+#include "matching/matcher.h"
+
+namespace weber::iterative {
+
+/// Result of iterative (or per-block baseline) blocking-based ER.
+struct IterativeBlockingResult {
+  /// Final entity clusters over the original description ids (singletons
+  /// included).
+  matching::Clusters clusters;
+  /// Merged description per cluster (parallel to clusters).
+  std::vector<model::EntityDescription> resolved;
+  /// Pairwise match evaluations performed.
+  uint64_t comparisons = 0;
+  /// Total block-processing passes (a block may be processed repeatedly).
+  uint64_t block_passes = 0;
+  /// Merge operations performed.
+  uint64_t merges = 0;
+};
+
+/// Iterative blocking (Whang et al., SIGMOD'09): blocks are processed one
+/// at a time; whenever two records in a block match, they are merged and
+/// the merge is propagated to *every other block* containing either
+/// record. Blocks affected by a merge are re-enqueued, so the result of ER
+/// in one block can expose new matches in another. The same pair of
+/// records is never compared twice at the same information state (a
+/// version-stamped comparison cache replaces the paper's hash of processed
+/// pairs). Terminates when no block changes.
+IterativeBlockingResult IterativeBlocking(
+    const blocking::BlockCollection& blocks,
+    const matching::ThresholdMatcher& matcher);
+
+/// Baseline: each block is resolved independently on the original
+/// descriptions (no merge propagation across blocks, a single pass).
+/// Matches found in different blocks are still combined by transitive
+/// closure at the end, but no block benefits from another block's merges,
+/// and redundant cross-block comparisons are paid in full.
+IterativeBlockingResult IndependentBlockER(
+    const blocking::BlockCollection& blocks,
+    const matching::ThresholdMatcher& matcher);
+
+}  // namespace weber::iterative
+
+#endif  // WEBER_ITERATIVE_ITERATIVE_BLOCKING_H_

@@ -1,0 +1,69 @@
+#ifndef WEBER_ITERATIVE_RSWOOSH_H_
+#define WEBER_ITERATIVE_RSWOOSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matching/clustering.h"
+#include "matching/matcher.h"
+#include "model/entity.h"
+
+namespace weber::iterative {
+
+/// Result of a merging-based resolution run.
+struct SwooshResult {
+  /// One merged description per resolved real-world entity (singletons
+  /// included, unmerged).
+  std::vector<model::EntityDescription> resolved;
+  /// For each resolved description, the source ids merged into it.
+  matching::Clusters clusters;
+  /// Pairwise match-function evaluations performed.
+  uint64_t comparisons = 0;
+  /// Number of merge operations.
+  uint64_t merges = 0;
+};
+
+/// R-Swoosh (Benjelloun et al., VLDB J.'09): merging-based iterative ER.
+///
+/// Maintains a resolved set I'; each input description is compared against
+/// I', and on a match the two descriptions are *merged* and the merge is
+/// put back into the input queue — so information accumulated by earlier
+/// matches (the union of attribute-value pairs) is available to later
+/// match decisions. This finds matches that a single pass over the
+/// original pairs misses whenever the match function needs the combined
+/// evidence of several partial descriptions.
+SwooshResult RSwoosh(const model::EntityCollection& collection,
+                     const matching::ThresholdMatcher& matcher);
+
+/// Baseline for the Swoosh experiments: one pass over all original pairs
+/// (no merging), matches fed into transitive closure. Same output type;
+/// `resolved` holds merged descriptions built after the fact.
+SwooshResult NaivePairwiseResolve(const model::EntityCollection& collection,
+                                  const matching::ThresholdMatcher& matcher);
+
+/// Options bounding G-Swoosh's exponential worst case.
+struct GSwooshOptions {
+  /// Hard cap on match-function evaluations (0 = unlimited).
+  uint64_t max_comparisons = 0;
+  /// Hard cap on distinct merged records ever materialised (0 =
+  /// unlimited). When hit, resolution continues without generating new
+  /// merges.
+  size_t max_records = 0;
+};
+
+/// G-Swoosh (Benjelloun et al., VLDB J.'09): the generic ER algorithm
+/// that is correct for *any* match/merge pair, including non-ICAR match
+/// functions like Jaccard, where R-Swoosh may miss matches because a
+/// merged record stops matching what its parts matched. Every merge
+/// produces a *new* record while the originals stay in play, so all
+/// match evidence is explored; the result keeps, per connected group,
+/// the maximal merged record. Exponential in the worst case — the caps
+/// in GSwooshOptions bound it — which is exactly why the literature
+/// prefers ICAR match functions and R-Swoosh when possible.
+SwooshResult GSwoosh(const model::EntityCollection& collection,
+                     const matching::ThresholdMatcher& matcher,
+                     const GSwooshOptions& options = {});
+
+}  // namespace weber::iterative
+
+#endif  // WEBER_ITERATIVE_RSWOOSH_H_

@@ -1,0 +1,191 @@
+#ifndef WEBER_MAPREDUCE_ENGINE_H_
+#define WEBER_MAPREDUCE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace weber::mapreduce {
+
+/// Timing and volume counters of one MapReduce job, mirroring what a
+/// Hadoop job tracker would report.
+struct JobStats {
+  double map_seconds = 0.0;
+  double shuffle_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  /// Intermediate (key, value) pairs emitted by all mappers.
+  uint64_t intermediate_pairs = 0;
+  /// Distinct intermediate keys after grouping.
+  uint64_t distinct_keys = 0;
+  /// Sum over map workers of per-thread CPU seconds divided by the
+  /// maximum single worker's CPU seconds: the speedup a perfectly
+  /// parallel execution of this partitioning would achieve. Measured via
+  /// thread CPU time so the metric is meaningful even when the host
+  /// timeshares the workers on fewer cores.
+  double map_balance_speedup = 1.0;
+  /// Same for the reduce phase (one worker per partition).
+  double reduce_balance_speedup = 1.0;
+
+  double TotalSeconds() const {
+    return map_seconds + shuffle_seconds + reduce_seconds;
+  }
+};
+
+/// Runs fn(i) for i in [0, n) on `workers` threads, splitting the range
+/// into contiguous chunks. fn must be safe to call concurrently for
+/// distinct i. When worker_cpu is non-null it receives one per-thread CPU
+/// time entry per worker (see JobStats::map_balance_speedup for why CPU
+/// time, not wall time).
+void ParallelFor(size_t n, size_t workers,
+                 const std::function<void(size_t)>& fn,
+                 std::vector<double>* worker_cpu = nullptr);
+
+/// In-process multi-threaded MapReduce engine.
+///
+/// This is the substrate standing in for the Hadoop clusters of Dedoop and
+/// parallel meta-blocking: the same programming model (map -> shuffle by
+/// key hash -> grouped reduce), with explicit per-phase barriers, hash
+/// partitioning of the intermediate key space, and per-phase timing. Keys
+/// must be hashable and equality-comparable.
+template <typename Input, typename K, typename V, typename Output>
+class MapReduceJob {
+ public:
+  /// Emit callback handed to mappers.
+  using Emit = std::function<void(K, V)>;
+  /// Mapper: consumes one input record, emits intermediate pairs.
+  using MapFn = std::function<void(const Input&, const Emit&)>;
+  /// Reducer: consumes one key and all its values, appends outputs.
+  using ReduceFn =
+      std::function<void(const K&, std::vector<V>&, std::vector<Output>&)>;
+
+  MapReduceJob(MapFn map_fn, ReduceFn reduce_fn)
+      : map_fn_(std::move(map_fn)), reduce_fn_(std::move(reduce_fn)) {}
+
+  /// Executes the job over the inputs with the given parallelism and
+  /// returns all reducer outputs (ordered by partition, then by the
+  /// grouping order within the partition — callers needing a specific
+  /// order must sort).
+  std::vector<Output> Run(const std::vector<Input>& inputs, size_t workers,
+                          JobStats* stats = nullptr) const {
+    workers = std::max<size_t>(workers, 1);
+    size_t partitions = workers;
+    util::Timer timer;
+
+    // ---- Map phase: each worker fills its own per-partition buffers. ----
+    std::vector<std::vector<std::vector<std::pair<K, V>>>> buffers(
+        workers, std::vector<std::vector<std::pair<K, V>>>(partitions));
+    std::vector<double> map_cpu(workers, 0.0);
+    {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      size_t chunk = (inputs.size() + workers - 1) / std::max<size_t>(workers, 1);
+      for (size_t w = 0; w < workers; ++w) {
+        size_t begin = w * chunk;
+        size_t end = std::min(inputs.size(), begin + chunk);
+        pool.emplace_back([this, &inputs, &buffers, &map_cpu, w, begin, end,
+                           partitions] {
+          double cpu_start = util::ThreadCpuSeconds();
+          Emit emit = [&buffers, w, partitions](K key, V value) {
+            size_t p = std::hash<K>{}(key) % partitions;
+            buffers[w][p].emplace_back(std::move(key), std::move(value));
+          };
+          for (size_t i = begin; i < end; ++i) {
+            map_fn_(inputs[i], emit);
+          }
+          map_cpu[w] = util::ThreadCpuSeconds() - cpu_start;
+        });
+      }
+      for (std::thread& t : pool) t.join();
+    }
+    double map_seconds = timer.ElapsedSeconds();
+    timer.Restart();
+
+    // ---- Shuffle phase: group by key within each partition. ----
+    std::vector<std::unordered_map<K, std::vector<V>>> grouped(partitions);
+    uint64_t intermediate = 0;
+    {
+      std::vector<std::thread> pool;
+      pool.reserve(partitions);
+      std::vector<uint64_t> per_partition_pairs(partitions, 0);
+      for (size_t p = 0; p < partitions; ++p) {
+        pool.emplace_back([&buffers, &grouped, &per_partition_pairs, p,
+                           workers] {
+          for (size_t w = 0; w < workers; ++w) {
+            for (auto& [key, value] : buffers[w][p]) {
+              grouped[p][std::move(key)].push_back(std::move(value));
+              ++per_partition_pairs[p];
+            }
+            buffers[w][p].clear();
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+      for (uint64_t c : per_partition_pairs) intermediate += c;
+    }
+    double shuffle_seconds = timer.ElapsedSeconds();
+    timer.Restart();
+
+    // ---- Reduce phase: one thread per partition. ----
+    std::vector<std::vector<Output>> outputs(partitions);
+    std::vector<double> reduce_cpu(partitions, 0.0);
+    uint64_t distinct_keys = 0;
+    {
+      std::vector<std::thread> pool;
+      pool.reserve(partitions);
+      for (size_t p = 0; p < partitions; ++p) {
+        pool.emplace_back([this, &grouped, &outputs, &reduce_cpu, p] {
+          double cpu_start = util::ThreadCpuSeconds();
+          for (auto& [key, values] : grouped[p]) {
+            reduce_fn_(key, values, outputs[p]);
+          }
+          reduce_cpu[p] = util::ThreadCpuSeconds() - cpu_start;
+        });
+      }
+      for (std::thread& t : pool) t.join();
+      for (const auto& g : grouped) distinct_keys += g.size();
+    }
+    double reduce_seconds = timer.ElapsedSeconds();
+
+    if (stats != nullptr) {
+      stats->map_seconds = map_seconds;
+      stats->shuffle_seconds = shuffle_seconds;
+      stats->reduce_seconds = reduce_seconds;
+      stats->intermediate_pairs = intermediate;
+      stats->distinct_keys = distinct_keys;
+      auto balance = [](const std::vector<double>& cpu) {
+        double sum = 0.0;
+        double max = 0.0;
+        for (double c : cpu) {
+          sum += c;
+          max = std::max(max, c);
+        }
+        return max > 0.0 ? sum / max : 1.0;
+      };
+      stats->map_balance_speedup = balance(map_cpu);
+      stats->reduce_balance_speedup = balance(reduce_cpu);
+    }
+
+    std::vector<Output> all;
+    size_t total = 0;
+    for (const auto& part : outputs) total += part.size();
+    all.reserve(total);
+    for (auto& part : outputs) {
+      all.insert(all.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return all;
+  }
+
+ private:
+  MapFn map_fn_;
+  ReduceFn reduce_fn_;
+};
+
+}  // namespace weber::mapreduce
+
+#endif  // WEBER_MAPREDUCE_ENGINE_H_

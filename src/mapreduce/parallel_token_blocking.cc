@@ -1,0 +1,53 @@
+#include "mapreduce/parallel_token_blocking.h"
+
+#include <algorithm>
+#include <string>
+
+#include "text/tokenizer.h"
+
+namespace weber::mapreduce {
+
+blocking::BlockCollection ParallelTokenBlocking(
+    const model::EntityCollection& collection, size_t workers,
+    const blocking::TokenBlockingOptions& options, JobStats* stats) {
+  // Inputs are entity ids; the mapper looks descriptions up in the shared
+  // read-only collection (the "distributed cache" of the Hadoop original).
+  std::vector<model::EntityId> ids(collection.size());
+  for (model::EntityId id = 0; id < collection.size(); ++id) ids[id] = id;
+
+  MapReduceJob<model::EntityId, std::string, model::EntityId,
+               blocking::Block>
+      job(
+          [&collection, &options](const model::EntityId& id,
+                                  const auto& emit) {
+            for (std::string& token :
+                 text::ValueTokens(collection[id], options.normalize)) {
+              if (token.size() < options.min_token_length) continue;
+              emit(std::move(token), id);
+            }
+          },
+          [&options](const std::string& token,
+                     std::vector<model::EntityId>& ids_of_token,
+                     std::vector<blocking::Block>& out) {
+            if (ids_of_token.size() < 2) return;
+            if (options.max_block_size != 0 &&
+                ids_of_token.size() > options.max_block_size) {
+              return;
+            }
+            out.push_back(blocking::Block{token, std::move(ids_of_token)});
+          });
+
+  std::vector<blocking::Block> raw = job.Run(ids, workers, stats);
+  // Deterministic output order regardless of partitioning.
+  std::sort(raw.begin(), raw.end(),
+            [](const blocking::Block& x, const blocking::Block& y) {
+              return x.key < y.key;
+            });
+  blocking::BlockCollection result(&collection);
+  for (blocking::Block& block : raw) {
+    result.AddBlock(std::move(block));
+  }
+  return result;
+}
+
+}  // namespace weber::mapreduce

@@ -1,0 +1,22 @@
+#ifndef WEBER_MAPREDUCE_PARALLEL_TOKEN_BLOCKING_H_
+#define WEBER_MAPREDUCE_PARALLEL_TOKEN_BLOCKING_H_
+
+#include "blocking/block.h"
+#include "blocking/token_blocking.h"
+#include "mapreduce/engine.h"
+
+namespace weber::mapreduce {
+
+/// Token blocking as a MapReduce job (the Dedoop-style parallelisation of
+/// Section II): mappers tokenize entity descriptions and emit
+/// (token, entity-id) pairs; reducers materialise one block per token.
+/// Produces the same blocks as the sequential TokenBlocking (up to block
+/// order).
+blocking::BlockCollection ParallelTokenBlocking(
+    const model::EntityCollection& collection, size_t workers,
+    const blocking::TokenBlockingOptions& options = {},
+    JobStats* stats = nullptr);
+
+}  // namespace weber::mapreduce
+
+#endif  // WEBER_MAPREDUCE_PARALLEL_TOKEN_BLOCKING_H_

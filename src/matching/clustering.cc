@@ -1,0 +1,95 @@
+#include "matching/clustering.h"
+
+#include <algorithm>
+
+#include "util/union_find.h"
+
+namespace weber::matching {
+
+namespace {
+
+Clusters GroupsToClusters(util::UnionFind& forest) {
+  return forest.Groups(/*include_singletons=*/true);
+}
+
+std::vector<ScoredPair> EdgesHeaviestFirst(const MatchGraph& graph) {
+  std::vector<ScoredPair> edges = graph.matches();
+  std::sort(edges.begin(), edges.end(),
+            [](const ScoredPair& x, const ScoredPair& y) {
+              if (x.score != y.score) return x.score > y.score;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return edges;
+}
+
+}  // namespace
+
+Clusters ConnectedComponents(const MatchGraph& graph) {
+  util::UnionFind forest(graph.num_entities());
+  for (const ScoredPair& edge : graph.matches()) {
+    forest.Union(edge.a, edge.b);
+  }
+  return GroupsToClusters(forest);
+}
+
+Clusters CenterClustering(const MatchGraph& graph) {
+  enum class Role : uint8_t { kUnassigned, kCenter, kAttached };
+  std::vector<Role> role(graph.num_entities(), Role::kUnassigned);
+  util::UnionFind forest(graph.num_entities());
+  for (const ScoredPair& edge : EdgesHeaviestFirst(graph)) {
+    Role& role_a = role[edge.a];
+    Role& role_b = role[edge.b];
+    if (role_a == Role::kUnassigned && role_b == Role::kUnassigned) {
+      role_a = Role::kCenter;
+      role_b = Role::kAttached;
+      forest.Union(edge.a, edge.b);
+    } else if (role_a == Role::kCenter && role_b == Role::kUnassigned) {
+      role_b = Role::kAttached;
+      forest.Union(edge.a, edge.b);
+    } else if (role_b == Role::kCenter && role_a == Role::kUnassigned) {
+      role_a = Role::kAttached;
+      forest.Union(edge.a, edge.b);
+    }
+    // Center-center and attached-* edges are ignored.
+  }
+  return GroupsToClusters(forest);
+}
+
+Clusters MergeCenterClustering(const MatchGraph& graph) {
+  enum class Role : uint8_t { kUnassigned, kCenter, kAttached };
+  std::vector<Role> role(graph.num_entities(), Role::kUnassigned);
+  util::UnionFind forest(graph.num_entities());
+  for (const ScoredPair& edge : EdgesHeaviestFirst(graph)) {
+    Role& role_a = role[edge.a];
+    Role& role_b = role[edge.b];
+    if (role_a == Role::kUnassigned && role_b == Role::kUnassigned) {
+      role_a = Role::kCenter;
+      role_b = Role::kAttached;
+      forest.Union(edge.a, edge.b);
+    } else if (role_a == Role::kCenter && role_b == Role::kUnassigned) {
+      role_b = Role::kAttached;
+      forest.Union(edge.a, edge.b);
+    } else if (role_b == Role::kCenter && role_a == Role::kUnassigned) {
+      role_a = Role::kAttached;
+      forest.Union(edge.a, edge.b);
+    } else if (role_a == Role::kCenter && role_b == Role::kCenter) {
+      forest.Union(edge.a, edge.b);  // Merge the two clusters.
+    }
+  }
+  return GroupsToClusters(forest);
+}
+
+std::vector<model::IdPair> ClusterPairs(const Clusters& clusters) {
+  std::vector<model::IdPair> pairs;
+  for (const std::vector<model::EntityId>& cluster : clusters) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        pairs.push_back(model::IdPair::Of(cluster[i], cluster[j]));
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace weber::matching

@@ -1,0 +1,38 @@
+#ifndef WEBER_MATCHING_CLUSTERING_H_
+#define WEBER_MATCHING_CLUSTERING_H_
+
+#include <vector>
+
+#include "matching/match_graph.h"
+#include "model/ground_truth.h"
+
+namespace weber::matching {
+
+/// Entity clusters: each inner vector is one resolved real-world entity
+/// (ids of its descriptions). Singletons are included.
+using Clusters = std::vector<std::vector<model::EntityId>>;
+
+/// Transitive closure of the match graph: connected components. The
+/// standard final step for dirty ER, where "same-as" is assumed
+/// transitive.
+Clusters ConnectedComponents(const MatchGraph& graph);
+
+/// Center clustering (Haveliwala et al.): edges are scanned heaviest
+/// first; the first time a node appears it becomes a cluster center, and
+/// non-center nodes attach to the first center they share an edge with.
+/// More precise than connected components on noisy match graphs because
+/// chains through weak hubs do not collapse clusters together.
+Clusters CenterClustering(const MatchGraph& graph);
+
+/// Merge-center clustering: like center clustering, but when an edge
+/// connects two centers their clusters are merged. A middle ground
+/// between center clustering and connected components.
+Clusters MergeCenterClustering(const MatchGraph& graph);
+
+/// Expands clusters into the set of intra-cluster pairs (the pairwise view
+/// used by precision/recall evaluation).
+std::vector<model::IdPair> ClusterPairs(const Clusters& clusters);
+
+}  // namespace weber::matching
+
+#endif  // WEBER_MATCHING_CLUSTERING_H_

@@ -1,0 +1,21 @@
+#include "matching/match_graph.h"
+
+namespace weber::matching {
+
+bool MatchGraph::AddMatch(model::EntityId a, model::EntityId b,
+                          double score) {
+  if (a == b) return false;
+  model::IdPair pair = model::IdPair::Of(a, b);
+  if (!members_.insert(pair).second) return false;
+  matches_.push_back({pair.low, pair.high, score});
+  return true;
+}
+
+std::vector<model::IdPair> MatchGraph::Pairs() const {
+  std::vector<model::IdPair> pairs;
+  pairs.reserve(matches_.size());
+  for (const ScoredPair& match : matches_) pairs.push_back(match.pair());
+  return pairs;
+}
+
+}  // namespace weber::matching

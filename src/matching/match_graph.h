@@ -1,0 +1,49 @@
+#ifndef WEBER_MATCHING_MATCH_GRAPH_H_
+#define WEBER_MATCHING_MATCH_GRAPH_H_
+
+#include <vector>
+
+#include "model/ground_truth.h"
+
+namespace weber::matching {
+
+/// A scored match decision.
+struct ScoredPair {
+  model::EntityId a;
+  model::EntityId b;
+  double score;
+
+  model::IdPair pair() const { return model::IdPair::Of(a, b); }
+};
+
+/// The accumulating output of the match phase: the pairs declared
+/// matching, with scores, plus fast membership tests. Feeds the update
+/// phase of iterative/progressive ER and the final clustering.
+class MatchGraph {
+ public:
+  explicit MatchGraph(size_t num_entities) : num_entities_(num_entities) {}
+
+  /// Records a match; ignores self-pairs and duplicates. Returns true if
+  /// the pair was new.
+  bool AddMatch(model::EntityId a, model::EntityId b, double score = 1.0);
+
+  bool Contains(model::EntityId a, model::EntityId b) const {
+    return members_.contains(model::IdPair::Of(a, b));
+  }
+
+  const std::vector<ScoredPair>& matches() const { return matches_; }
+  size_t NumMatches() const { return matches_.size(); }
+  size_t num_entities() const { return num_entities_; }
+
+  /// The matched pairs as canonical IdPairs.
+  std::vector<model::IdPair> Pairs() const;
+
+ private:
+  size_t num_entities_;
+  std::vector<ScoredPair> matches_;
+  model::IdPairSet members_;
+};
+
+}  // namespace weber::matching
+
+#endif  // WEBER_MATCHING_MATCH_GRAPH_H_

@@ -1,0 +1,107 @@
+#include "matching/matcher.h"
+
+#include <algorithm>
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace weber::matching {
+
+double TokenJaccardMatcher::Similarity(
+    const model::EntityDescription& a,
+    const model::EntityDescription& b) const {
+  return text::JaccardSimilarity(text::ValueTokens(a), text::ValueTokens(b));
+}
+
+double TokenOverlapMatcher::Similarity(
+    const model::EntityDescription& a,
+    const model::EntityDescription& b) const {
+  return text::OverlapCoefficient(text::ValueTokens(a), text::ValueTokens(b));
+}
+
+double WeightedAttributeMatcher::Similarity(
+    const model::EntityDescription& a,
+    const model::EntityDescription& b) const {
+  double total_weight = 0.0;
+  double score = 0.0;
+  for (const AttributeRule& rule : rules_) {
+    total_weight += rule.weight;
+    auto value_a = a.FirstValueOf(rule.attribute);
+    auto value_b = b.FirstValueOf(rule.attribute);
+    if (!value_a.has_value() || !value_b.has_value()) continue;
+    double sim;
+    if (rule.use_jaro_winkler) {
+      sim = text::JaroWinklerSimilarity(*value_a, *value_b);
+    } else {
+      sim = text::JaccardSimilarity(
+          text::NormalizeAndTokenize(*value_a),
+          text::NormalizeAndTokenize(*value_b));
+    }
+    score += rule.weight * sim;
+  }
+  if (total_weight <= 0.0) return 0.0;
+  return score / total_weight;
+}
+
+double TfIdfCosineMatcher::Similarity(
+    const model::EntityDescription& a,
+    const model::EntityDescription& b) const {
+  return text::TfIdfModel::Cosine(model_.Vectorize(a), model_.Vectorize(b));
+}
+
+double CompositeMatcher::Similarity(const model::EntityDescription& a,
+                                    const model::EntityDescription& b) const {
+  if (components_.empty()) return 0.0;
+  switch (combine_) {
+    case Combine::kWeightedAverage: {
+      double total_weight = 0.0;
+      double score = 0.0;
+      for (size_t i = 0; i < components_.size(); ++i) {
+        double weight = i < weights_.size() ? weights_[i] : 1.0;
+        total_weight += weight;
+        score += weight * components_[i]->Similarity(a, b);
+      }
+      return total_weight > 0.0 ? score / total_weight : 0.0;
+    }
+    case Combine::kMax: {
+      double best = 0.0;
+      for (const Matcher* component : components_) {
+        best = std::max(best, component->Similarity(a, b));
+      }
+      return best;
+    }
+    case Combine::kMin: {
+      double worst = 1.0;
+      for (const Matcher* component : components_) {
+        worst = std::min(worst, component->Similarity(a, b));
+      }
+      return worst;
+    }
+  }
+  return 0.0;
+}
+
+OracleMatcher::OracleMatcher(const model::EntityCollection& collection,
+                             const model::GroundTruth& truth,
+                             double error_rate, uint64_t seed)
+    : collection_(collection),
+      truth_(truth),
+      error_rate_(error_rate),
+      seed_(seed) {}
+
+double OracleMatcher::Similarity(const model::EntityDescription& a,
+                                 const model::EntityDescription& b) const {
+  auto id_a = collection_.FindByUri(a.uri());
+  auto id_b = collection_.FindByUri(b.uri());
+  if (!id_a.has_value() || !id_b.has_value()) return 0.0;
+  bool is_match = truth_.IsMatch(*id_a, *id_b);
+  if (error_rate_ > 0.0) {
+    // Deterministic per-pair noise: seed an Rng from the pair identity.
+    model::IdPair pair = model::IdPair::Of(*id_a, *id_b);
+    util::Rng rng(seed_ ^ model::IdPairHash{}(pair));
+    if (rng.NextBool(error_rate_)) is_match = !is_match;
+  }
+  return is_match ? 1.0 : 0.0;
+}
+
+}  // namespace weber::matching

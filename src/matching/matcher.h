@@ -1,0 +1,182 @@
+#ifndef WEBER_MATCHING_MATCHER_H_
+#define WEBER_MATCHING_MATCHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/entity.h"
+#include "model/ground_truth.h"
+#include "text/tfidf.h"
+#include "util/random.h"
+
+namespace weber::matching {
+
+/// A pairwise similarity function over entity descriptions; the "match"
+/// phase of the ER framework (Fig. 1 of the tutorial). Implementations
+/// must be usable on merged descriptions too (iterative ER compares the
+/// unions of previously matched descriptions).
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Similarity of two descriptions in [0, 1].
+  virtual double Similarity(const model::EntityDescription& a,
+                            const model::EntityDescription& b) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Decision wrapper: a matcher plus a threshold.
+class ThresholdMatcher {
+ public:
+  ThresholdMatcher(const Matcher* matcher, double threshold)
+      : matcher_(matcher), threshold_(threshold) {}
+
+  bool Matches(const model::EntityDescription& a,
+               const model::EntityDescription& b) const {
+    return matcher_->Similarity(a, b) >= threshold_;
+  }
+
+  double Similarity(const model::EntityDescription& a,
+                    const model::EntityDescription& b) const {
+    return matcher_->Similarity(a, b);
+  }
+
+  double threshold() const { return threshold_; }
+  const Matcher& matcher() const { return *matcher_; }
+
+ private:
+  const Matcher* matcher_;  // Not owned.
+  double threshold_;
+};
+
+/// Schema-agnostic matcher: Jaccard similarity of the distinct value-token
+/// sets of the two descriptions. The workhorse for heterogeneous Web data
+/// where attribute names cannot be aligned a priori.
+class TokenJaccardMatcher : public Matcher {
+ public:
+  double Similarity(const model::EntityDescription& a,
+                    const model::EntityDescription& b) const override;
+  std::string name() const override { return "TokenJaccard"; }
+};
+
+/// Overlap-coefficient matcher: |A ∩ B| / min(|A|, |B|) over the distinct
+/// value-token sets. Unlike Jaccard, this similarity is monotone under
+/// merging: a merged description only gains tokens, so it never loses a
+/// match either constituent had against a smaller record. That is (the
+/// token-level analogue of) the representativity property the Swoosh
+/// family assumes of its match function, making this the natural matcher
+/// for merging-based iterative ER.
+class TokenOverlapMatcher : public Matcher {
+ public:
+  double Similarity(const model::EntityDescription& a,
+                    const model::EntityDescription& b) const override;
+  std::string name() const override { return "TokenOverlap"; }
+};
+
+/// A per-attribute rule used by WeightedAttributeMatcher.
+struct AttributeRule {
+  /// Attribute name on either side.
+  std::string attribute;
+  /// Relative weight of this attribute (normalised internally).
+  double weight = 1.0;
+  /// Similarity of the attribute's first values: Jaro-Winkler when true,
+  /// otherwise token Jaccard of the values' tokens.
+  bool use_jaro_winkler = true;
+};
+
+/// Schema-aware matcher for sources with (partially) aligned schemas:
+/// weighted average of per-attribute value similarities. Attributes
+/// missing on either side contribute zero, so descriptions with disjoint
+/// schemas score low — exactly the failure mode the tutorial ascribes to
+/// schema-based techniques on Web data.
+class WeightedAttributeMatcher : public Matcher {
+ public:
+  explicit WeightedAttributeMatcher(std::vector<AttributeRule> rules)
+      : rules_(std::move(rules)) {}
+
+  double Similarity(const model::EntityDescription& a,
+                    const model::EntityDescription& b) const override;
+  std::string name() const override { return "WeightedAttribute"; }
+
+ private:
+  std::vector<AttributeRule> rules_;
+};
+
+/// TF-IDF cosine matcher: weighs rare tokens higher. Fit once on the
+/// collection; Similarity vectorises on the fly so it also works on
+/// merged descriptions.
+class TfIdfCosineMatcher : public Matcher {
+ public:
+  explicit TfIdfCosineMatcher(const model::EntityCollection& collection)
+      : model_(text::TfIdfModel::Fit(collection)) {}
+
+  double Similarity(const model::EntityDescription& a,
+                    const model::EntityDescription& b) const override;
+  std::string name() const override { return "TfIdfCosine"; }
+
+ private:
+  text::TfIdfModel model_;
+};
+
+/// Combines component matchers into one score. Useful when no single
+/// similarity captures all evidence: e.g., token Jaccard for long
+/// descriptions plus Jaro-Winkler-based attribute rules for short ones.
+class CompositeMatcher : public Matcher {
+ public:
+  enum class Combine {
+    /// Weighted arithmetic mean of component scores.
+    kWeightedAverage,
+    /// Maximum component score (evidence from any angle suffices).
+    kMax,
+    /// Minimum component score (all angles must agree).
+    kMin,
+  };
+
+  /// Components are borrowed and must outlive the composite. Weights are
+  /// only used by kWeightedAverage and are normalised internally.
+  CompositeMatcher(std::vector<const Matcher*> components,
+                   std::vector<double> weights,
+                   Combine combine = Combine::kWeightedAverage)
+      : components_(std::move(components)),
+        weights_(std::move(weights)),
+        combine_(combine) {}
+
+  double Similarity(const model::EntityDescription& a,
+                    const model::EntityDescription& b) const override;
+  std::string name() const override { return "Composite"; }
+
+ private:
+  std::vector<const Matcher*> components_;
+  std::vector<double> weights_;
+  Combine combine_;
+};
+
+/// Ground-truth-backed oracle with configurable noise: returns a high
+/// similarity for true matches and a low one for non-matches, flipping
+/// the verdict with probability `error_rate`. Stands in for the expensive
+/// and imperfect resolution functions (crowd, domain experts, learned
+/// models) that progressive ER assumes; deterministic per pair.
+class OracleMatcher : public Matcher {
+ public:
+  /// Entities are identified by their position in `collection`; the
+  /// matcher resolves descriptions back to ids via their URIs.
+  OracleMatcher(const model::EntityCollection& collection,
+                const model::GroundTruth& truth, double error_rate = 0.0,
+                uint64_t seed = 11);
+
+  double Similarity(const model::EntityDescription& a,
+                    const model::EntityDescription& b) const override;
+  std::string name() const override { return "Oracle"; }
+
+ private:
+  const model::EntityCollection& collection_;
+  const model::GroundTruth& truth_;
+  double error_rate_;
+  uint64_t seed_;
+};
+
+}  // namespace weber::matching
+
+#endif  // WEBER_MATCHING_MATCHER_H_

@@ -1,0 +1,77 @@
+#ifndef WEBER_METABLOCKING_BLOCKING_GRAPH_H_
+#define WEBER_METABLOCKING_BLOCKING_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blocking/block.h"
+#include "model/ground_truth.h"
+
+namespace weber::metablocking {
+
+/// Edge-weighting schemes for the blocking graph (Papadakis et al.,
+/// TKDE'14). All weights are "higher = more likely to match".
+enum class WeightScheme {
+  /// Common Blocks Scheme: the number of blocks the pair co-occurs in.
+  kCbs,
+  /// Enhanced CBS: CBS scaled by log(|B| / |B_x|) for both endpoints,
+  /// discounting entities that appear in many blocks.
+  kEcbs,
+  /// Jaccard Scheme: |common blocks| / |union of the two block lists|.
+  kJs,
+  /// Enhanced JS: JS scaled by log(|V| / degree(x)) for both endpoints.
+  kEjs,
+  /// Aggregate Reciprocal Comparisons Scheme: sum over common blocks of
+  /// 1 / cardinality(block), favouring pairs that co-occur in small
+  /// (discriminative) blocks.
+  kArcs,
+};
+
+/// Returns the canonical short name of a scheme ("CBS", "EJS", ...).
+std::string ToString(WeightScheme scheme);
+
+/// A weighted edge of the blocking graph: one distinct candidate pair.
+struct WeightedEdge {
+  model::EntityId a;
+  model::EntityId b;
+  double weight;
+
+  model::IdPair pair() const { return model::IdPair::Of(a, b); }
+};
+
+/// The blocking graph of a block collection: one node per entity, one
+/// undirected edge per distinct co-occurring pair (redundant comparisons
+/// collapse into a single edge), weighted by the chosen scheme.
+///
+/// Meta-blocking operates on this graph: pruning its low-weight edges
+/// discards comparisons that are unlikely to be matches.
+class BlockingGraph {
+ public:
+  /// Builds the graph from a block collection. Cost is linear in the
+  /// number of block assignments plus the number of distinct pairs.
+  static BlockingGraph Build(const blocking::BlockCollection& blocks,
+                             WeightScheme scheme);
+
+  const std::vector<WeightedEdge>& edges() const { return edges_; }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Mean edge weight (0 for an empty graph).
+  double MeanWeight() const;
+
+  /// The per-node adjacency index: for node v, the indices into edges()
+  /// of the edges incident to v.
+  std::vector<std::vector<uint32_t>> NodeEdges() const;
+
+  WeightScheme scheme() const { return scheme_; }
+
+ private:
+  std::vector<WeightedEdge> edges_;
+  size_t num_nodes_ = 0;
+  WeightScheme scheme_ = WeightScheme::kCbs;
+};
+
+}  // namespace weber::metablocking
+
+#endif  // WEBER_METABLOCKING_BLOCKING_GRAPH_H_

@@ -1,0 +1,21 @@
+#include "metablocking/weight_schemes.h"
+
+#include <cctype>
+#include <string>
+
+namespace weber::metablocking {
+
+std::optional<WeightScheme> ParseWeightScheme(std::string_view name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (char c : name) {
+    upper.push_back(static_cast<char>(std::toupper(
+        static_cast<unsigned char>(c))));
+  }
+  for (WeightScheme scheme : kAllWeightSchemes) {
+    if (ToString(scheme) == upper) return scheme;
+  }
+  return std::nullopt;
+}
+
+}  // namespace weber::metablocking

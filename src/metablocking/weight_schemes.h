@@ -1,0 +1,23 @@
+#ifndef WEBER_METABLOCKING_WEIGHT_SCHEMES_H_
+#define WEBER_METABLOCKING_WEIGHT_SCHEMES_H_
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+#include "metablocking/blocking_graph.h"
+
+namespace weber::metablocking {
+
+/// All weighting schemes, in canonical order; handy for sweeps.
+inline constexpr std::array<WeightScheme, 5> kAllWeightSchemes = {
+    WeightScheme::kCbs, WeightScheme::kEcbs, WeightScheme::kJs,
+    WeightScheme::kEjs, WeightScheme::kArcs};
+
+/// Parses a scheme name ("CBS", "ecbs", ...). Returns nullopt on unknown
+/// names.
+std::optional<WeightScheme> ParseWeightScheme(std::string_view name);
+
+}  // namespace weber::metablocking
+
+#endif  // WEBER_METABLOCKING_WEIGHT_SCHEMES_H_

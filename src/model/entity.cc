@@ -1,0 +1,113 @@
+#include "model/entity.h"
+
+#include <algorithm>
+
+namespace weber::model {
+
+void EntityDescription::AddPair(std::string attribute, std::string value) {
+  pairs_.push_back({std::move(attribute), std::move(value)});
+}
+
+void EntityDescription::AddRelation(std::string predicate,
+                                    std::string target_uri) {
+  relations_.push_back({std::move(predicate), std::move(target_uri)});
+}
+
+std::vector<std::string_view> EntityDescription::ValuesOf(
+    std::string_view attribute) const {
+  std::vector<std::string_view> values;
+  for (const AttributeValue& pair : pairs_) {
+    if (pair.attribute == attribute) values.push_back(pair.value);
+  }
+  return values;
+}
+
+std::optional<std::string_view> EntityDescription::FirstValueOf(
+    std::string_view attribute) const {
+  for (const AttributeValue& pair : pairs_) {
+    if (pair.attribute == attribute) return std::string_view(pair.value);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> EntityDescription::AttributeNames() const {
+  std::vector<std::string_view> names;
+  for (const AttributeValue& pair : pairs_) {
+    if (std::find(names.begin(), names.end(), pair.attribute) ==
+        names.end()) {
+      names.push_back(pair.attribute);
+    }
+  }
+  return names;
+}
+
+void EntityDescription::MergeFrom(const EntityDescription& other) {
+  for (const AttributeValue& pair : other.pairs_) {
+    if (std::find(pairs_.begin(), pairs_.end(), pair) == pairs_.end()) {
+      pairs_.push_back(pair);
+    }
+  }
+  for (const Relation& relation : other.relations_) {
+    if (std::find(relations_.begin(), relations_.end(), relation) ==
+        relations_.end()) {
+      relations_.push_back(relation);
+    }
+  }
+  if (type_.empty()) type_ = other.type_;
+}
+
+EntityCollection EntityCollection::CleanClean(
+    std::vector<EntityDescription> source1,
+    std::vector<EntityDescription> source2) {
+  EntityCollection collection;
+  collection.setting_ = ErSetting::kCleanClean;
+  collection.descriptions_ = std::move(source1);
+  collection.split_ = collection.descriptions_.size();
+  collection.descriptions_.insert(
+      collection.descriptions_.end(),
+      std::make_move_iterator(source2.begin()),
+      std::make_move_iterator(source2.end()));
+  return collection;
+}
+
+EntityCollection EntityCollection::Dirty(
+    std::vector<EntityDescription> source) {
+  EntityCollection collection;
+  collection.setting_ = ErSetting::kDirty;
+  collection.descriptions_ = std::move(source);
+  collection.split_ = collection.descriptions_.size();
+  return collection;
+}
+
+EntityId EntityCollection::Add(EntityDescription description) {
+  if (!uri_index_.empty()) {
+    uri_index_.emplace(description.uri(),
+                       static_cast<EntityId>(descriptions_.size()));
+  }
+  descriptions_.push_back(std::move(description));
+  if (setting_ == ErSetting::kDirty) split_ = descriptions_.size();
+  return static_cast<EntityId>(descriptions_.size() - 1);
+}
+
+uint64_t EntityCollection::TotalComparisons() const {
+  uint64_t n = descriptions_.size();
+  if (setting_ == ErSetting::kDirty) return n * (n - 1) / 2;
+  uint64_t n1 = split_;
+  uint64_t n2 = n - split_;
+  return n1 * n2;
+}
+
+std::optional<EntityId> EntityCollection::FindByUri(
+    std::string_view uri) const {
+  if (uri_index_.empty() && !descriptions_.empty()) {
+    uri_index_.reserve(descriptions_.size());
+    for (size_t i = 0; i < descriptions_.size(); ++i) {
+      uri_index_.emplace(descriptions_[i].uri(), static_cast<EntityId>(i));
+    }
+  }
+  auto it = uri_index_.find(std::string(uri));
+  if (it == uri_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace weber::model

@@ -1,0 +1,179 @@
+#ifndef WEBER_MODEL_ENTITY_H_
+#define WEBER_MODEL_ENTITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace weber::model {
+
+/// Identifier of an entity description inside an EntityCollection. Ids are
+/// dense indices assigned in insertion order; in clean-clean collections
+/// ids below the split point belong to the first source.
+using EntityId = uint32_t;
+
+/// An attribute-value pair of an entity description, e.g.
+/// ("foaf:name", "Claude Shannon"). Attributes are free-form strings: the
+/// Web of data commits to no global schema, and most vocabularies are
+/// proprietary to a single knowledge base.
+struct AttributeValue {
+  std::string attribute;
+  std::string value;
+
+  friend bool operator==(const AttributeValue& x, const AttributeValue& y) {
+    return x.attribute == y.attribute && x.value == y.value;
+  }
+};
+
+/// A directed relation from this description to another one, e.g.
+/// ("dbo:architect", "http://kb2/architect/17"). Relationship-based
+/// iterative ER (Section III of the tutorial) exploits these links.
+struct Relation {
+  std::string predicate;
+  std::string target_uri;
+
+  friend bool operator==(const Relation& x, const Relation& y) {
+    return x.predicate == y.predicate && x.target_uri == y.target_uri;
+  }
+};
+
+/// An entity description: a URI plus a set of attribute-value pairs and
+/// outgoing relations, optionally tagged with an entity type.
+///
+/// This mirrors the RDF view of the tutorial: a description is whatever a
+/// knowledge base says about one URI. Descriptions of the same real-world
+/// entity in different KBs are typically partial and overlapping.
+class EntityDescription {
+ public:
+  EntityDescription() = default;
+  explicit EntityDescription(std::string uri) : uri_(std::move(uri)) {}
+  EntityDescription(std::string uri, std::string type)
+      : uri_(std::move(uri)), type_(std::move(type)) {}
+
+  const std::string& uri() const { return uri_; }
+  const std::string& type() const { return type_; }
+  void set_uri(std::string uri) { uri_ = std::move(uri); }
+  void set_type(std::string type) { type_ = std::move(type); }
+
+  /// Appends an attribute-value pair.
+  void AddPair(std::string attribute, std::string value);
+
+  /// Appends an outgoing relation.
+  void AddRelation(std::string predicate, std::string target_uri);
+
+  const std::vector<AttributeValue>& pairs() const { return pairs_; }
+  const std::vector<Relation>& relations() const { return relations_; }
+
+  /// Returns all values of the given attribute, in insertion order.
+  std::vector<std::string_view> ValuesOf(std::string_view attribute) const;
+
+  /// Returns the first value of the given attribute, if any.
+  std::optional<std::string_view> FirstValueOf(
+      std::string_view attribute) const;
+
+  /// Returns the distinct attribute names used by this description, in
+  /// first-appearance order.
+  std::vector<std::string_view> AttributeNames() const;
+
+  /// Merges another description into this one: the union of attribute-value
+  /// pairs and relations, with exact duplicates removed. Used by
+  /// merging-based iterative ER (Swoosh-style merge closure).
+  void MergeFrom(const EntityDescription& other);
+
+  /// Total number of attribute-value pairs.
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty() && relations_.empty(); }
+
+  friend bool operator==(const EntityDescription& x,
+                         const EntityDescription& y) {
+    return x.uri_ == y.uri_ && x.type_ == y.type_ && x.pairs_ == y.pairs_ &&
+           x.relations_ == y.relations_;
+  }
+
+ private:
+  std::string uri_;
+  std::string type_;
+  std::vector<AttributeValue> pairs_;
+  std::vector<Relation> relations_;
+};
+
+/// Whether an ER task resolves one dirty collection against itself or two
+/// individually-clean collections against each other.
+enum class ErSetting {
+  /// A single collection that may contain duplicates; every unordered pair
+  /// of distinct descriptions is a potential comparison.
+  kDirty,
+  /// Two duplicate-free collections; only cross-source pairs are potential
+  /// comparisons (record-linkage setting).
+  kCleanClean,
+};
+
+/// A collection of entity descriptions, the universe of one ER task.
+///
+/// For the clean-clean setting the two sources are concatenated and the
+/// split point remembered: ids in [0, split) come from source one, ids in
+/// [split, size) from source two.
+class EntityCollection {
+ public:
+  /// Creates an empty dirty-ER collection.
+  EntityCollection() = default;
+
+  /// Creates a clean-clean collection from two duplicate-free sources.
+  static EntityCollection CleanClean(std::vector<EntityDescription> source1,
+                                     std::vector<EntityDescription> source2);
+
+  /// Creates a dirty collection from one source.
+  static EntityCollection Dirty(std::vector<EntityDescription> source);
+
+  /// Appends a description and returns its id.
+  EntityId Add(EntityDescription description);
+
+  const EntityDescription& at(EntityId id) const { return descriptions_[id]; }
+  EntityDescription& at(EntityId id) { return descriptions_[id]; }
+  const EntityDescription& operator[](EntityId id) const {
+    return descriptions_[id];
+  }
+
+  size_t size() const { return descriptions_.size(); }
+  bool empty() const { return descriptions_.empty(); }
+
+  ErSetting setting() const { return setting_; }
+  /// Split point of a clean-clean collection; size() for dirty collections.
+  size_t split() const { return split_; }
+
+  /// True if id belongs to the first source (always true for dirty).
+  bool InFirstSource(EntityId id) const { return id < split_; }
+
+  /// True if the pair (a, b) is a valid comparison under this collection's
+  /// setting: distinct ids, and cross-source for clean-clean.
+  bool Comparable(EntityId a, EntityId b) const {
+    if (a == b) return false;
+    if (setting_ == ErSetting::kDirty) return true;
+    return InFirstSource(a) != InFirstSource(b);
+  }
+
+  /// Total number of valid comparisons (the quadratic baseline that
+  /// blocking prunes): n*(n-1)/2 for dirty, |D1|*|D2| for clean-clean.
+  uint64_t TotalComparisons() const;
+
+  /// Returns the id of the description with the given URI, if present.
+  /// URIs are indexed lazily on first lookup.
+  std::optional<EntityId> FindByUri(std::string_view uri) const;
+
+  const std::vector<EntityDescription>& descriptions() const {
+    return descriptions_;
+  }
+
+ private:
+  std::vector<EntityDescription> descriptions_;
+  ErSetting setting_ = ErSetting::kDirty;
+  size_t split_ = 0;  // Maintained == size() for dirty collections.
+  mutable std::unordered_map<std::string, EntityId> uri_index_;
+};
+
+}  // namespace weber::model
+
+#endif  // WEBER_MODEL_ENTITY_H_

@@ -1,0 +1,59 @@
+#include "model/ground_truth.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/union_find.h"
+
+namespace weber::model {
+
+void GroundTruth::AddMatch(EntityId a, EntityId b) {
+  if (a == b) return;
+  raw_pairs_.push_back(IdPair::Of(a, b));
+  dirty_ = true;
+}
+
+void GroundTruth::Rebuild() const {
+  if (!dirty_) return;
+  dirty_ = false;
+  closure_.clear();
+  clusters_.clear();
+  if (raw_pairs_.empty()) return;
+
+  EntityId max_id = 0;
+  for (const IdPair& pair : raw_pairs_) max_id = std::max(max_id, pair.high);
+  util::UnionFind forest(max_id + 1);
+  for (const IdPair& pair : raw_pairs_) forest.Union(pair.low, pair.high);
+
+  clusters_ = forest.Groups(/*include_singletons=*/false);
+  for (const std::vector<EntityId>& cluster : clusters_) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        closure_.insert(IdPair::Of(cluster[i], cluster[j]));
+      }
+    }
+  }
+}
+
+bool GroundTruth::IsMatch(EntityId a, EntityId b) const {
+  if (a == b) return false;
+  Rebuild();
+  return closure_.contains(IdPair::Of(a, b));
+}
+
+size_t GroundTruth::NumMatches() const {
+  Rebuild();
+  return closure_.size();
+}
+
+std::vector<IdPair> GroundTruth::AllMatches() const {
+  Rebuild();
+  return {closure_.begin(), closure_.end()};
+}
+
+std::vector<std::vector<EntityId>> GroundTruth::Clusters() const {
+  Rebuild();
+  return clusters_;
+}
+
+}  // namespace weber::model

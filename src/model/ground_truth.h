@@ -1,0 +1,82 @@
+#ifndef WEBER_MODEL_GROUND_TRUTH_H_
+#define WEBER_MODEL_GROUND_TRUTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "model/entity.h"
+
+namespace weber::model {
+
+/// An unordered pair of entity ids in canonical (low, high) order.
+struct IdPair {
+  EntityId low;
+  EntityId high;
+
+  /// Builds the canonical form of {a, b}.
+  static IdPair Of(EntityId a, EntityId b) {
+    return a < b ? IdPair{a, b} : IdPair{b, a};
+  }
+
+  friend bool operator==(const IdPair& x, const IdPair& y) {
+    return x.low == y.low && x.high == y.high;
+  }
+  friend bool operator<(const IdPair& x, const IdPair& y) {
+    return x.low != y.low ? x.low < y.low : x.high < y.high;
+  }
+};
+
+struct IdPairHash {
+  size_t operator()(const IdPair& p) const {
+    uint64_t k = (static_cast<uint64_t>(p.low) << 32) | p.high;
+    // Fibonacci scrambling.
+    k *= 0x9E3779B97F4A7C15ULL;
+    return static_cast<size_t>(k ^ (k >> 32));
+  }
+};
+
+using IdPairSet = std::unordered_set<IdPair, IdPairHash>;
+
+/// The set of true matches of an ER task.
+///
+/// Matches are stored as the full transitive closure: if {a,b} and {b,c}
+/// are added, {a,c} is reported as a match too. This mirrors how ER
+/// benchmarks count recall when ground-truth clusters have more than two
+/// members.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+
+  /// Records that a and b describe the same real-world entity.
+  void AddMatch(EntityId a, EntityId b);
+
+  /// True if {a, b} is a match (under transitive closure).
+  bool IsMatch(EntityId a, EntityId b) const;
+  bool IsMatch(const IdPair& pair) const {
+    return IsMatch(pair.low, pair.high);
+  }
+
+  /// Number of matching pairs under transitive closure.
+  size_t NumMatches() const;
+
+  /// All matching pairs (closure), in unspecified order.
+  std::vector<IdPair> AllMatches() const;
+
+  /// Ground-truth clusters with at least two members.
+  std::vector<std::vector<EntityId>> Clusters() const;
+
+ private:
+  void Rebuild() const;
+
+  std::vector<IdPair> raw_pairs_;
+  // Closure caches, rebuilt lazily when raw_pairs_ changes.
+  mutable bool dirty_ = false;
+  mutable IdPairSet closure_;
+  mutable std::vector<std::vector<EntityId>> clusters_;
+};
+
+}  // namespace weber::model
+
+#endif  // WEBER_MODEL_GROUND_TRUTH_H_

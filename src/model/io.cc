@@ -1,0 +1,232 @@
+#include "model/io.h"
+
+#include <istream>
+#include <ostream>
+#include <string_view>
+#include <unordered_map>
+
+namespace weber::model {
+
+namespace {
+
+std::string EscapeLiteral(std::string_view value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        escaped.push_back(c);
+    }
+  }
+  return escaped;
+}
+
+std::string UnescapeLiteral(std::string_view value) {
+  std::string raw;
+  raw.reserve(value.size());
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\' || i + 1 >= value.size()) {
+      raw.push_back(value[i]);
+      continue;
+    }
+    ++i;
+    switch (value[i]) {
+      case 'n':
+        raw.push_back('\n');
+        break;
+      case 'r':
+        raw.push_back('\r');
+        break;
+      case 't':
+        raw.push_back('\t');
+        break;
+      default:
+        raw.push_back(value[i]);  // Covers \\ and \".
+    }
+  }
+  return raw;
+}
+
+// One parsed triple. `object_is_literal` distinguishes "..." from <...>.
+struct Triple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+  bool object_is_literal = false;
+};
+
+// Parses one N-Triples line; returns nullopt on malformed input.
+std::optional<Triple> ParseLine(std::string_view line) {
+  auto skip_spaces = [&line](size_t pos) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+    return pos;
+  };
+  auto parse_uri = [&line](size_t pos,
+                           std::string* out) -> std::optional<size_t> {
+    if (pos >= line.size() || line[pos] != '<') return std::nullopt;
+    size_t end = line.find('>', pos + 1);
+    if (end == std::string_view::npos) return std::nullopt;
+    out->assign(line.substr(pos + 1, end - pos - 1));
+    return end + 1;
+  };
+
+  Triple triple;
+  size_t pos = skip_spaces(0);
+  auto after_subject = parse_uri(pos, &triple.subject);
+  if (!after_subject.has_value()) return std::nullopt;
+  pos = skip_spaces(*after_subject);
+  auto after_predicate = parse_uri(pos, &triple.predicate);
+  if (!after_predicate.has_value()) return std::nullopt;
+  pos = skip_spaces(*after_predicate);
+  if (pos >= line.size()) return std::nullopt;
+
+  if (line[pos] == '<') {
+    auto after_object = parse_uri(pos, &triple.object);
+    if (!after_object.has_value()) return std::nullopt;
+    pos = *after_object;
+  } else if (line[pos] == '"') {
+    // Scan to the closing unescaped quote.
+    size_t end = pos + 1;
+    while (end < line.size()) {
+      if (line[end] == '\\') {
+        end += 2;
+        continue;
+      }
+      if (line[end] == '"') break;
+      ++end;
+    }
+    if (end >= line.size()) return std::nullopt;
+    triple.object = UnescapeLiteral(line.substr(pos + 1, end - pos - 1));
+    triple.object_is_literal = true;
+    pos = end + 1;
+    // Skip optional language tag (@en) or datatype (^^<...>).
+    if (pos < line.size() && line[pos] == '@') {
+      while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') {
+        ++pos;
+      }
+    } else if (pos + 1 < line.size() && line[pos] == '^' &&
+               line[pos + 1] == '^') {
+      std::string ignored;
+      auto after = parse_uri(pos + 2, &ignored);
+      if (!after.has_value()) return std::nullopt;
+      pos = *after;
+    }
+  } else {
+    return std::nullopt;
+  }
+
+  pos = skip_spaces(pos);
+  if (pos >= line.size() || line[pos] != '.') return std::nullopt;
+  return triple;
+}
+
+}  // namespace
+
+void WriteNTriples(const EntityCollection& collection, std::ostream& out) {
+  for (const EntityDescription& entity : collection.descriptions()) {
+    if (!entity.type().empty()) {
+      out << '<' << entity.uri() << "> <" << kRdfTypePredicate << "> <"
+          << entity.type() << "> .\n";
+    }
+    for (const AttributeValue& pair : entity.pairs()) {
+      out << '<' << entity.uri() << "> <" << pair.attribute << "> \""
+          << EscapeLiteral(pair.value) << "\" .\n";
+    }
+    for (const Relation& relation : entity.relations()) {
+      out << '<' << entity.uri() << "> <" << relation.predicate << "> <"
+          << relation.target_uri << "> .\n";
+    }
+  }
+}
+
+EntityCollection ReadNTriples(std::istream& in, size_t* skipped_lines) {
+  EntityCollection collection;
+  std::unordered_map<std::string, EntityId> id_of_subject;
+  size_t skipped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view view = line;
+    // Trim trailing carriage return from CRLF files.
+    if (!view.empty() && view.back() == '\r') view.remove_suffix(1);
+    size_t first = view.find_first_not_of(" \t");
+    if (first == std::string_view::npos || view[first] == '#') continue;
+    std::optional<Triple> triple = ParseLine(view);
+    if (!triple.has_value()) {
+      ++skipped;
+      continue;
+    }
+    auto it = id_of_subject.find(triple->subject);
+    if (it == id_of_subject.end()) {
+      it = id_of_subject
+               .emplace(triple->subject,
+                        collection.Add(EntityDescription(triple->subject)))
+               .first;
+    }
+    EntityDescription& entity = collection.at(it->second);
+    if (triple->object_is_literal) {
+      entity.AddPair(std::move(triple->predicate),
+                     std::move(triple->object));
+    } else if (triple->predicate == kRdfTypePredicate) {
+      entity.set_type(std::move(triple->object));
+    } else {
+      entity.AddRelation(std::move(triple->predicate),
+                         std::move(triple->object));
+    }
+  }
+  if (skipped_lines != nullptr) *skipped_lines = skipped;
+  return collection;
+}
+
+void WriteGroundTruth(const GroundTruth& truth,
+                      const EntityCollection& collection,
+                      std::ostream& out) {
+  for (const IdPair& pair : truth.AllMatches()) {
+    out << '<' << collection[pair.low].uri() << "> <"
+        << collection[pair.high].uri() << ">\n";
+  }
+}
+
+GroundTruth ReadGroundTruth(std::istream& in,
+                            const EntityCollection& collection) {
+  GroundTruth truth;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t a_open = line.find('<');
+    size_t a_close = line.find('>', a_open);
+    if (a_open == std::string::npos || a_close == std::string::npos) {
+      continue;
+    }
+    size_t b_open = line.find('<', a_close);
+    size_t b_close = line.find('>', b_open);
+    if (b_open == std::string::npos || b_close == std::string::npos) {
+      continue;
+    }
+    auto id_a = collection.FindByUri(
+        std::string_view(line).substr(a_open + 1, a_close - a_open - 1));
+    auto id_b = collection.FindByUri(
+        std::string_view(line).substr(b_open + 1, b_close - b_open - 1));
+    if (id_a.has_value() && id_b.has_value()) {
+      truth.AddMatch(*id_a, *id_b);
+    }
+  }
+  return truth;
+}
+
+}  // namespace weber::model

@@ -1,0 +1,50 @@
+#ifndef WEBER_MODEL_IO_H_
+#define WEBER_MODEL_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/entity.h"
+#include "model/ground_truth.h"
+
+namespace weber::model {
+
+/// URI used to carry the entity type in N-Triples form.
+inline constexpr char kRdfTypePredicate[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Serialises a collection in (a pragmatic subset of) N-Triples:
+///   <subject> <predicate> "literal" .   for attribute-value pairs
+///   <subject> <predicate> <object> .    for relations
+///   <subject> <rdf:type> <type> .       for non-empty entity types
+/// Literals are escaped per N-Triples rules (backslash, quote, newline,
+/// tab, carriage return).
+void WriteNTriples(const EntityCollection& collection, std::ostream& out);
+
+/// Parses N-Triples as written by WriteNTriples (and the common subset of
+/// real exports: one triple per line, URIs in angle brackets, plain or
+/// language-/datatype-tagged literals). Triples sharing a subject are
+/// grouped into one description, in first-appearance order. Lines that
+/// are empty or start with '#' are skipped; malformed lines are counted
+/// in `skipped_lines` (if non-null) and otherwise ignored.
+///
+/// The result is a dirty collection; use EntityCollection::CleanClean on
+/// two parsed description vectors for record linkage.
+EntityCollection ReadNTriples(std::istream& in,
+                              size_t* skipped_lines = nullptr);
+
+/// Writes ground truth as lines of "<uri1> <uri2>", resolving ids through
+/// the collection.
+void WriteGroundTruth(const GroundTruth& truth,
+                      const EntityCollection& collection, std::ostream& out);
+
+/// Reads ground truth written by WriteGroundTruth against the given
+/// collection. Pairs whose URIs are unknown are skipped.
+GroundTruth ReadGroundTruth(std::istream& in,
+                            const EntityCollection& collection);
+
+}  // namespace weber::model
+
+#endif  // WEBER_MODEL_IO_H_

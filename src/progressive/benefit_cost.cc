@@ -1,0 +1,112 @@
+#include "progressive/benefit_cost.h"
+
+#include <algorithm>
+
+namespace weber::progressive {
+
+BenefitCostScheduler::BenefitCostScheduler(
+    const model::EntityCollection& collection,
+    std::vector<matching::ScoredPair> candidates, BenefitCostOptions options)
+    : options_(options) {
+  candidates_.reserve(candidates.size());
+  for (const matching::ScoredPair& scored : candidates) {
+    model::IdPair pair = scored.pair();
+    if (index_of_.contains(pair)) continue;
+    index_of_.emplace(pair, candidates_.size());
+    by_entity_[pair.low].push_back(candidates_.size());
+    by_entity_[pair.high].push_back(candidates_.size());
+    candidates_.push_back({pair, scored.score, false});
+  }
+  remaining_ = candidates_.size();
+
+  // Undirected neighbourhood of each description in the reference graph.
+  neighbors_.resize(collection.size());
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    for (const model::Relation& relation : collection[id].relations()) {
+      auto target = collection.FindByUri(relation.target_uri);
+      if (!target.has_value() || *target == id) continue;
+      neighbors_[id].push_back(*target);
+      neighbors_[*target].push_back(id);
+    }
+  }
+}
+
+void BenefitCostScheduler::BuildWindow() {
+  if (remaining_ == 0) return;
+  // Gather unresolved candidate indices and take the top-benefit slice.
+  std::vector<size_t> open;
+  open.reserve(remaining_);
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    if (!candidates_[i].done) open.push_back(i);
+  }
+  size_t take = std::min<size_t>(options_.window_size, open.size());
+  std::partial_sort(open.begin(), open.begin() + take, open.end(),
+                    [this](size_t x, size_t y) {
+                      if (candidates_[x].benefit != candidates_[y].benefit) {
+                        return candidates_[x].benefit >
+                               candidates_[y].benefit;
+                      }
+                      return candidates_[x].pair < candidates_[y].pair;
+                    });
+  window_.assign(open.begin(), open.begin() + take);
+  ++windows_built_;
+}
+
+std::optional<model::IdPair> BenefitCostScheduler::NextPair() {
+  // Drop entries resolved since they were scheduled.
+  while (!window_.empty() && candidates_[window_.front()].done) {
+    window_.pop_front();
+  }
+  if (window_.empty()) {
+    BuildWindow();
+    if (window_.empty()) return std::nullopt;
+  }
+  size_t index = window_.front();
+  window_.pop_front();
+  candidates_[index].done = true;
+  --remaining_;
+  return candidates_[index].pair;
+}
+
+void BenefitCostScheduler::BoostEntityShare(size_t candidate_index) {
+  Candidate& candidate = candidates_[candidate_index];
+  if (candidate.done || candidate.entity_boosted) return;
+  candidate.entity_boosted = true;
+  candidate.benefit += options_.entity_share_boost;
+}
+
+void BenefitCostScheduler::BoostRelational(size_t candidate_index) {
+  Candidate& candidate = candidates_[candidate_index];
+  if (candidate.done || candidate.relation_boosted) return;
+  candidate.relation_boosted = true;
+  candidate.benefit += options_.influence_boost;
+}
+
+void BenefitCostScheduler::OnResult(const model::IdPair& pair,
+                                    bool matched) {
+  if (!matched) return;
+  // Channel 1: pairs sharing an endpoint with the match.
+  for (model::EntityId endpoint : {pair.low, pair.high}) {
+    auto it = by_entity_.find(endpoint);
+    if (it == by_entity_.end()) continue;
+    for (size_t index : it->second) {
+      BoostEntityShare(index);
+    }
+  }
+  // Channel 2: pairs of descriptions related to the matched descriptions.
+  const std::vector<model::EntityId>& around_low = neighbors_[pair.low];
+  const std::vector<model::EntityId>& around_high = neighbors_[pair.high];
+  size_t fan_low = std::min(around_low.size(), options_.max_influence_fanout);
+  size_t fan_high =
+      std::min(around_high.size(), options_.max_influence_fanout);
+  for (size_t i = 0; i < fan_low; ++i) {
+    for (size_t j = 0; j < fan_high; ++j) {
+      if (around_low[i] == around_high[j]) continue;
+      auto it = index_of_.find(model::IdPair::Of(around_low[i],
+                                                 around_high[j]));
+      if (it != index_of_.end()) BoostRelational(it->second);
+    }
+  }
+}
+
+}  // namespace weber::progressive

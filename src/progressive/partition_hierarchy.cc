@@ -1,0 +1,73 @@
+#include "progressive/partition_hierarchy.h"
+
+#include <algorithm>
+
+namespace weber::progressive {
+
+PartitionHierarchyScheduler::PartitionHierarchyScheduler(
+    const model::EntityCollection& collection,
+    std::vector<size_t> prefix_levels, blocking::SortedOrderOptions options)
+    : levels_(std::move(prefix_levels)) {
+  order_ = blocking::SortedOrder(collection, options, &keys_);
+  // Defensive: enforce strictly decreasing levels.
+  std::sort(levels_.begin(), levels_.end(), std::greater<size_t>());
+  levels_.erase(std::unique(levels_.begin(), levels_.end()), levels_.end());
+  if (levels_.empty()) levels_.push_back(0);
+}
+
+size_t PartitionHierarchyScheduler::KeyLcp(size_t i, size_t j) const {
+  const std::string& a = keys_[i];
+  const std::string& b = keys_[j];
+  size_t limit = std::min(a.size(), b.size());
+  size_t lcp = 0;
+  while (lcp < limit && a[lcp] == b[lcp]) ++lcp;
+  return lcp;
+}
+
+bool PartitionHierarchyScheduler::AdvancePartition() {
+  size_t prefix = levels_[level_];
+  // Find the next run of >= 2 entities agreeing on `prefix` characters.
+  size_t start = end_;
+  while (start + 1 < order_.size()) {
+    size_t end = start + 1;
+    while (end < order_.size() && KeyLcp(start, end) >= prefix) ++end;
+    if (end - start >= 2) {
+      start_ = start;
+      end_ = end;
+      i_ = start;
+      j_ = start + 1;
+      return true;
+    }
+    start = end;
+  }
+  return false;
+}
+
+std::optional<model::IdPair> PartitionHierarchyScheduler::NextPair() {
+  while (level_ < levels_.size()) {
+    // Serve pairs from the current partition.
+    while (i_ < end_) {
+      while (j_ < end_) {
+        size_t i = i_;
+        size_t j = j_;
+        ++j_;
+        // Skip pairs that a deeper level already emitted: their common
+        // prefix reaches the deeper level's threshold.
+        if (level_ > 0 && KeyLcp(i, j) >= levels_[level_ - 1]) continue;
+        return model::IdPair::Of(order_[i], order_[j]);
+      }
+      ++i_;
+      j_ = i_ + 1;
+    }
+    if (!AdvancePartition()) {
+      ++level_;
+      start_ = 0;
+      end_ = 0;
+      i_ = 0;
+      j_ = 0;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace weber::progressive

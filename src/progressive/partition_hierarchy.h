@@ -1,0 +1,59 @@
+#ifndef WEBER_PROGRESSIVE_PARTITION_HIERARCHY_H_
+#define WEBER_PROGRESSIVE_PARTITION_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/sorted_neighborhood.h"
+#include "progressive/scheduler.h"
+
+namespace weber::progressive {
+
+/// Hierarchy-of-partitions hint (Whang et al., TKDE'13): records are
+/// partitioned at several similarity levels — here, by the length of the
+/// shared prefix of their sorted blocking keys, a monotone proxy for key
+/// distance. The hierarchy is traversed bottom-up: pairs whose keys agree
+/// on the longest prefixes (the "highly similar" descriptions) are
+/// compared first; each shallower level adds exactly the pairs whose
+/// common prefix falls between its threshold and the deeper one, so no
+/// pair is emitted twice. The final level (prefix 0) completes the
+/// schedule with all remaining pairs.
+class PartitionHierarchyScheduler : public PairScheduler {
+ public:
+  /// `prefix_levels` must be strictly decreasing and end with 0 for a
+  /// complete schedule (the default covers 8..0).
+  PartitionHierarchyScheduler(
+      const model::EntityCollection& collection,
+      std::vector<size_t> prefix_levels = {8, 6, 4, 2, 1, 0},
+      blocking::SortedOrderOptions options = {});
+
+  std::optional<model::IdPair> NextPair() override;
+
+  std::string name() const override { return "PartitionHierarchy"; }
+
+  /// Number of levels in the hierarchy.
+  size_t num_levels() const { return levels_.size(); }
+  /// The level the most recently emitted pair belonged to (0 = deepest).
+  size_t current_level() const { return level_; }
+
+ private:
+  /// Longest common prefix of the keys at sorted positions i and j.
+  size_t KeyLcp(size_t i, size_t j) const;
+  /// Advances (start_, end_) to the next partition run at the current
+  /// level; returns false when the level is exhausted.
+  bool AdvancePartition();
+
+  std::vector<model::EntityId> order_;
+  std::vector<std::string> keys_;  // Parallel to order_.
+  std::vector<size_t> levels_;     // Descending prefix lengths.
+
+  size_t level_ = 0;
+  size_t start_ = 0;  // Current partition [start_, end_).
+  size_t end_ = 0;
+  size_t i_ = 0;  // Pair cursor inside the partition.
+  size_t j_ = 0;
+};
+
+}  // namespace weber::progressive
+
+#endif  // WEBER_PROGRESSIVE_PARTITION_HIERARCHY_H_

@@ -1,0 +1,25 @@
+#include "progressive/progressive_sn.h"
+
+namespace weber::progressive {
+
+ProgressiveSnScheduler::ProgressiveSnScheduler(
+    const model::EntityCollection& collection,
+    blocking::SortedOrderOptions options)
+    : collection_(collection),
+      order_(blocking::SortedOrder(collection, options)) {}
+
+std::optional<model::IdPair> ProgressiveSnScheduler::NextPair() {
+  while (distance_ < order_.size()) {
+    if (position_ + distance_ < order_.size()) {
+      model::EntityId a = order_[position_];
+      model::EntityId b = order_[position_ + distance_];
+      ++position_;
+      return model::IdPair::Of(a, b);
+    }
+    ++distance_;
+    position_ = 0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace weber::progressive

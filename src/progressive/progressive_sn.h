@@ -1,0 +1,39 @@
+#ifndef WEBER_PROGRESSIVE_PROGRESSIVE_SN_H_
+#define WEBER_PROGRESSIVE_PROGRESSIVE_SN_H_
+
+#include <vector>
+
+#include "blocking/sorted_neighborhood.h"
+#include "progressive/scheduler.h"
+
+namespace weber::progressive {
+
+/// Progressive sorted neighbourhood (the sorted-list "hint" of Whang et
+/// al., TKDE'13): entities are sorted by blocking key once; pairs are then
+/// emitted in sliding windows of increasing size — first all pairs at sort
+/// distance 1, then distance 2, and so on. Descriptions with more similar
+/// keys are compared first, so matches concentrate at the start of the
+/// schedule.
+class ProgressiveSnScheduler : public PairScheduler {
+ public:
+  ProgressiveSnScheduler(const model::EntityCollection& collection,
+                         blocking::SortedOrderOptions options = {});
+
+  std::optional<model::IdPair> NextPair() override;
+
+  std::string name() const override { return "ProgressiveSN"; }
+
+  /// The sorted order used (exposed for PSNM and tests).
+  const std::vector<model::EntityId>& order() const { return order_; }
+
+ protected:
+  const model::EntityCollection& collection_;
+  std::vector<model::EntityId> order_;
+  /// Current sort distance (window size - 1) and position.
+  size_t distance_ = 1;
+  size_t position_ = 0;
+};
+
+}  // namespace weber::progressive
+
+#endif  // WEBER_PROGRESSIVE_PROGRESSIVE_SN_H_

@@ -1,0 +1,39 @@
+#include "progressive/psnm.h"
+
+namespace weber::progressive {
+
+PsnmScheduler::PsnmScheduler(const model::EntityCollection& collection,
+                             blocking::SortedOrderOptions options)
+    : ProgressiveSnScheduler(collection, std::move(options)) {
+  position_of_.reserve(order_.size());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    position_of_.emplace(order_[i], i);
+  }
+}
+
+std::optional<model::IdPair> PsnmScheduler::NextPair() {
+  if (!lookahead_.empty()) {
+    model::IdPair pair = lookahead_.front();
+    lookahead_.pop_front();
+    return pair;
+  }
+  return ProgressiveSnScheduler::NextPair();
+}
+
+void PsnmScheduler::OnResult(const model::IdPair& pair, bool matched) {
+  if (!matched) return;
+  auto it_low = position_of_.find(pair.low);
+  auto it_high = position_of_.find(pair.high);
+  if (it_low == position_of_.end() || it_high == position_of_.end()) return;
+  size_t i = std::min(it_low->second, it_high->second);
+  size_t j = std::max(it_low->second, it_high->second);
+  // Promote (i+1, j) and (i, j+1): the sort neighbours of a found match.
+  if (i + 1 < j) {
+    lookahead_.push_back(model::IdPair::Of(order_[i + 1], order_[j]));
+  }
+  if (j + 1 < order_.size()) {
+    lookahead_.push_back(model::IdPair::Of(order_[i], order_[j + 1]));
+  }
+}
+
+}  // namespace weber::progressive

@@ -1,0 +1,38 @@
+#ifndef WEBER_PROGRESSIVE_PSNM_H_
+#define WEBER_PROGRESSIVE_PSNM_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "progressive/progressive_sn.h"
+
+namespace weber::progressive {
+
+/// Progressive sorted neighbourhood with local lookahead (Papenbrock et
+/// al., TKDE'15): on top of the sliding-window order, whenever the pair at
+/// sorted positions (i, j) matches, the adjacent pairs (i+1, j) and
+/// (i, j+1) are promoted to the front of the schedule — matches cluster in
+/// dense regions of the sort, so the neighbours of a match are far more
+/// likely to match than the next window pair.
+class PsnmScheduler : public ProgressiveSnScheduler {
+ public:
+  PsnmScheduler(const model::EntityCollection& collection,
+                blocking::SortedOrderOptions options = {});
+
+  std::optional<model::IdPair> NextPair() override;
+
+  /// Update phase: a match triggers the lookahead promotions.
+  void OnResult(const model::IdPair& pair, bool matched) override;
+
+  std::string name() const override { return "PSNM"; }
+
+ private:
+  /// Sorted position of each entity id.
+  std::unordered_map<model::EntityId, size_t> position_of_;
+  /// Promoted pairs, served before the regular window order.
+  std::deque<model::IdPair> lookahead_;
+};
+
+}  // namespace weber::progressive
+
+#endif  // WEBER_PROGRESSIVE_PSNM_H_

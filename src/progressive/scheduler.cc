@@ -1,0 +1,29 @@
+#include "progressive/scheduler.h"
+
+namespace weber::progressive {
+
+ProgressiveRunResult RunProgressive(const model::EntityCollection& collection,
+                                    PairScheduler& scheduler,
+                                    const matching::ThresholdMatcher& matcher,
+                                    uint64_t budget,
+                                    const model::GroundTruth& truth) {
+  ProgressiveRunResult result(truth.NumMatches());
+  model::IdPairSet executed;
+  while (result.comparisons < budget) {
+    std::optional<model::IdPair> pair = scheduler.NextPair();
+    if (!pair.has_value()) break;
+    if (pair->low == pair->high) continue;
+    if (!collection.Comparable(pair->low, pair->high)) continue;
+    if (!executed.insert(*pair).second) continue;  // Already evaluated.
+    bool matched =
+        matcher.Matches(collection[pair->low], collection[pair->high]);
+    ++result.comparisons;
+    bool true_match = matched && truth.IsMatch(*pair);
+    result.curve.Record(true_match);
+    if (matched) result.reported.push_back(*pair);
+    scheduler.OnResult(*pair, matched);
+  }
+  return result;
+}
+
+}  // namespace weber::progressive

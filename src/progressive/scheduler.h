@@ -1,0 +1,87 @@
+#ifndef WEBER_PROGRESSIVE_SCHEDULER_H_
+#define WEBER_PROGRESSIVE_SCHEDULER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/progressive_curve.h"
+#include "matching/match_graph.h"
+#include "matching/matcher.h"
+#include "model/entity.h"
+#include "model/ground_truth.h"
+
+namespace weber::progressive {
+
+/// The scheduling phase of the progressive ER framework (Fig. 1 of the
+/// tutorial): decides which candidate pair is compared next. The runner
+/// feeds match results back through OnResult — the optional update phase —
+/// so schedulers can promote pairs influenced by fresh matches.
+class PairScheduler {
+ public:
+  virtual ~PairScheduler() = default;
+
+  /// The next pair to compare, or nullopt when the schedule is exhausted.
+  virtual std::optional<model::IdPair> NextPair() = 0;
+
+  /// Update-phase hook: the outcome of the comparison most recently
+  /// handed out. Default: ignore feedback (static schedules).
+  virtual void OnResult(const model::IdPair& pair, bool matched) {
+    (void)pair;
+    (void)matched;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+/// A static schedule over an explicit pair list, in the given order.
+/// Models both the unordered baseline (pairs as blocking emitted them) and
+/// ranked lists (pairs pre-sorted by a score).
+class StaticListScheduler : public PairScheduler {
+ public:
+  explicit StaticListScheduler(std::vector<model::IdPair> pairs,
+                               std::string label = "StaticList")
+      : pairs_(std::move(pairs)), label_(std::move(label)) {}
+
+  std::optional<model::IdPair> NextPair() override {
+    if (next_ >= pairs_.size()) return std::nullopt;
+    return pairs_[next_++];
+  }
+
+  std::string name() const override { return label_; }
+
+ private:
+  std::vector<model::IdPair> pairs_;
+  size_t next_ = 0;
+  std::string label_;
+};
+
+/// Outcome of a budgeted progressive run.
+struct ProgressiveRunResult {
+  /// Trajectory of true-match discovery (one step per comparison).
+  eval::ProgressiveCurve curve;
+  /// Pairs the matcher declared matching within the budget.
+  std::vector<model::IdPair> reported;
+  /// Comparisons actually executed (<= budget).
+  uint64_t comparisons = 0;
+
+  explicit ProgressiveRunResult(uint64_t total_matches)
+      : curve(total_matches) {}
+};
+
+/// Executes the progressive loop: pop a pair from the scheduler, evaluate
+/// the matcher, feed the verdict back, until `budget` comparisons have run
+/// or the schedule is exhausted. Pairs are deduplicated (a pair handed out
+/// twice is only evaluated once). The curve records *true* matches (per
+/// `truth`) so that recall-vs-budget is directly comparable across
+/// schedulers.
+ProgressiveRunResult RunProgressive(const model::EntityCollection& collection,
+                                    PairScheduler& scheduler,
+                                    const matching::ThresholdMatcher& matcher,
+                                    uint64_t budget,
+                                    const model::GroundTruth& truth);
+
+}  // namespace weber::progressive
+
+#endif  // WEBER_PROGRESSIVE_SCHEDULER_H_

@@ -1,0 +1,111 @@
+#include "simjoin/all_pairs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace weber::simjoin {
+
+namespace {
+
+bool ComparableUnderSetting(const TokenSetCollection& sets,
+                            model::EntityId a, model::EntityId b) {
+  const model::EntityCollection* collection = sets.collection();
+  return collection == nullptr || collection->Comparable(a, b);
+}
+
+}  // namespace
+
+std::vector<SimilarPair> NaiveJoin(const TokenSetCollection& sets,
+                                   double jaccard_threshold,
+                                   JoinStats* stats) {
+  std::vector<SimilarPair> results;
+  JoinStats local;
+  const std::vector<TokenSet>& all = sets.sets();
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      if (!ComparableUnderSetting(sets, all[i].entity, all[j].entity)) {
+        continue;
+      }
+      ++local.candidates;
+      ++local.verifications;
+      double sim = SortedJaccard(all[i].tokens, all[j].tokens);
+      if (sim >= jaccard_threshold) {
+        results.push_back({all[i].entity, all[j].entity, sim});
+        ++local.results;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+std::vector<SimilarPair> AllPairsJoin(const TokenSetCollection& sets,
+                                      double jaccard_threshold,
+                                      JoinStats* stats) {
+  double t = std::clamp(jaccard_threshold, 0.0, 1.0);
+  std::vector<SimilarPair> results;
+  JoinStats local;
+
+  // Process sets in ascending size order so the length filter can be
+  // applied against already-indexed (smaller or equal) sets.
+  std::vector<uint32_t> order(sets.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::vector<TokenSet>& all = sets.sets();
+  std::sort(order.begin(), order.end(), [&all](uint32_t x, uint32_t y) {
+    if (all[x].size() != all[y].size()) return all[x].size() < all[y].size();
+    return all[x].entity < all[y].entity;
+  });
+
+  // Inverted index over indexed prefixes: token -> set indices.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> index;
+  std::vector<uint32_t> candidate_of;  // Scratch: candidate set indices.
+  std::vector<uint32_t> last_seen(sets.size(), UINT32_MAX);
+
+  for (uint32_t probe_rank = 0; probe_rank < order.size(); ++probe_rank) {
+    uint32_t x = order[probe_rank];
+    const TokenSet& set_x = all[x];
+    if (set_x.tokens.empty()) continue;
+    size_t size_x = set_x.size();
+    size_t min_size =
+        static_cast<size_t>(std::ceil(t * static_cast<double>(size_x)));
+    size_t prefix_x =
+        size_x - static_cast<size_t>(std::ceil(t * size_x)) + 1;
+
+    candidate_of.clear();
+    for (size_t p = 0; p < prefix_x && p < set_x.tokens.size(); ++p) {
+      auto it = index.find(set_x.tokens[p]);
+      if (it == index.end()) continue;
+      for (uint32_t y : it->second) {
+        if (all[y].size() < min_size) continue;  // Length filter.
+        if (last_seen[y] == probe_rank) continue;  // Already a candidate.
+        last_seen[y] = probe_rank;
+        candidate_of.push_back(y);
+      }
+    }
+
+    for (uint32_t y : candidate_of) {
+      if (!ComparableUnderSetting(sets, set_x.entity, all[y].entity)) {
+        continue;
+      }
+      ++local.candidates;
+      ++local.verifications;
+      double sim = SortedJaccard(set_x.tokens, all[y].tokens);
+      if (sim >= t) {
+        model::EntityId a = std::min(set_x.entity, all[y].entity);
+        model::EntityId b = std::max(set_x.entity, all[y].entity);
+        results.push_back({a, b, sim});
+        ++local.results;
+      }
+    }
+
+    // Index x's prefix for future probes.
+    for (size_t p = 0; p < prefix_x && p < set_x.tokens.size(); ++p) {
+      index[set_x.tokens[p]].push_back(x);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+}  // namespace weber::simjoin

@@ -1,0 +1,30 @@
+#ifndef WEBER_SIMJOIN_ALL_PAIRS_H_
+#define WEBER_SIMJOIN_ALL_PAIRS_H_
+
+#include <vector>
+
+#include "simjoin/token_sets.h"
+
+namespace weber::simjoin {
+
+/// The naive quadratic set-similarity self-join: verifies every comparable
+/// pair. Baseline for the pruning-power experiments.
+std::vector<SimilarPair> NaiveJoin(const TokenSetCollection& sets,
+                                   double jaccard_threshold,
+                                   JoinStats* stats = nullptr);
+
+/// AllPairs (Bayardo et al.) self-join under Jaccard: indexes only the
+/// prefix of each set (the |x| - ceil(t*|x|) + 1 rarest tokens) and
+/// generates candidates from prefix collisions, applying the length filter
+/// |y| >= t*|x| before verification. Returns pairs with Jaccard >= t,
+/// honouring the collection's ER setting (dirty: all pairs; clean-clean:
+/// cross-source only). Requires t > 0: at t == 0 disjoint sets satisfy
+/// Jaccard >= t but can never collide in the prefix index, so only
+/// overlapping pairs are returned (same for PPJoin).
+std::vector<SimilarPair> AllPairsJoin(const TokenSetCollection& sets,
+                                      double jaccard_threshold,
+                                      JoinStats* stats = nullptr);
+
+}  // namespace weber::simjoin
+
+#endif  // WEBER_SIMJOIN_ALL_PAIRS_H_

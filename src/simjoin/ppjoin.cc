@@ -1,0 +1,100 @@
+#include "simjoin/ppjoin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace weber::simjoin {
+
+namespace {
+
+struct CandidateState {
+  uint32_t prefix_overlap = 0;
+  bool pruned = false;
+};
+
+}  // namespace
+
+std::vector<SimilarPair> PPJoin(const TokenSetCollection& sets,
+                                double jaccard_threshold,
+                                JoinStats* stats) {
+  double t = std::clamp(jaccard_threshold, 0.0, 1.0);
+  std::vector<SimilarPair> results;
+  JoinStats local;
+  const std::vector<TokenSet>& all = sets.sets();
+  const model::EntityCollection* collection = sets.collection();
+
+  std::vector<uint32_t> order(sets.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&all](uint32_t x, uint32_t y) {
+    if (all[x].size() != all[y].size()) return all[x].size() < all[y].size();
+    return all[x].entity < all[y].entity;
+  });
+
+  // token -> (set index, token position in that set's prefix).
+  std::unordered_map<uint32_t, std::vector<std::pair<uint32_t, uint32_t>>>
+      index;
+
+  for (uint32_t probe_rank = 0; probe_rank < order.size(); ++probe_rank) {
+    uint32_t x = order[probe_rank];
+    const TokenSet& set_x = all[x];
+    if (set_x.tokens.empty()) continue;
+    size_t size_x = set_x.size();
+    size_t min_size =
+        static_cast<size_t>(std::ceil(t * static_cast<double>(size_x)));
+    size_t prefix_x =
+        size_x - static_cast<size_t>(std::ceil(t * size_x)) + 1;
+
+    std::unordered_map<uint32_t, CandidateState> candidates;
+    for (uint32_t p = 0; p < prefix_x && p < set_x.tokens.size(); ++p) {
+      auto it = index.find(set_x.tokens[p]);
+      if (it == index.end()) continue;
+      for (const auto& [y, j] : it->second) {
+        const TokenSet& set_y = all[y];
+        if (set_y.size() < min_size) continue;  // Length filter.
+        CandidateState& state = candidates[y];
+        if (state.pruned) continue;
+        // Required overlap for Jaccard >= t.
+        double alpha_d = t / (1.0 + t) *
+                         static_cast<double>(size_x + set_y.size());
+        uint32_t alpha = static_cast<uint32_t>(std::ceil(alpha_d - 1e-9));
+        // Positional filter: best case, everything after the current
+        // positions matches.
+        uint32_t upper_bound =
+            1 + static_cast<uint32_t>(std::min(size_x - p - 1,
+                                               set_y.size() - j - 1));
+        if (state.prefix_overlap + upper_bound < alpha) {
+          state.pruned = true;
+        } else {
+          ++state.prefix_overlap;
+        }
+      }
+    }
+
+    for (const auto& [y, state] : candidates) {
+      if (state.pruned || state.prefix_overlap == 0) continue;
+      const TokenSet& set_y = all[y];
+      if (collection != nullptr &&
+          !collection->Comparable(set_x.entity, set_y.entity)) {
+        continue;
+      }
+      ++local.candidates;
+      ++local.verifications;
+      double sim = SortedJaccard(set_x.tokens, set_y.tokens);
+      if (sim >= t) {
+        model::EntityId a = std::min(set_x.entity, set_y.entity);
+        model::EntityId b = std::max(set_x.entity, set_y.entity);
+        results.push_back({a, b, sim});
+        ++local.results;
+      }
+    }
+
+    for (uint32_t p = 0; p < prefix_x && p < set_x.tokens.size(); ++p) {
+      index[set_x.tokens[p]].emplace_back(x, p);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+}  // namespace weber::simjoin

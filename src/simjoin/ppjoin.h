@@ -1,0 +1,21 @@
+#ifndef WEBER_SIMJOIN_PPJOIN_H_
+#define WEBER_SIMJOIN_PPJOIN_H_
+
+#include <vector>
+
+#include "simjoin/token_sets.h"
+
+namespace weber::simjoin {
+
+/// PPJoin (Xiao et al., TODS'11) self-join under Jaccard: AllPairs prefix
+/// filtering plus the positional filter — a candidate is dropped when the
+/// overlap accumulated in the prefixes plus the maximum possible overlap
+/// in the remaining suffixes cannot reach the required overlap
+/// ceil(t/(1+t) * (|x|+|y|)). Returns pairs with Jaccard >= t.
+std::vector<SimilarPair> PPJoin(const TokenSetCollection& sets,
+                                double jaccard_threshold,
+                                JoinStats* stats = nullptr);
+
+}  // namespace weber::simjoin
+
+#endif  // WEBER_SIMJOIN_PPJOIN_H_

@@ -1,0 +1,85 @@
+#include "simjoin/token_sets.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace weber::simjoin {
+
+TokenSetCollection TokenSetCollection::Build(
+    const model::EntityCollection& collection) {
+  TokenSetCollection result;
+  result.collection_ = &collection;
+
+  // Pass 1: string tokens per entity + global frequencies.
+  std::vector<std::vector<std::string>> raw(collection.size());
+  std::unordered_map<std::string, uint32_t> frequency;
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    raw[id] = text::ValueTokens(collection[id]);
+    for (const std::string& token : raw[id]) ++frequency[token];
+  }
+
+  // Assign ids by ascending (frequency, token) so ordering is total and
+  // deterministic.
+  std::vector<std::pair<uint32_t, const std::string*>> by_frequency;
+  by_frequency.reserve(frequency.size());
+  for (const auto& [token, count] : frequency) {
+    by_frequency.emplace_back(count, &token);
+  }
+  std::sort(by_frequency.begin(), by_frequency.end(),
+            [](const auto& x, const auto& y) {
+              if (x.first != y.first) return x.first < y.first;
+              return *x.second < *y.second;
+            });
+  std::unordered_map<std::string, uint32_t> token_id;
+  token_id.reserve(by_frequency.size());
+  for (uint32_t i = 0; i < by_frequency.size(); ++i) {
+    token_id.emplace(*by_frequency[i].second, i);
+  }
+  result.vocabulary_size_ = token_id.size();
+
+  // Pass 2: integer sets, sorted ascending.
+  result.sets_.reserve(collection.size());
+  for (model::EntityId id = 0; id < collection.size(); ++id) {
+    TokenSet set;
+    set.entity = id;
+    set.tokens.reserve(raw[id].size());
+    for (const std::string& token : raw[id]) {
+      set.tokens.push_back(token_id.at(token));
+    }
+    std::sort(set.tokens.begin(), set.tokens.end());
+    result.sets_.push_back(std::move(set));
+  }
+  return result;
+}
+
+size_t SortedOverlap(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+  size_t overlap = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+double SortedJaccard(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t overlap = SortedOverlap(a, b);
+  return static_cast<double>(overlap) /
+         static_cast<double>(a.size() + b.size() - overlap);
+}
+
+}  // namespace weber::simjoin

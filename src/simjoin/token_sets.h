@@ -1,0 +1,70 @@
+#ifndef WEBER_SIMJOIN_TOKEN_SETS_H_
+#define WEBER_SIMJOIN_TOKEN_SETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/entity.h"
+
+namespace weber::simjoin {
+
+/// The token set of one entity, as integer token ids sorted by ascending
+/// global frequency (the canonical order that makes prefix filtering
+/// effective: rare tokens come first).
+struct TokenSet {
+  model::EntityId entity;
+  std::vector<uint32_t> tokens;  // Strictly increasing token ids.
+
+  size_t size() const { return tokens.size(); }
+};
+
+/// Token-set view of an entity collection for set-similarity joins.
+///
+/// Token ids are assigned so that a lower id means a globally rarer token;
+/// every entity's set is sorted ascending, giving the document-frequency
+/// ordering required by AllPairs/PPJoin prefix filtering.
+class TokenSetCollection {
+ public:
+  /// Builds the view from the value tokens of each description. Entities
+  /// whose value tokens are empty get empty sets (they join with nothing).
+  static TokenSetCollection Build(const model::EntityCollection& collection);
+
+  const std::vector<TokenSet>& sets() const { return sets_; }
+  size_t size() const { return sets_.size(); }
+  size_t vocabulary_size() const { return vocabulary_size_; }
+
+  /// Non-owning pointer to the source collection (for the ER setting).
+  const model::EntityCollection* collection() const { return collection_; }
+
+ private:
+  std::vector<TokenSet> sets_;
+  size_t vocabulary_size_ = 0;
+  const model::EntityCollection* collection_ = nullptr;
+};
+
+/// Overlap of two strictly-increasing id vectors.
+size_t SortedOverlap(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b);
+
+/// Jaccard similarity of two strictly-increasing id vectors.
+double SortedJaccard(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b);
+
+/// A verified join result: Jaccard(a, b) >= the join threshold.
+struct SimilarPair {
+  model::EntityId a;
+  model::EntityId b;
+  double similarity;
+};
+
+/// Counters reported by the join algorithms, used to show the pruning
+/// power of prefix/positional filtering versus the quadratic baseline.
+struct JoinStats {
+  uint64_t candidates = 0;     // Pairs that reached verification.
+  uint64_t verifications = 0;  // Full similarity computations.
+  uint64_t results = 0;        // Pairs meeting the threshold.
+};
+
+}  // namespace weber::simjoin
+
+#endif  // WEBER_SIMJOIN_TOKEN_SETS_H_

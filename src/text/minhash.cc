@@ -1,0 +1,54 @@
+#include "text/minhash.h"
+
+#include <functional>
+#include <limits>
+
+#include "util/random.h"
+
+namespace weber::text {
+
+namespace {
+
+// Mixes a base hash with a per-function salt (SplitMix64 finaliser).
+uint64_t Mix(uint64_t value, uint64_t salt) {
+  uint64_t z = value ^ salt;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+MinHasher::MinHasher(size_t num_hashes, uint64_t seed) {
+  util::Rng rng(seed);
+  salts_.reserve(num_hashes);
+  for (size_t i = 0; i < num_hashes; ++i) {
+    salts_.push_back(rng.Next());
+  }
+}
+
+std::vector<uint64_t> MinHasher::Signature(
+    const std::vector<std::string>& tokens) const {
+  std::vector<uint64_t> signature(salts_.size(),
+                                  std::numeric_limits<uint64_t>::max());
+  for (const std::string& token : tokens) {
+    uint64_t base = std::hash<std::string>{}(token);
+    for (size_t h = 0; h < salts_.size(); ++h) {
+      uint64_t value = Mix(base, salts_[h]);
+      if (value < signature[h]) signature[h] = value;
+    }
+  }
+  return signature;
+}
+
+double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
+                                  const std::vector<uint64_t>& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+}  // namespace weber::text

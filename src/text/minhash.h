@@ -1,0 +1,36 @@
+#ifndef WEBER_TEXT_MINHASH_H_
+#define WEBER_TEXT_MINHASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace weber::text {
+
+/// MinHash signatures over token sets: `num_hashes` independent
+/// permutations approximated by seeded 64-bit mixers; the agreement rate
+/// of two signatures is an unbiased estimator of the Jaccard similarity
+/// of the underlying sets. The standard sketch behind LSH blocking at
+/// web scale.
+class MinHasher {
+ public:
+  explicit MinHasher(size_t num_hashes = 64, uint64_t seed = 1);
+
+  /// Signature of a token multiset (duplicates are irrelevant).
+  std::vector<uint64_t> Signature(
+      const std::vector<std::string>& tokens) const;
+
+  /// Fraction of agreeing positions: the Jaccard estimate. Signatures
+  /// must come from the same MinHasher.
+  static double EstimateJaccard(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b);
+
+  size_t num_hashes() const { return salts_.size(); }
+
+ private:
+  std::vector<uint64_t> salts_;
+};
+
+}  // namespace weber::text
+
+#endif  // WEBER_TEXT_MINHASH_H_

@@ -1,0 +1,36 @@
+#include "text/normalizer.h"
+
+#include <cctype>
+
+namespace weber::text {
+
+std::string Normalize(std::string_view input,
+                      const NormalizeOptions& options) {
+  std::string out;
+  out.reserve(input.size());
+  for (unsigned char c : input) {
+    if (options.lowercase && std::isupper(c)) {
+      c = static_cast<unsigned char>(std::tolower(c));
+    }
+    if (options.strip_punctuation && std::ispunct(c)) c = ' ';
+    out.push_back(static_cast<char>(c));
+  }
+  if (!options.collapse_whitespace) return out;
+
+  std::string collapsed;
+  collapsed.reserve(out.size());
+  bool in_space = true;  // Leading spaces are trimmed.
+  for (unsigned char c : out) {
+    if (std::isspace(c)) {
+      if (!in_space) collapsed.push_back(' ');
+      in_space = true;
+    } else {
+      collapsed.push_back(static_cast<char>(c));
+      in_space = false;
+    }
+  }
+  if (!collapsed.empty() && collapsed.back() == ' ') collapsed.pop_back();
+  return collapsed;
+}
+
+}  // namespace weber::text

@@ -1,0 +1,139 @@
+#include "text/phonetic.h"
+
+#include <cctype>
+
+namespace weber::text {
+
+namespace {
+
+// Soundex digit classes; 0 means "not coded" (vowels and h/w/y).
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'b':
+    case 'f':
+    case 'p':
+    case 'v':
+      return '1';
+    case 'c':
+    case 'g':
+    case 'j':
+    case 'k':
+    case 'q':
+    case 's':
+    case 'x':
+    case 'z':
+      return '2';
+    case 'd':
+    case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm':
+    case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+char LowerAlpha(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  if (!std::isalpha(u)) return '\0';
+  return static_cast<char>(std::tolower(u));
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  // Find the first alphabetic character.
+  size_t start = 0;
+  while (start < word.size() && LowerAlpha(word[start]) == '\0') ++start;
+  if (start == word.size()) return {};
+
+  char first = LowerAlpha(word[start]);
+  std::string code(1, static_cast<char>(std::toupper(first)));
+  char previous_digit = SoundexDigit(first);
+  for (size_t i = start + 1; i < word.size() && code.size() < 4; ++i) {
+    char c = LowerAlpha(word[i]);
+    if (c == '\0') break;  // Stop at the first non-letter.
+    if (c == 'h' || c == 'w') continue;  // Transparent to adjacency.
+    char digit = SoundexDigit(c);
+    if (digit != '0' && digit != previous_digit) {
+      code.push_back(digit);
+    }
+    previous_digit = digit;
+  }
+  code.resize(4, '0');
+  return code;
+}
+
+std::string PhoneticKey(std::string_view word) {
+  // Lowercase alphabetic prefix of the word.
+  std::string letters;
+  for (char raw : word) {
+    char c = LowerAlpha(raw);
+    if (c == '\0') break;
+    letters.push_back(c);
+  }
+  if (letters.empty()) return {};
+
+  // Leading digraph replacements.
+  auto starts_with = [&letters](std::string_view prefix) {
+    return letters.size() >= prefix.size() &&
+           std::string_view(letters).substr(0, prefix.size()) == prefix;
+  };
+  if (starts_with("kn") || starts_with("gn") || starts_with("pn")) {
+    letters.erase(0, 1);
+  } else if (starts_with("wr")) {
+    letters.erase(0, 1);
+  } else if (starts_with("ps")) {
+    letters.erase(0, 1);
+  } else if (starts_with("x")) {
+    letters[0] = 's';
+  }
+
+  // Interior digraphs.
+  std::string collapsed;
+  for (size_t i = 0; i < letters.size(); ++i) {
+    if (i + 1 < letters.size()) {
+      std::string_view pair = std::string_view(letters).substr(i, 2);
+      if (pair == "ph") {
+        collapsed.push_back('f');
+        ++i;
+        continue;
+      }
+      if (pair == "gh") {
+        collapsed.push_back('g');
+        ++i;
+        continue;
+      }
+      if (pair == "ck") {
+        collapsed.push_back('k');
+        ++i;
+        continue;
+      }
+      if (pair == "sh" || pair == "ch") {
+        collapsed.push_back('x');  // Shared sibilant bucket.
+        ++i;
+        continue;
+      }
+    }
+    collapsed.push_back(letters[i] == 'z' ? 's' : letters[i]);
+  }
+
+  // Keep the first letter; drop vowels after it; squeeze repeats.
+  std::string key(1, collapsed[0]);
+  for (size_t i = 1; i < collapsed.size(); ++i) {
+    char c = collapsed[i];
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u' ||
+        c == 'y' || c == 'h' || c == 'w') {
+      continue;
+    }
+    if (c != key.back()) key.push_back(c);
+  }
+  return key;
+}
+
+}  // namespace weber::text

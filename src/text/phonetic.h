@@ -1,0 +1,24 @@
+#ifndef WEBER_TEXT_PHONETIC_H_
+#define WEBER_TEXT_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace weber::text {
+
+/// American Soundex code of a word: first letter plus three digits
+/// (e.g., "robert" and "rupert" both encode as R163). Non-alphabetic
+/// input yields an empty code. The classic phonetic blocking key of the
+/// record-linkage literature: names that sound alike block together even
+/// when spelled differently.
+std::string Soundex(std::string_view word);
+
+/// A lighter phonetic normal form (NYSIIS-inspired): collapses common
+/// letter groups (PH->F, KN->N, WR->R, ...) and strips vowels after the
+/// first letter, without Soundex's fixed 4-character truncation. Retains
+/// more discriminating power on long names.
+std::string PhoneticKey(std::string_view word);
+
+}  // namespace weber::text
+
+#endif  // WEBER_TEXT_PHONETIC_H_

@@ -1,0 +1,41 @@
+#include "text/qgram.h"
+
+#include <unordered_set>
+
+namespace weber::text {
+
+std::vector<std::string> QGrams(std::string_view input, size_t q) {
+  std::vector<std::string> grams;
+  if (input.empty() || q == 0) return grams;
+  if (input.size() <= q) {
+    grams.emplace_back(input);
+    return grams;
+  }
+  grams.reserve(input.size() - q + 1);
+  for (size_t i = 0; i + q <= input.size(); ++i) {
+    grams.emplace_back(input.substr(i, q));
+  }
+  return grams;
+}
+
+std::vector<std::string> DistinctQGrams(std::string_view input, size_t q) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> distinct;
+  for (std::string& gram : QGrams(input, q)) {
+    if (seen.insert(gram).second) distinct.push_back(std::move(gram));
+  }
+  return distinct;
+}
+
+std::vector<std::string> PaddedQGrams(std::string_view input, size_t q) {
+  if (input.empty() || q == 0) return {};
+  if (q == 1) return QGrams(input, q);
+  std::string padded;
+  padded.reserve(input.size() + 2 * (q - 1));
+  padded.append(q - 1, '#');
+  padded.append(input);
+  padded.append(q - 1, '$');
+  return QGrams(padded, q);
+}
+
+}  // namespace weber::text

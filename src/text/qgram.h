@@ -1,0 +1,25 @@
+#ifndef WEBER_TEXT_QGRAM_H_
+#define WEBER_TEXT_QGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace weber::text {
+
+/// Returns the overlapping character q-grams of the input, in order of
+/// appearance (duplicates preserved). Inputs shorter than q yield a single
+/// gram equal to the whole input (if non-empty). Requires q >= 1.
+std::vector<std::string> QGrams(std::string_view input, size_t q);
+
+/// Returns the distinct q-grams of the input.
+std::vector<std::string> DistinctQGrams(std::string_view input, size_t q);
+
+/// Returns the padded q-grams: the input is framed with q-1 leading '#'
+/// and q-1 trailing '$' characters so that boundary characters participate
+/// in q grams each, as in classic q-gram similarity joins.
+std::vector<std::string> PaddedQGrams(std::string_view input, size_t q);
+
+}  // namespace weber::text
+
+#endif  // WEBER_TEXT_QGRAM_H_

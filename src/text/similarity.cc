@@ -1,0 +1,161 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "text/qgram.h"
+
+namespace weber::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the shorter string.
+  if (a.empty()) return b.size();
+  // Single-row dynamic program over the shorter string.
+  std::vector<size_t> row(a.size() + 1);
+  std::iota(row.begin(), row.end(), size_t{0});
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t diagonal = row[0];  // dp[j-1][0]
+    row[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, substitute});
+    }
+  }
+  return row[a.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t window =
+      std::max(a.size(), b.size()) / 2 > 0
+          ? std::max(a.size(), b.size()) / 2 - 1
+          : 0;
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  return (m / a.size() + m / b.size() + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + prefix * prefix_scale * (1.0 - jaro);
+}
+
+namespace {
+
+// Returns (|A ∩ B|, |A|, |B|) over distinct tokens.
+struct SetStats {
+  size_t intersection;
+  size_t size_a;
+  size_t size_b;
+};
+
+SetStats ComputeSetStats(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  std::unordered_set<std::string_view> set_a(a.begin(), a.end());
+  std::unordered_set<std::string_view> set_b(b.begin(), b.end());
+  const auto& smaller = set_a.size() <= set_b.size() ? set_a : set_b;
+  const auto& larger = set_a.size() <= set_b.size() ? set_b : set_a;
+  size_t intersection = 0;
+  for (std::string_view token : smaller) {
+    if (larger.contains(token)) ++intersection;
+  }
+  return {intersection, set_a.size(), set_b.size()};
+}
+
+}  // namespace
+
+size_t OverlapSize(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  return ComputeSetStats(a, b).intersection;
+}
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  SetStats stats = ComputeSetStats(a, b);
+  size_t union_size = stats.size_a + stats.size_b - stats.intersection;
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(stats.intersection) / union_size;
+}
+
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  SetStats stats = ComputeSetStats(a, b);
+  if (stats.size_a + stats.size_b == 0) return 1.0;
+  return 2.0 * stats.intersection / (stats.size_a + stats.size_b);
+}
+
+double CosineSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  SetStats stats = ComputeSetStats(a, b);
+  if (stats.size_a == 0 || stats.size_b == 0) {
+    return stats.size_a == stats.size_b ? 1.0 : 0.0;
+  }
+  return stats.intersection /
+         std::sqrt(static_cast<double>(stats.size_a) * stats.size_b);
+}
+
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  SetStats stats = ComputeSetStats(a, b);
+  size_t smaller = std::min(stats.size_a, stats.size_b);
+  if (smaller == 0) return stats.size_a == stats.size_b ? 1.0 : 0.0;
+  return static_cast<double>(stats.intersection) / smaller;
+}
+
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  if (a.empty()) return b.empty() ? 1.0 : 0.0;
+  if (b.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::string& token_a : a) {
+    double best = 0.0;
+    for (const std::string& token_b : b) {
+      best = std::max(best, JaroWinklerSimilarity(token_a, token_b));
+    }
+    total += best;
+  }
+  return total / a.size();
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, size_t q) {
+  return JaccardSimilarity(DistinctQGrams(a, q), DistinctQGrams(b, q));
+}
+
+}  // namespace weber::text

@@ -1,0 +1,67 @@
+#ifndef WEBER_TEXT_SIMILARITY_H_
+#define WEBER_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace weber::text {
+
+// ---------------------------------------------------------------------------
+// Character-based similarities
+// ---------------------------------------------------------------------------
+
+/// Levenshtein (edit) distance: minimum number of single-character
+/// insertions, deletions and substitutions turning a into b.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Edit distance normalised to a similarity in [0, 1]:
+/// 1 - distance / max(|a|, |b|). Two empty strings have similarity 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity in [0, 1]: Jaro boosted by a common-prefix bonus
+/// (prefix scaling factor p, prefix capped at 4 characters).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+// ---------------------------------------------------------------------------
+// Token-set similarities. Inputs need not be sorted or deduplicated; each
+// function works on the distinct-token sets of its arguments.
+// ---------------------------------------------------------------------------
+
+/// |A ∩ B| over distinct tokens.
+size_t OverlapSize(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b);
+
+/// Jaccard: |A ∩ B| / |A ∪ B|. Two empty sets have similarity 1.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Dice: 2|A ∩ B| / (|A| + |B|).
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// Set cosine: |A ∩ B| / sqrt(|A| * |B|).
+double CosineSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b);
+
+/// Overlap coefficient: |A ∩ B| / min(|A|, |B|).
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// Monge-Elkan: the mean over tokens of a of the best Jaro-Winkler match in
+/// b. Asymmetric by definition; callers wanting symmetry should average the
+/// two directions.
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b);
+
+/// Jaccard similarity of the q-gram sets of two strings; a robust default
+/// for dirty attribute values.
+double QGramJaccard(std::string_view a, std::string_view b, size_t q = 3);
+
+}  // namespace weber::text
+
+#endif  // WEBER_TEXT_SIMILARITY_H_

@@ -1,0 +1,90 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+
+namespace weber::text {
+
+TfIdfModel TfIdfModel::Fit(const model::EntityCollection& collection) {
+  TfIdfModel fitted;
+  std::vector<uint32_t> document_frequency;
+  for (const model::EntityDescription& entity : collection.descriptions()) {
+    for (const std::string& token : ValueTokens(entity)) {
+      auto [it, inserted] = fitted.vocabulary_.emplace(
+          token, static_cast<uint32_t>(document_frequency.size()));
+      if (inserted) {
+        document_frequency.push_back(1);
+      } else {
+        ++document_frequency[it->second];
+      }
+    }
+  }
+  double n = static_cast<double>(collection.size());
+  fitted.idf_.resize(document_frequency.size());
+  for (size_t i = 0; i < document_frequency.size(); ++i) {
+    fitted.idf_[i] = std::log1p(n / (1.0 + document_frequency[i]));
+  }
+  return fitted;
+}
+
+TfIdfVector TfIdfModel::Vectorize(
+    const model::EntityDescription& entity) const {
+  // Term frequencies over distinct value tokens (ValueTokens dedups, so tf
+  // here is 0/1; we still count raw occurrences across attribute values).
+  std::unordered_map<uint32_t, double> weights;
+  for (const model::AttributeValue& pair : entity.pairs()) {
+    for (const std::string& token : NormalizeAndTokenize(pair.value)) {
+      auto it = vocabulary_.find(token);
+      if (it == vocabulary_.end()) continue;
+      weights[it->second] += idf_[it->second];
+    }
+  }
+  TfIdfVector vec;
+  vec.entries.assign(weights.begin(), weights.end());
+  std::sort(vec.entries.begin(), vec.entries.end());
+  double norm = 0.0;
+  for (const auto& [id, w] : vec.entries) norm += w * w;
+  if (norm > 0.0) {
+    norm = std::sqrt(norm);
+    for (auto& [id, w] : vec.entries) w /= norm;
+  }
+  return vec;
+}
+
+double TfIdfModel::Cosine(const TfIdfVector& a, const TfIdfVector& b) {
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.entries.size() && j < b.entries.size()) {
+    if (a.entries[i].first == b.entries[j].first) {
+      dot += a.entries[i].second * b.entries[j].second;
+      ++i;
+      ++j;
+    } else if (a.entries[i].first < b.entries[j].first) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return dot;
+}
+
+std::vector<TfIdfVector> TfIdfModel::VectorizeAll(
+    const model::EntityCollection& collection) const {
+  std::vector<TfIdfVector> vectors;
+  vectors.reserve(collection.size());
+  for (const model::EntityDescription& entity : collection.descriptions()) {
+    vectors.push_back(Vectorize(entity));
+  }
+  return vectors;
+}
+
+int64_t TfIdfModel::TokenId(const std::string& token) const {
+  auto it = vocabulary_.find(token);
+  if (it == vocabulary_.end()) return -1;
+  return it->second;
+}
+
+}  // namespace weber::text

@@ -1,0 +1,56 @@
+#ifndef WEBER_TEXT_TFIDF_H_
+#define WEBER_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/entity.h"
+
+namespace weber::text {
+
+/// A sparse TF-IDF vector: token id -> weight, pre-normalised to unit
+/// length so that dot product equals cosine similarity.
+struct TfIdfVector {
+  /// (token id, weight) entries sorted by token id.
+  std::vector<std::pair<uint32_t, double>> entries;
+};
+
+/// TF-IDF vectoriser over the value tokens of an entity collection.
+///
+/// Builds a vocabulary and document frequencies from the collection and
+/// turns each description into a unit-length sparse vector. Used by the
+/// canopy-clustering blocker and by similarity matchers that weigh rare
+/// tokens higher than ubiquitous ones.
+class TfIdfModel {
+ public:
+  /// Fits the model on the collection: assigns token ids and computes
+  /// smoothed inverse document frequencies
+  /// idf(t) = ln(1 + N / (1 + df(t))).
+  static TfIdfModel Fit(const model::EntityCollection& collection);
+
+  /// Vectorises a description against the fitted vocabulary. Unknown
+  /// tokens are skipped.
+  TfIdfVector Vectorize(const model::EntityDescription& entity) const;
+
+  /// Cosine similarity of two unit vectors (their dot product).
+  static double Cosine(const TfIdfVector& a, const TfIdfVector& b);
+
+  /// Vectorises every description in the collection (index == EntityId).
+  std::vector<TfIdfVector> VectorizeAll(
+      const model::EntityCollection& collection) const;
+
+  size_t vocabulary_size() const { return idf_.size(); }
+
+  /// Returns the token id of a token, or -1 if unknown.
+  int64_t TokenId(const std::string& token) const;
+
+ private:
+  std::unordered_map<std::string, uint32_t> vocabulary_;
+  std::vector<double> idf_;  // Indexed by token id.
+};
+
+}  // namespace weber::text
+
+#endif  // WEBER_TEXT_TFIDF_H_

@@ -1,0 +1,56 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace weber::text {
+
+std::vector<std::string> TokenizeWords(std::string_view input) {
+  std::vector<std::string> tokens;
+  size_t start = 0;
+  while (start < input.size()) {
+    size_t end = input.find(' ', start);
+    if (end == std::string_view::npos) end = input.size();
+    if (end > start) tokens.emplace_back(input.substr(start, end - start));
+    start = end + 1;
+  }
+  return tokens;
+}
+
+std::vector<std::string> NormalizeAndTokenize(
+    std::string_view input, const NormalizeOptions& options) {
+  return TokenizeWords(Normalize(input, options));
+}
+
+namespace {
+
+std::vector<std::string> DistinctTokensOfValues(
+    const model::EntityDescription& entity, std::string_view attribute,
+    bool all_attributes, const NormalizeOptions& options) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> tokens;
+  for (const model::AttributeValue& pair : entity.pairs()) {
+    if (!all_attributes && pair.attribute != attribute) continue;
+    for (std::string& token : NormalizeAndTokenize(pair.value, options)) {
+      if (seen.insert(token).second) tokens.push_back(std::move(token));
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::vector<std::string> ValueTokens(const model::EntityDescription& entity,
+                                     const NormalizeOptions& options) {
+  return DistinctTokensOfValues(entity, /*attribute=*/{},
+                                /*all_attributes=*/true, options);
+}
+
+std::vector<std::string> AttributeValueTokens(
+    const model::EntityDescription& entity, std::string_view attribute,
+    const NormalizeOptions& options) {
+  return DistinctTokensOfValues(entity, attribute,
+                                /*all_attributes=*/false, options);
+}
+
+}  // namespace weber::text

@@ -1,0 +1,33 @@
+#ifndef WEBER_TEXT_TOKENIZER_H_
+#define WEBER_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/entity.h"
+#include "text/normalizer.h"
+
+namespace weber::text {
+
+/// Splits a normalised string into whitespace-delimited tokens.
+std::vector<std::string> TokenizeWords(std::string_view input);
+
+/// Normalises then tokenises the input.
+std::vector<std::string> NormalizeAndTokenize(
+    std::string_view input, const NormalizeOptions& options = {});
+
+/// Returns the distinct tokens appearing in any attribute value of the
+/// description (schema-agnostic: attribute names are ignored). This is the
+/// token universe that token blocking and meta-blocking build on.
+std::vector<std::string> ValueTokens(const model::EntityDescription& entity,
+                                     const NormalizeOptions& options = {});
+
+/// Returns the distinct tokens of one attribute's values only.
+std::vector<std::string> AttributeValueTokens(
+    const model::EntityDescription& entity, std::string_view attribute,
+    const NormalizeOptions& options = {});
+
+}  // namespace weber::text
+
+#endif  // WEBER_TEXT_TOKENIZER_H_

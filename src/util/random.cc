@@ -1,0 +1,83 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace weber::util {
+
+uint64_t Rng::Next() {
+  // SplitMix64 step.
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  if (lo >= hi) return lo;
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  return NextDouble() < probability;
+}
+
+size_t Rng::NextZipf(size_t n, double skew) {
+  // Inverse-CDF sampling over the truncated harmonic distribution. The
+  // normalisation constant is recomputed per call for simplicity; callers
+  // that need throughput should cache a ZipfTable instead (see datagen).
+  if (n <= 1) return 0;
+  double norm = 0.0;
+  for (size_t i = 0; i < n; ++i) norm += 1.0 / std::pow(i + 1.0, skew);
+  double u = NextDouble() * norm;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(i + 1.0, skew);
+    if (u <= acc) return i;
+  }
+  return n - 1;
+}
+
+size_t Rng::NextGeometric(double p) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return 0;
+  double u = NextDouble();
+  // floor(log(1-u) / log(1-p)) failures before first success.
+  return static_cast<size_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+std::string Rng::NextToken(size_t length) {
+  std::string token(length, 'a');
+  for (size_t i = 0; i < length; ++i) {
+    token[i] = static_cast<char>('a' + NextBounded(26));
+  }
+  return token;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  Shuffle(indices);
+  if (k < n) indices.resize(k);
+  return indices;
+}
+
+}  // namespace weber::util

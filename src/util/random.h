@@ -1,0 +1,74 @@
+#ifndef WEBER_UTIL_RANDOM_H_
+#define WEBER_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace weber::util {
+
+/// Deterministic pseudo-random number generator used across the library.
+///
+/// All stochastic components of weber (corpus generation, noise injection,
+/// canopy seeding, ...) draw from this class so that every experiment is
+/// reproducible from a single seed. The implementation is SplitMix64-based:
+/// small, fast, and stable across platforms, unlike std::mt19937 whose
+/// distribution helpers are not portable across standard libraries.
+class Rng {
+ public:
+  /// Creates a generator from a 64-bit seed.
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniformly distributed integer in [0, bound). Requires
+  /// bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Returns a uniformly distributed integer in [lo, hi] inclusive.
+  /// Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with the given probability (clamped to [0, 1]).
+  bool NextBool(double probability);
+
+  /// Returns a sample from a (truncated) zipf-like distribution over
+  /// [0, n): index i is drawn with probability proportional to
+  /// 1 / (i + 1)^skew. Used to model the skewed popularity of tokens and
+  /// links in Web data. Requires n > 0.
+  size_t NextZipf(size_t n, double skew);
+
+  /// Returns a sample from a geometric distribution with success
+  /// probability p in (0, 1]: the number of failures before the first
+  /// success.
+  size_t NextGeometric(double p);
+
+  /// Returns a random lowercase ASCII string of the given length.
+  std::string NextToken(size_t length);
+
+  /// Shuffles the elements of the vector in place (Fisher-Yates).
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (size_t i = items.size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// Draws k distinct indices from [0, n) uniformly at random. If k >= n,
+  /// returns all indices 0..n-1 (shuffled).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace weber::util
+
+#endif  // WEBER_UTIL_RANDOM_H_

@@ -1,0 +1,44 @@
+#ifndef WEBER_UTIL_TIMER_H_
+#define WEBER_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace weber::util {
+
+/// Monotonic wall-clock stopwatch used by benches and the progressive
+/// budget accounting.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Returns elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Returns elapsed microseconds since construction or the last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// CPU seconds consumed by the calling thread so far. Used by the
+/// MapReduce engine to measure per-worker load independently of how the
+/// host timeshares its cores (on a single-core machine, wall clock cannot
+/// show parallel speedup, but per-thread CPU time still exposes the load
+/// balance the partitioning achieves).
+double ThreadCpuSeconds();
+
+}  // namespace weber::util
+
+#endif  // WEBER_UTIL_TIMER_H_

@@ -1,0 +1,57 @@
+#include "util/union_find.h"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace weber::util {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), uint32_t{0});
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // Path halving.
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+void UnionFind::Grow(size_t n) {
+  size_t old = parent_.size();
+  if (n <= old) return;
+  parent_.resize(n);
+  size_.resize(n, 1);
+  for (size_t i = old; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  num_sets_ += n - old;
+}
+
+std::vector<std::vector<uint32_t>> UnionFind::Groups(
+    bool include_singletons) {
+  std::unordered_map<uint32_t, std::vector<uint32_t>> by_root;
+  by_root.reserve(num_sets_);
+  for (uint32_t i = 0; i < parent_.size(); ++i) {
+    by_root[Find(i)].push_back(i);
+  }
+  std::vector<std::vector<uint32_t>> groups;
+  groups.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    if (!include_singletons && members.size() < 2) continue;
+    groups.push_back(std::move(members));
+  }
+  return groups;
+}
+
+}  // namespace weber::util

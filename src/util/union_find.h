@@ -1,0 +1,56 @@
+#ifndef WEBER_UTIL_UNION_FIND_H_
+#define WEBER_UTIL_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace weber::util {
+
+/// Disjoint-set forest with union by size and path halving.
+///
+/// Used by match clustering (connected components), iterative blocking
+/// (merge tracking), and the corpus generator (duplicate cluster
+/// bookkeeping).
+class UnionFind {
+ public:
+  /// Creates n singleton sets, labelled 0..n-1.
+  explicit UnionFind(size_t n);
+
+  /// Returns the representative of x's set.
+  uint32_t Find(uint32_t x);
+
+  /// Merges the sets containing a and b. Returns true if they were
+  /// previously distinct.
+  bool Union(uint32_t a, uint32_t b);
+
+  /// Returns true if a and b are in the same set.
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Returns the size of the set containing x.
+  size_t SizeOf(uint32_t x) { return size_[Find(x)]; }
+
+  /// Returns the number of disjoint sets.
+  size_t num_sets() const { return num_sets_; }
+
+  /// Returns the number of elements.
+  size_t num_elements() const { return parent_.size(); }
+
+  /// Grows the structure to hold n elements (new elements are singletons).
+  /// No-op if n <= num_elements().
+  void Grow(size_t n);
+
+  /// Returns the members of each non-singleton set, grouped by
+  /// representative. Singletons are omitted when include_singletons is
+  /// false.
+  std::vector<std::vector<uint32_t>> Groups(bool include_singletons = false);
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t num_sets_;
+};
+
+}  // namespace weber::util
+
+#endif  // WEBER_UTIL_UNION_FIND_H_

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datagen/corpus_generator.h"
+#include "datagen/noise.h"
+#include "matching/matcher.h"
+#include "text/tokenizer.h"
+
+namespace weber::datagen {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Noise
+// ---------------------------------------------------------------------------
+
+TEST(NoiseTest, EditTokenOnceChangesAtMostOneEdit) {
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    std::string edited = EditTokenOnce("sample", rng);
+    EXPECT_GE(edited.size(), 5u);
+    EXPECT_LE(edited.size(), 7u);
+    EXPECT_FALSE(edited.empty());
+  }
+}
+
+TEST(NoiseTest, EditNeverEmptiesSingleChar) {
+  util::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(EditTokenOnce("x", rng).empty());
+  }
+}
+
+TEST(NoiseTest, ZeroNoiseIsIdentity) {
+  util::Rng rng(3);
+  NoiseConfig none;
+  none.token_edit_prob = 0.0;
+  none.token_drop_prob = 0.0;
+  none.value_shuffle_prob = 0.0;
+  none.attribute_drop_prob = 0.0;
+  EXPECT_EQ(CorruptValue("alpha beta gamma", none, rng), "alpha beta gamma");
+  model::EntityDescription base("u", "t");
+  base.AddPair("a", "one two");
+  base.AddPair("b", "three");
+  model::EntityDescription dup = CorruptDescription(base, "u2", none, rng);
+  EXPECT_EQ(dup.uri(), "u2");
+  EXPECT_EQ(dup.pairs().size(), base.pairs().size());
+  EXPECT_EQ(dup.pairs()[0].value, "one two");
+}
+
+TEST(NoiseTest, CorruptValueNeverReturnsEmptyForNonEmptyInput) {
+  util::Rng rng(5);
+  NoiseConfig heavy = SomehowSimilarNoise();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(CorruptValue("solo", heavy, rng).empty());
+  }
+}
+
+TEST(NoiseTest, CorruptDescriptionKeepsAtLeastOnePair) {
+  util::Rng rng(7);
+  NoiseConfig brutal;
+  brutal.attribute_drop_prob = 1.0;
+  model::EntityDescription base("u", "t");
+  base.AddPair("a", "one");
+  base.AddPair("b", "two");
+  model::EntityDescription dup = CorruptDescription(base, "u2", brutal, rng);
+  EXPECT_GE(dup.pairs().size(), 1u);
+}
+
+TEST(NoiseTest, AttributeRenameAppendsSuffix) {
+  util::Rng rng(9);
+  NoiseConfig rename;
+  rename.attribute_drop_prob = 0.0;
+  rename.attribute_rename_prob = 1.0;
+  model::EntityDescription base("u", "t");
+  base.AddPair("name", "x");
+  model::EntityDescription dup = CorruptDescription(base, "u2", rename, rng);
+  ASSERT_EQ(dup.pairs().size(), 1u);
+  EXPECT_EQ(dup.pairs()[0].attribute, "name_alt");
+}
+
+TEST(NoiseTest, RelationsCopiedVerbatim) {
+  util::Rng rng(11);
+  model::EntityDescription base("u", "t");
+  base.AddPair("a", "v");
+  base.AddRelation("rel", "http://kb/x");
+  model::EntityDescription dup =
+      CorruptDescription(base, "u2", SomehowSimilarNoise(), rng);
+  ASSERT_EQ(dup.relations().size(), 1u);
+  EXPECT_EQ(dup.relations()[0].target_uri, "http://kb/x");
+}
+
+// ---------------------------------------------------------------------------
+// Dirty corpus
+// ---------------------------------------------------------------------------
+
+TEST(CorpusGeneratorTest, DirtySizesAndTruth) {
+  CorpusConfig config;
+  config.num_entities = 100;
+  config.duplicate_fraction = 0.4;
+  config.max_extra_descriptions = 1;
+  config.seed = 1;
+  Corpus corpus = CorpusGenerator(config).GenerateDirty();
+  EXPECT_EQ(corpus.collection.size(), 140u);
+  EXPECT_EQ(corpus.truth.NumMatches(), 40u);
+  EXPECT_EQ(corpus.collection.setting(), model::ErSetting::kDirty);
+}
+
+TEST(CorpusGeneratorTest, DeterministicForSeed) {
+  CorpusConfig config;
+  config.num_entities = 50;
+  config.seed = 77;
+  Corpus a = CorpusGenerator(config).GenerateDirty();
+  Corpus b = CorpusGenerator(config).GenerateDirty();
+  ASSERT_EQ(a.collection.size(), b.collection.size());
+  for (model::EntityId i = 0; i < a.collection.size(); ++i) {
+    EXPECT_EQ(a.collection[i], b.collection[i]);
+  }
+  EXPECT_EQ(a.truth.NumMatches(), b.truth.NumMatches());
+}
+
+TEST(CorpusGeneratorTest, DifferentSeedsDiffer) {
+  CorpusConfig config;
+  config.num_entities = 50;
+  config.seed = 1;
+  Corpus a = CorpusGenerator(config).GenerateDirty();
+  config.seed = 2;
+  Corpus b = CorpusGenerator(config).GenerateDirty();
+  bool any_difference = false;
+  for (model::EntityId i = 0; i < a.collection.size(); ++i) {
+    if (!(a.collection[i] == b.collection[i])) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CorpusGeneratorTest, UrisAreUnique) {
+  CorpusConfig config;
+  config.num_entities = 120;
+  config.duplicate_fraction = 0.5;
+  config.seed = 3;
+  Corpus corpus = CorpusGenerator(config).GenerateDirty();
+  std::set<std::string> uris;
+  for (const auto& d : corpus.collection.descriptions()) {
+    EXPECT_TRUE(uris.insert(d.uri()).second) << "duplicate uri " << d.uri();
+  }
+}
+
+TEST(CorpusGeneratorTest, DuplicatesAreTextuallySimilar) {
+  CorpusConfig config;
+  config.num_entities = 80;
+  config.duplicate_fraction = 0.5;
+  config.somehow_similar_fraction = 0.0;
+  config.seed = 5;
+  Corpus corpus = CorpusGenerator(config).GenerateDirty();
+  matching::TokenJaccardMatcher matcher;
+  double dup_total = 0.0;
+  size_t dup_count = 0;
+  for (const model::IdPair& pair : corpus.truth.AllMatches()) {
+    dup_total += matcher.Similarity(corpus.collection[pair.low],
+                                    corpus.collection[pair.high]);
+    ++dup_count;
+  }
+  ASSERT_GT(dup_count, 0u);
+  EXPECT_GT(dup_total / dup_count, 0.5);
+}
+
+TEST(CorpusGeneratorTest, SomehowSimilarDuplicatesAreHarder) {
+  CorpusConfig easy;
+  easy.num_entities = 80;
+  easy.duplicate_fraction = 0.5;
+  easy.somehow_similar_fraction = 0.0;
+  easy.seed = 6;
+  CorpusConfig hard = easy;
+  hard.somehow_similar_fraction = 1.0;
+  matching::TokenJaccardMatcher matcher;
+  auto mean_dup_sim = [&matcher](const Corpus& corpus) {
+    double total = 0.0;
+    size_t count = 0;
+    for (const model::IdPair& pair : corpus.truth.AllMatches()) {
+      total += matcher.Similarity(corpus.collection[pair.low],
+                                  corpus.collection[pair.high]);
+      ++count;
+    }
+    return count == 0 ? 0.0 : total / count;
+  };
+  Corpus easy_corpus = CorpusGenerator(easy).GenerateDirty();
+  Corpus hard_corpus = CorpusGenerator(hard).GenerateDirty();
+  EXPECT_GT(mean_dup_sim(easy_corpus), mean_dup_sim(hard_corpus) + 0.1);
+}
+
+TEST(CorpusGeneratorTest, ZeroDuplicateFraction) {
+  CorpusConfig config;
+  config.num_entities = 30;
+  config.duplicate_fraction = 0.0;
+  config.seed = 7;
+  Corpus corpus = CorpusGenerator(config).GenerateDirty();
+  EXPECT_EQ(corpus.collection.size(), 30u);
+  EXPECT_EQ(corpus.truth.NumMatches(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Clean-clean corpus
+// ---------------------------------------------------------------------------
+
+TEST(CorpusGeneratorTest, CleanCleanStructure) {
+  CorpusConfig config;
+  config.num_entities = 60;
+  config.duplicate_fraction = 0.5;
+  config.seed = 8;
+  Corpus corpus = CorpusGenerator(config).GenerateCleanClean();
+  EXPECT_EQ(corpus.collection.setting(), model::ErSetting::kCleanClean);
+  EXPECT_EQ(corpus.collection.split(), 60u);
+  EXPECT_EQ(corpus.collection.size(), 120u);
+  EXPECT_EQ(corpus.truth.NumMatches(), 30u);
+  // Every truth pair crosses the split.
+  for (const model::IdPair& pair : corpus.truth.AllMatches()) {
+    EXPECT_TRUE(corpus.collection.Comparable(pair.low, pair.high));
+  }
+}
+
+TEST(CorpusGeneratorTest, SchemaDivergenceRenamesSourceTwoAttributes) {
+  CorpusConfig config;
+  config.num_entities = 40;
+  config.duplicate_fraction = 1.0;
+  config.schema_divergence = 1.0;
+  config.seed = 9;
+  Corpus corpus = CorpusGenerator(config).GenerateCleanClean();
+  for (model::EntityId id = 0; id < corpus.collection.size(); ++id) {
+    for (const auto& pair : corpus.collection[id].pairs()) {
+      if (corpus.collection.InFirstSource(id)) {
+        EXPECT_EQ(pair.attribute.find("_kb2"), std::string::npos);
+      } else {
+        EXPECT_NE(pair.attribute.find("_kb2"), std::string::npos);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zipf table
+// ---------------------------------------------------------------------------
+
+TEST(ZipfTableTest, SampleInRangeAndSkewed) {
+  ZipfTable table(50, 1.0);
+  util::Rng rng(10);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 5000; ++i) {
+    size_t s = table.Sample(rng);
+    ASSERT_LT(s, 50u);
+    ++counts[s];
+  }
+  EXPECT_GT(counts[0], counts[25]);
+}
+
+// ---------------------------------------------------------------------------
+// Relational corpus
+// ---------------------------------------------------------------------------
+
+RelationalConfig SmallRelationalConfig() {
+  RelationalConfig config;
+  config.tail.num_entities = 30;
+  config.tail.duplicate_fraction = 0.6;
+  config.tail.seed = 100;
+  config.head.num_entities = 40;
+  config.head.duplicate_fraction = 0.5;
+  config.head.type_name = "building";
+  config.tail.type_name = "architect";
+  config.seed = 101;
+  return config;
+}
+
+TEST(RelationalCorpusTest, TypesAndRanges) {
+  RelationalCorpus corpus =
+      RelationalCorpusGenerator(SmallRelationalConfig()).Generate();
+  ASSERT_GT(corpus.tail_end, 0u);
+  ASSERT_GT(corpus.collection.size(), corpus.tail_end);
+  for (model::EntityId id = 0; id < corpus.collection.size(); ++id) {
+    if (id < corpus.tail_end) {
+      EXPECT_EQ(corpus.collection[id].type(), "architect");
+    } else {
+      EXPECT_EQ(corpus.collection[id].type(), "building");
+    }
+  }
+}
+
+TEST(RelationalCorpusTest, HeadsReferenceResolvableTails) {
+  RelationalCorpus corpus =
+      RelationalCorpusGenerator(SmallRelationalConfig()).Generate();
+  for (model::EntityId id = corpus.tail_end; id < corpus.collection.size();
+       ++id) {
+    ASSERT_EQ(corpus.collection[id].relations().size(), 1u);
+    auto target = corpus.collection.FindByUri(
+        corpus.collection[id].relations()[0].target_uri);
+    ASSERT_TRUE(target.has_value());
+    EXPECT_LT(*target, corpus.tail_end);
+  }
+}
+
+TEST(RelationalCorpusTest, TruthNeverCrossesTypes) {
+  RelationalCorpus corpus =
+      RelationalCorpusGenerator(SmallRelationalConfig()).Generate();
+  for (const model::IdPair& pair : corpus.truth.AllMatches()) {
+    bool low_tail = pair.low < corpus.tail_end;
+    bool high_tail = pair.high < corpus.tail_end;
+    EXPECT_EQ(low_tail, high_tail);
+  }
+}
+
+TEST(RelationalCorpusTest, AmbiguousNamesExist) {
+  // The name pool is smaller than the number of head entities, so some
+  // non-matching head pairs share their full name value.
+  RelationalCorpus corpus =
+      RelationalCorpusGenerator(SmallRelationalConfig()).Generate();
+  size_t shared_name_non_matches = 0;
+  for (model::EntityId i = corpus.tail_end; i < corpus.collection.size();
+       ++i) {
+    for (model::EntityId j = i + 1; j < corpus.collection.size(); ++j) {
+      if (corpus.truth.IsMatch(i, j)) continue;
+      auto name_i = corpus.collection[i].FirstValueOf("name");
+      auto name_j = corpus.collection[j].FirstValueOf("name");
+      if (name_i.has_value() && name_i == name_j) {
+        ++shared_name_non_matches;
+      }
+    }
+  }
+  EXPECT_GT(shared_name_non_matches, 0u);
+}
+
+}  // namespace
+}  // namespace weber::datagen

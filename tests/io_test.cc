@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "datagen/corpus_generator.h"
+#include "model/io.h"
+#include "tests/test_corpus.h"
+
+namespace weber::model {
+namespace {
+
+TEST(NTriplesTest, RoundTripTinyCorpus) {
+  GroundTruth truth;
+  EntityCollection original = ::weber::testing::TinyDirty(&truth);
+  std::stringstream stream;
+  WriteNTriples(original, stream);
+  size_t skipped = 0;
+  EntityCollection parsed = ReadNTriples(stream, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (EntityId id = 0; id < original.size(); ++id) {
+    EXPECT_EQ(parsed[id], original[id]) << "entity " << id;
+  }
+}
+
+TEST(NTriplesTest, RoundTripGeneratedCorpusWithRelations) {
+  datagen::RelationalConfig config;
+  config.tail.num_entities = 20;
+  config.head.num_entities = 25;
+  config.seed = 5;
+  datagen::RelationalCorpus corpus =
+      datagen::RelationalCorpusGenerator(config).Generate();
+  std::stringstream stream;
+  WriteNTriples(corpus.collection, stream);
+  EntityCollection parsed = ReadNTriples(stream);
+  ASSERT_EQ(parsed.size(), corpus.collection.size());
+  for (EntityId id = 0; id < parsed.size(); ++id) {
+    EXPECT_EQ(parsed[id], corpus.collection[id]) << "entity " << id;
+  }
+}
+
+TEST(NTriplesTest, EscapedLiterals) {
+  EntityCollection collection;
+  EntityDescription tricky("http://kb/x");
+  tricky.AddPair("note", "line1\nline2\t\"quoted\" back\\slash");
+  collection.Add(tricky);
+  std::stringstream stream;
+  WriteNTriples(collection, stream);
+  EntityCollection parsed = ReadNTriples(stream);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].pairs()[0].value,
+            "line1\nline2\t\"quoted\" back\\slash");
+}
+
+TEST(NTriplesTest, ParsesLanguageTagsAndDatatypes) {
+  std::stringstream stream(
+      "<http://kb/a> <name> \"Berlin\"@de .\n"
+      "<http://kb/a> <pop> "
+      "\"3645000\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n");
+  EntityCollection parsed = ReadNTriples(stream);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].pairs().size(), 2u);
+  EXPECT_EQ(parsed[0].pairs()[0].value, "Berlin");
+  EXPECT_EQ(parsed[0].pairs()[1].value, "3645000");
+}
+
+TEST(NTriplesTest, SkipsCommentsBlanksAndMalformedLines) {
+  std::stringstream stream(
+      "# a comment\n"
+      "\n"
+      "not a triple at all\n"
+      "<http://kb/a> <name> \"ok\" .\n"
+      "<http://kb/b> <name> \"missing dot\"\n");
+  size_t skipped = 0;
+  EntityCollection parsed = ReadNTriples(stream, &skipped);
+  EXPECT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(skipped, 2u);  // "not a triple" + "missing dot".
+}
+
+TEST(NTriplesTest, TypeTripleSetsType) {
+  std::stringstream stream(
+      "<http://kb/a> "
+      "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <person> .\n"
+      "<http://kb/a> <name> \"x\" .\n");
+  EntityCollection parsed = ReadNTriples(stream);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].type(), "person");
+}
+
+TEST(NTriplesTest, CrlfLineEndings) {
+  std::stringstream stream("<http://kb/a> <name> \"x\" .\r\n");
+  size_t skipped = 0;
+  EntityCollection parsed = ReadNTriples(stream, &skipped);
+  EXPECT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(skipped, 0u);
+}
+
+TEST(GroundTruthIoTest, RoundTrip) {
+  GroundTruth truth;
+  EntityCollection collection = ::weber::testing::TinyDirty(&truth);
+  std::stringstream stream;
+  WriteGroundTruth(truth, collection, stream);
+  GroundTruth parsed = ReadGroundTruth(stream, collection);
+  EXPECT_EQ(parsed.NumMatches(), truth.NumMatches());
+  EXPECT_TRUE(parsed.IsMatch(0, 1));
+  EXPECT_TRUE(parsed.IsMatch(2, 3));
+}
+
+TEST(GroundTruthIoTest, UnknownUrisSkipped) {
+  GroundTruth truth;
+  EntityCollection collection = ::weber::testing::TinyDirty(&truth);
+  std::stringstream stream("<http://kb/a/0> <http://unknown/x>\n");
+  GroundTruth parsed = ReadGroundTruth(stream, collection);
+  EXPECT_EQ(parsed.NumMatches(), 0u);
+}
+
+}  // namespace
+}  // namespace weber::model

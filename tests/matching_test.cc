@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "datagen/corpus_generator.h"
+#include "text/tokenizer.h"
+#include "matching/clustering.h"
+#include "matching/match_graph.h"
+#include "matching/matcher.h"
+#include "tests/test_corpus.h"
+
+namespace weber::matching {
+namespace {
+
+using ::weber::testing::TinyDirty;
+
+// ---------------------------------------------------------------------------
+// Matchers
+// ---------------------------------------------------------------------------
+
+TEST(TokenJaccardMatcherTest, DuplicatesScoreHigher) {
+  model::GroundTruth truth;
+  model::EntityCollection c = TinyDirty(&truth);
+  TokenJaccardMatcher matcher;
+  double dup = matcher.Similarity(c[0], c[1]);
+  double non_dup = matcher.Similarity(c[0], c[4]);
+  EXPECT_GT(dup, non_dup);
+  EXPECT_DOUBLE_EQ(matcher.Similarity(c[0], c[0]), 1.0);
+}
+
+TEST(TokenOverlapMatcherTest, SubsetScoresOne) {
+  model::EntityDescription small("u1");
+  small.AddPair("p", "alpha beta");
+  model::EntityDescription big("u2");
+  big.AddPair("p", "alpha beta gamma delta");
+  TokenOverlapMatcher matcher;
+  EXPECT_DOUBLE_EQ(matcher.Similarity(small, big), 1.0);
+  TokenJaccardMatcher jaccard;
+  EXPECT_LT(jaccard.Similarity(small, big), 1.0);
+}
+
+TEST(TokenOverlapMatcherTest, MonotoneUnderMerge) {
+  // The representativity property: merging can never lose a match against
+  // a smaller record. Checked over a generated corpus.
+  datagen::CorpusConfig config;
+  config.num_entities = 40;
+  config.duplicate_fraction = 1.0;
+  config.seed = 77;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).GenerateDirty();
+  const model::EntityCollection& c = corpus.collection;
+  TokenOverlapMatcher matcher;
+  int checked = 0;
+  for (model::EntityId a = 0; a < 20; ++a) {
+    for (model::EntityId b = a + 1; b < 20; ++b) {
+      model::EntityDescription merged = c[a];
+      merged.MergeFrom(c[b]);
+      for (model::EntityId third = 20; third < 30; ++third) {
+        // Only the smaller-third case is guaranteed monotone.
+        auto third_tokens = text::ValueTokens(c[third]);
+        auto a_tokens = text::ValueTokens(c[a]);
+        auto b_tokens = text::ValueTokens(c[b]);
+        if (third_tokens.size() > std::min(a_tokens.size(),
+                                           b_tokens.size())) {
+          continue;
+        }
+        double before = std::max(matcher.Similarity(c[a], c[third]),
+                                 matcher.Similarity(c[b], c[third]));
+        double after = matcher.Similarity(merged, c[third]);
+        EXPECT_GE(after, before - 1e-12);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(ThresholdMatcherTest, DecisionBoundary) {
+  model::EntityCollection c = TinyDirty(nullptr);
+  TokenJaccardMatcher matcher;
+  ThresholdMatcher strict(&matcher, 0.99);
+  ThresholdMatcher loose(&matcher, 0.1);
+  EXPECT_FALSE(strict.Matches(c[0], c[1]));
+  EXPECT_TRUE(loose.Matches(c[0], c[1]));
+  EXPECT_DOUBLE_EQ(strict.threshold(), 0.99);
+}
+
+TEST(WeightedAttributeMatcherTest, WeightsAndMissingAttributes) {
+  model::EntityCollection c = TinyDirty(nullptr);
+  WeightedAttributeMatcher matcher({{"name", 2.0, true},
+                                    {"city", 1.0, false}});
+  double dup = matcher.Similarity(c[0], c[1]);
+  double non_dup = matcher.Similarity(c[0], c[5]);
+  EXPECT_GT(dup, 0.7);
+  EXPECT_LT(non_dup, 0.5);
+  // Descriptions missing every rule attribute score 0.
+  model::EntityDescription empty("u");
+  EXPECT_DOUBLE_EQ(matcher.Similarity(empty, c[0]), 0.0);
+}
+
+TEST(WeightedAttributeMatcherTest, NoRulesScoresZero) {
+  model::EntityCollection c = TinyDirty(nullptr);
+  WeightedAttributeMatcher matcher({});
+  EXPECT_DOUBLE_EQ(matcher.Similarity(c[0], c[1]), 0.0);
+}
+
+TEST(TfIdfCosineMatcherTest, WorksOnMergedDescriptions) {
+  model::EntityCollection c = TinyDirty(nullptr);
+  TfIdfCosineMatcher matcher(c);
+  model::EntityDescription merged = c[0];
+  merged.MergeFrom(c[1]);
+  // Merged description still highly similar to its parts.
+  EXPECT_GT(matcher.Similarity(merged, c[0]), 0.7);
+}
+
+TEST(OracleMatcherTest, PerfectOracle) {
+  model::GroundTruth truth;
+  model::EntityCollection c = TinyDirty(&truth);
+  OracleMatcher oracle(c, truth, 0.0);
+  EXPECT_DOUBLE_EQ(oracle.Similarity(c[0], c[1]), 1.0);
+  EXPECT_DOUBLE_EQ(oracle.Similarity(c[0], c[2]), 0.0);
+}
+
+TEST(OracleMatcherTest, NoisyOracleIsDeterministicPerPair) {
+  model::GroundTruth truth;
+  model::EntityCollection c = TinyDirty(&truth);
+  OracleMatcher oracle(c, truth, 0.3, /*seed=*/5);
+  double first = oracle.Similarity(c[0], c[1]);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(oracle.Similarity(c[0], c[1]), first);
+  }
+}
+
+TEST(OracleMatcherTest, NoiseFlipsSomeVerdicts) {
+  datagen::CorpusConfig config;
+  config.num_entities = 100;
+  config.seed = 71;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).GenerateDirty();
+  OracleMatcher noisy(corpus.collection, corpus.truth, 0.5, 3);
+  OracleMatcher perfect(corpus.collection, corpus.truth, 0.0);
+  int disagreements = 0;
+  for (model::EntityId i = 0; i < 40; ++i) {
+    for (model::EntityId j = i + 1; j < 40; ++j) {
+      if (noisy.Similarity(corpus.collection[i], corpus.collection[j]) !=
+          perfect.Similarity(corpus.collection[i], corpus.collection[j])) {
+        ++disagreements;
+      }
+    }
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(OracleMatcherTest, UnknownUriScoresZero) {
+  model::GroundTruth truth;
+  model::EntityCollection c = TinyDirty(&truth);
+  OracleMatcher oracle(c, truth, 0.0);
+  model::EntityDescription stranger("http://elsewhere/x");
+  EXPECT_DOUBLE_EQ(oracle.Similarity(stranger, c[0]), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// CompositeMatcher
+// ---------------------------------------------------------------------------
+
+TEST(CompositeMatcherTest, WeightedAverage) {
+  model::EntityCollection c = TinyDirty(nullptr);
+  TokenJaccardMatcher jaccard;
+  TokenOverlapMatcher overlap;
+  CompositeMatcher composite({&jaccard, &overlap}, {3.0, 1.0});
+  double expected = (3.0 * jaccard.Similarity(c[0], c[1]) +
+                     1.0 * overlap.Similarity(c[0], c[1])) /
+                    4.0;
+  EXPECT_DOUBLE_EQ(composite.Similarity(c[0], c[1]), expected);
+}
+
+TEST(CompositeMatcherTest, MaxAndMinCombinators) {
+  model::EntityCollection c = TinyDirty(nullptr);
+  TokenJaccardMatcher jaccard;
+  TokenOverlapMatcher overlap;
+  CompositeMatcher max_of({&jaccard, &overlap}, {},
+                          CompositeMatcher::Combine::kMax);
+  CompositeMatcher min_of({&jaccard, &overlap}, {},
+                          CompositeMatcher::Combine::kMin);
+  double j = jaccard.Similarity(c[0], c[1]);
+  double o = overlap.Similarity(c[0], c[1]);
+  EXPECT_DOUBLE_EQ(max_of.Similarity(c[0], c[1]), std::max(j, o));
+  EXPECT_DOUBLE_EQ(min_of.Similarity(c[0], c[1]), std::min(j, o));
+  EXPECT_LE(min_of.Similarity(c[0], c[1]), max_of.Similarity(c[0], c[1]));
+}
+
+TEST(CompositeMatcherTest, EmptyComponentsScoreZero) {
+  model::EntityCollection c = TinyDirty(nullptr);
+  CompositeMatcher composite({}, {});
+  EXPECT_DOUBLE_EQ(composite.Similarity(c[0], c[1]), 0.0);
+}
+
+TEST(CompositeMatcherTest, MissingWeightsDefaultToOne) {
+  model::EntityCollection c = TinyDirty(nullptr);
+  TokenJaccardMatcher jaccard;
+  TokenOverlapMatcher overlap;
+  CompositeMatcher implicit({&jaccard, &overlap}, {});
+  double expected = (jaccard.Similarity(c[0], c[1]) +
+                     overlap.Similarity(c[0], c[1])) /
+                    2.0;
+  EXPECT_DOUBLE_EQ(implicit.Similarity(c[0], c[1]), expected);
+}
+
+// ---------------------------------------------------------------------------
+// MatchGraph
+// ---------------------------------------------------------------------------
+
+TEST(MatchGraphTest, AddAndContains) {
+  MatchGraph graph(6);
+  EXPECT_TRUE(graph.AddMatch(0, 1, 0.9));
+  EXPECT_FALSE(graph.AddMatch(1, 0, 0.8));  // Duplicate (canonical).
+  EXPECT_FALSE(graph.AddMatch(2, 2));       // Self.
+  EXPECT_TRUE(graph.Contains(0, 1));
+  EXPECT_TRUE(graph.Contains(1, 0));
+  EXPECT_FALSE(graph.Contains(0, 2));
+  EXPECT_EQ(graph.NumMatches(), 1u);
+  EXPECT_EQ(graph.Pairs().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Clustering
+// ---------------------------------------------------------------------------
+
+TEST(ClusteringTest, ConnectedComponentsTransitive) {
+  MatchGraph graph(6);
+  graph.AddMatch(0, 1);
+  graph.AddMatch(1, 2);
+  Clusters clusters = ConnectedComponents(graph);
+  // {0,1,2} plus singletons 3,4,5.
+  EXPECT_EQ(clusters.size(), 4u);
+  size_t largest = 0;
+  for (const auto& cluster : clusters) {
+    largest = std::max(largest, cluster.size());
+  }
+  EXPECT_EQ(largest, 3u);
+}
+
+TEST(ClusteringTest, CenterClusteringBreaksWeakChains) {
+  // Star-ish chain 0-1 (strong), 1-2 (weak), 2-3 (strong): connected
+  // components collapse all four; center clustering keeps two pairs.
+  MatchGraph graph(4);
+  graph.AddMatch(0, 1, 0.95);
+  graph.AddMatch(2, 3, 0.9);
+  graph.AddMatch(1, 2, 0.2);
+  Clusters cc = ConnectedComponents(graph);
+  Clusters center = CenterClustering(graph);
+  size_t cc_largest = 0;
+  for (const auto& cluster : cc) cc_largest = std::max(cc_largest, cluster.size());
+  size_t center_largest = 0;
+  for (const auto& cluster : center) {
+    center_largest = std::max(center_largest, cluster.size());
+  }
+  EXPECT_EQ(cc_largest, 4u);
+  EXPECT_EQ(center_largest, 2u);
+}
+
+TEST(ClusteringTest, MergeCenterMergesCenterCenterEdges) {
+  // 0-1 strong makes 0 a center; 2-3 strong makes 2 a center; 0-2 edge
+  // merges the two clusters under merge-center but not under center.
+  MatchGraph graph(4);
+  graph.AddMatch(0, 1, 0.95);
+  graph.AddMatch(2, 3, 0.9);
+  graph.AddMatch(0, 2, 0.5);
+  Clusters center = CenterClustering(graph);
+  Clusters merge_center = MergeCenterClustering(graph);
+  auto largest = [](const Clusters& clusters) {
+    size_t best = 0;
+    for (const auto& cluster : clusters) best = std::max(best, cluster.size());
+    return best;
+  };
+  EXPECT_EQ(largest(center), 2u);
+  EXPECT_EQ(largest(merge_center), 4u);
+}
+
+TEST(ClusteringTest, ClusterPairsExpandsIntraClusterPairs) {
+  Clusters clusters = {{0, 1, 2}, {3}, {4, 5}};
+  auto pairs = ClusterPairs(clusters);
+  EXPECT_EQ(pairs.size(), 4u);  // 3 + 0 + 1.
+}
+
+TEST(ClusteringTest, EmptyGraphAllSingletons) {
+  MatchGraph graph(3);
+  EXPECT_EQ(ConnectedComponents(graph).size(), 3u);
+  EXPECT_EQ(CenterClustering(graph).size(), 3u);
+  EXPECT_EQ(MergeCenterClustering(graph).size(), 3u);
+}
+
+}  // namespace
+}  // namespace weber::matching

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "model/entity.h"
+#include "model/ground_truth.h"
+
+namespace weber::model {
+namespace {
+
+EntityDescription MakePerson(const std::string& uri, const std::string& name,
+                             const std::string& city) {
+  EntityDescription d(uri, "person");
+  d.AddPair("name", name);
+  d.AddPair("city", city);
+  return d;
+}
+
+TEST(EntityDescriptionTest, PairsAndValues) {
+  EntityDescription d("http://kb/a");
+  d.AddPair("name", "Alan Turing");
+  d.AddPair("name", "A. M. Turing");
+  d.AddPair("born", "1912");
+  EXPECT_EQ(d.size(), 3u);
+  auto names = d.ValuesOf("name");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "Alan Turing");
+  EXPECT_EQ(d.FirstValueOf("born").value(), "1912");
+  EXPECT_FALSE(d.FirstValueOf("died").has_value());
+}
+
+TEST(EntityDescriptionTest, AttributeNamesInFirstAppearanceOrder) {
+  EntityDescription d("u");
+  d.AddPair("b", "1");
+  d.AddPair("a", "2");
+  d.AddPair("b", "3");
+  auto names = d.AttributeNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "b");
+  EXPECT_EQ(names[1], "a");
+}
+
+TEST(EntityDescriptionTest, MergeFromUnionsWithoutDuplicates) {
+  EntityDescription a = MakePerson("u1", "Grace Hopper", "NYC");
+  EntityDescription b = MakePerson("u2", "Grace Hopper", "Arlington");
+  b.AddRelation("worksFor", "http://kb/navy");
+  a.MergeFrom(b);
+  EXPECT_EQ(a.size(), 3u);  // name deduplicated, two cities.
+  EXPECT_EQ(a.ValuesOf("city").size(), 2u);
+  EXPECT_EQ(a.relations().size(), 1u);
+  // Merging again changes nothing.
+  a.MergeFrom(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.relations().size(), 1u);
+}
+
+TEST(EntityDescriptionTest, MergeFromFillsEmptyType) {
+  EntityDescription a("u1");
+  EntityDescription b("u2", "person");
+  a.MergeFrom(b);
+  EXPECT_EQ(a.type(), "person");
+}
+
+TEST(EntityDescriptionTest, EmptyChecks) {
+  EntityDescription d("u");
+  EXPECT_TRUE(d.empty());
+  d.AddRelation("p", "u2");
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(EntityCollectionTest, DirtySettingComparability) {
+  EntityCollection c;
+  EntityId a = c.Add(MakePerson("u1", "x", "y"));
+  EntityId b = c.Add(MakePerson("u2", "x", "y"));
+  EXPECT_EQ(c.setting(), ErSetting::kDirty);
+  EXPECT_TRUE(c.Comparable(a, b));
+  EXPECT_FALSE(c.Comparable(a, a));
+  EXPECT_EQ(c.TotalComparisons(), 1u);
+}
+
+TEST(EntityCollectionTest, CleanCleanComparability) {
+  std::vector<EntityDescription> s1 = {MakePerson("a1", "x", "y"),
+                                       MakePerson("a2", "x", "y")};
+  std::vector<EntityDescription> s2 = {MakePerson("b1", "x", "y"),
+                                       MakePerson("b2", "x", "y"),
+                                       MakePerson("b3", "x", "y")};
+  EntityCollection c = EntityCollection::CleanClean(std::move(s1),
+                                                    std::move(s2));
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.split(), 2u);
+  EXPECT_TRUE(c.InFirstSource(0));
+  EXPECT_FALSE(c.InFirstSource(2));
+  EXPECT_TRUE(c.Comparable(0, 3));
+  EXPECT_FALSE(c.Comparable(0, 1));   // Same source.
+  EXPECT_FALSE(c.Comparable(2, 4));   // Same source.
+  EXPECT_EQ(c.TotalComparisons(), 6u);
+}
+
+TEST(EntityCollectionTest, FindByUri) {
+  EntityCollection c;
+  c.Add(MakePerson("http://kb/1", "x", "y"));
+  EntityId b = c.Add(MakePerson("http://kb/2", "x", "y"));
+  EXPECT_EQ(c.FindByUri("http://kb/2").value(), b);
+  EXPECT_FALSE(c.FindByUri("http://kb/404").has_value());
+  // Additions after the first lookup are indexed too.
+  EntityId d = c.Add(MakePerson("http://kb/3", "x", "y"));
+  EXPECT_EQ(c.FindByUri("http://kb/3").value(), d);
+}
+
+TEST(IdPairTest, CanonicalOrderAndEquality) {
+  IdPair p = IdPair::Of(9, 3);
+  EXPECT_EQ(p.low, 3u);
+  EXPECT_EQ(p.high, 9u);
+  EXPECT_EQ(p, IdPair::Of(3, 9));
+  EXPECT_LT(IdPair::Of(1, 2), IdPair::Of(1, 3));
+  EXPECT_LT(IdPair::Of(1, 9), IdPair::Of(2, 3));
+}
+
+TEST(GroundTruthTest, DirectMatches) {
+  GroundTruth truth;
+  truth.AddMatch(1, 2);
+  EXPECT_TRUE(truth.IsMatch(1, 2));
+  EXPECT_TRUE(truth.IsMatch(2, 1));
+  EXPECT_FALSE(truth.IsMatch(1, 3));
+  EXPECT_FALSE(truth.IsMatch(1, 1));
+  EXPECT_EQ(truth.NumMatches(), 1u);
+}
+
+TEST(GroundTruthTest, TransitiveClosure) {
+  GroundTruth truth;
+  truth.AddMatch(1, 2);
+  truth.AddMatch(2, 3);
+  EXPECT_TRUE(truth.IsMatch(1, 3));
+  EXPECT_EQ(truth.NumMatches(), 3u);  // {1,2},{2,3},{1,3}.
+  auto clusters = truth.Clusters();
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 3u);
+}
+
+TEST(GroundTruthTest, SelfAndDuplicateAddsIgnored) {
+  GroundTruth truth;
+  truth.AddMatch(4, 4);
+  truth.AddMatch(5, 6);
+  truth.AddMatch(6, 5);
+  EXPECT_EQ(truth.NumMatches(), 1u);
+}
+
+TEST(GroundTruthTest, MultipleClusters) {
+  GroundTruth truth;
+  truth.AddMatch(0, 1);
+  truth.AddMatch(5, 6);
+  truth.AddMatch(6, 7);
+  truth.AddMatch(7, 8);
+  EXPECT_EQ(truth.NumMatches(), 1u + 6u);
+  EXPECT_EQ(truth.Clusters().size(), 2u);
+  EXPECT_FALSE(truth.IsMatch(1, 5));
+}
+
+TEST(GroundTruthTest, IncrementalAddsInvalidateCaches) {
+  GroundTruth truth;
+  truth.AddMatch(0, 1);
+  EXPECT_EQ(truth.NumMatches(), 1u);
+  truth.AddMatch(1, 2);
+  EXPECT_EQ(truth.NumMatches(), 3u);
+  EXPECT_TRUE(truth.IsMatch(0, 2));
+}
+
+TEST(GroundTruthTest, AllMatchesReturnsClosure) {
+  GroundTruth truth;
+  truth.AddMatch(10, 11);
+  truth.AddMatch(11, 12);
+  auto all = truth.AllMatches();
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(GroundTruthTest, EmptyTruth) {
+  GroundTruth truth;
+  EXPECT_EQ(truth.NumMatches(), 0u);
+  EXPECT_TRUE(truth.AllMatches().empty());
+  EXPECT_TRUE(truth.Clusters().empty());
+  EXPECT_FALSE(truth.IsMatch(0, 1));
+}
+
+}  // namespace
+}  // namespace weber::model

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blocking/token_blocking.h"
+#include "core/pipeline.h"
+#include "datagen/corpus_generator.h"
+#include "eval/match_metrics.h"
+#include "matching/matcher.h"
+#include "progressive/progressive_sn.h"
+#include "tests/test_corpus.h"
+
+namespace weber::core {
+namespace {
+
+using ::weber::testing::TinyDirty;
+
+datagen::Corpus MediumCorpus(uint64_t seed = 19) {
+  datagen::CorpusConfig config;
+  config.num_entities = 120;
+  config.duplicate_fraction = 0.5;
+  config.seed = seed;
+  return datagen::CorpusGenerator(config).GenerateDirty();
+}
+
+TEST(PipelineTest, EndToEndOnTinyCorpus) {
+  model::GroundTruth truth;
+  model::EntityCollection c = TinyDirty(&truth);
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  PipelineConfig config;
+  config.blocker = &blocker;
+  config.matcher = &matcher;
+  config.match_threshold = 0.45;
+  PipelineResult result = RunPipeline(c, truth, config);
+  EXPECT_GT(result.candidates, 0u);
+  EXPECT_EQ(result.comparisons, result.candidates);  // No budget.
+  eval::MatchQuality q = eval::EvaluateMatchPairs(result.matches, truth);
+  EXPECT_DOUBLE_EQ(q.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(q.Precision(), 1.0);
+}
+
+TEST(PipelineTest, BudgetLimitsComparisons) {
+  datagen::Corpus corpus = MediumCorpus();
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  PipelineConfig config;
+  config.blocker = &blocker;
+  config.matcher = &matcher;
+  config.match_threshold = 0.5;
+  config.budget = 50;
+  PipelineResult result = RunPipeline(corpus.collection, corpus.truth, config);
+  EXPECT_EQ(result.comparisons, 50u);
+  EXPECT_EQ(result.curve.NumComparisons(), 50u);
+}
+
+TEST(PipelineTest, MetaBlockingShrinksCandidates) {
+  datagen::Corpus corpus = MediumCorpus(23);
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  PipelineConfig plain;
+  plain.blocker = &blocker;
+  plain.matcher = &matcher;
+  plain.match_threshold = 0.5;
+  PipelineConfig meta = plain;
+  meta.meta_blocking = {{metablocking::WeightScheme::kJs,
+                         metablocking::PruningScheme::kWnp}};
+  PipelineResult plain_result =
+      RunPipeline(corpus.collection, corpus.truth, plain);
+  PipelineResult meta_result =
+      RunPipeline(corpus.collection, corpus.truth, meta);
+  EXPECT_LT(meta_result.candidates, plain_result.candidates);
+  // Meta-blocking preserves most of the recall at a fraction of the cost.
+  eval::MatchQuality plain_q =
+      eval::EvaluateMatchPairs(plain_result.matches, corpus.truth);
+  eval::MatchQuality meta_q =
+      eval::EvaluateMatchPairs(meta_result.matches, corpus.truth);
+  EXPECT_GE(meta_q.Recall(), 0.6 * plain_q.Recall());
+}
+
+TEST(PipelineTest, BlockCleaningReducesCandidates) {
+  datagen::Corpus corpus = MediumCorpus(29);
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  PipelineConfig plain;
+  plain.blocker = &blocker;
+  plain.matcher = &matcher;
+  PipelineConfig cleaned = plain;
+  cleaned.auto_purge = true;
+  cleaned.filter_ratio = 0.6;
+  PipelineResult plain_result =
+      RunPipeline(corpus.collection, corpus.truth, plain);
+  PipelineResult cleaned_result =
+      RunPipeline(corpus.collection, corpus.truth, cleaned);
+  EXPECT_LT(cleaned_result.candidates, plain_result.candidates);
+}
+
+TEST(PipelineTest, ProgressiveSchedulerImprovesEarlyRecall) {
+  datagen::Corpus corpus = MediumCorpus(31);
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  uint64_t budget = corpus.collection.size() * 2;
+
+  PipelineConfig unordered;
+  unordered.blocker = &blocker;
+  unordered.matcher = &matcher;
+  unordered.match_threshold = 0.5;
+  unordered.budget = budget;
+
+  PipelineConfig progressive_config = unordered;
+  progressive_config.make_scheduler =
+      [](const model::EntityCollection& collection,
+         std::vector<model::IdPair> candidates)
+      -> std::unique_ptr<progressive::PairScheduler> {
+    (void)candidates;  // The SN scheduler derives its own order.
+    return std::make_unique<progressive::ProgressiveSnScheduler>(collection);
+  };
+
+  PipelineResult unordered_result =
+      RunPipeline(corpus.collection, corpus.truth, unordered);
+  PipelineResult progressive_result =
+      RunPipeline(corpus.collection, corpus.truth, progressive_config);
+  EXPECT_GT(progressive_result.curve.RecallAt(budget),
+            unordered_result.curve.RecallAt(budget));
+}
+
+TEST(PipelineTest, ClusteringChoiceChangesGranularity) {
+  datagen::Corpus corpus = MediumCorpus(37);
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  PipelineConfig config;
+  config.blocker = &blocker;
+  config.matcher = &matcher;
+  config.match_threshold = 0.35;  // Loose: noisy match graph.
+  config.clustering = ClusteringAlgorithm::kConnectedComponents;
+  PipelineResult cc = RunPipeline(corpus.collection, corpus.truth, config);
+  config.clustering = ClusteringAlgorithm::kCenter;
+  PipelineResult center =
+      RunPipeline(corpus.collection, corpus.truth, config);
+  // Center clustering never merges more than connected components.
+  EXPECT_GE(center.clusters.size(), cc.clusters.size());
+}
+
+TEST(PipelineTest, TimingsArePopulated) {
+  model::GroundTruth truth;
+  model::EntityCollection c = TinyDirty(&truth);
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  PipelineConfig config;
+  config.blocker = &blocker;
+  config.matcher = &matcher;
+  PipelineResult result = RunPipeline(c, truth, config);
+  EXPECT_GE(result.blocking_seconds, 0.0);
+  EXPECT_GE(result.scheduling_seconds, 0.0);
+  EXPECT_GE(result.matching_seconds, 0.0);
+}
+
+TEST(PipelineTest, CleanCleanCollection) {
+  datagen::CorpusConfig config;
+  config.num_entities = 60;
+  config.duplicate_fraction = 0.5;
+  config.schema_divergence = 0.5;
+  config.seed = 41;
+  datagen::Corpus corpus =
+      datagen::CorpusGenerator(config).GenerateCleanClean();
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  PipelineConfig pipeline_config;
+  pipeline_config.blocker = &blocker;
+  pipeline_config.matcher = &matcher;
+  pipeline_config.match_threshold = 0.5;
+  PipelineResult result =
+      RunPipeline(corpus.collection, corpus.truth, pipeline_config);
+  // Every reported match crosses the source split.
+  for (const model::IdPair& pair : result.matches) {
+    EXPECT_TRUE(corpus.collection.Comparable(pair.low, pair.high));
+  }
+}
+
+}  // namespace
+}  // namespace weber::core

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/corpus_generator.h"
+#include "simjoin/all_pairs.h"
+#include "simjoin/ppjoin.h"
+#include "simjoin/token_sets.h"
+#include "tests/test_corpus.h"
+
+namespace weber::simjoin {
+namespace {
+
+using ::weber::testing::TinyDirty;
+
+model::IdPairSet ToPairSet(const std::vector<SimilarPair>& results) {
+  model::IdPairSet set;
+  for (const SimilarPair& r : results) set.insert(model::IdPair::Of(r.a, r.b));
+  return set;
+}
+
+// ---------------------------------------------------------------------------
+// TokenSetCollection
+// ---------------------------------------------------------------------------
+
+TEST(TokenSetsTest, SetsSortedAscendingByRarity) {
+  model::EntityCollection c = TinyDirty(nullptr);
+  TokenSetCollection sets = TokenSetCollection::Build(c);
+  ASSERT_EQ(sets.size(), c.size());
+  for (const TokenSet& set : sets.sets()) {
+    EXPECT_TRUE(std::is_sorted(set.tokens.begin(), set.tokens.end()));
+    EXPECT_EQ(std::adjacent_find(set.tokens.begin(), set.tokens.end()),
+              set.tokens.end());
+  }
+}
+
+TEST(TokenSetsTest, RareTokensGetSmallIds) {
+  model::EntityCollection c;
+  // "common" in 3 descriptions, "rare" in 1.
+  for (int i = 0; i < 3; ++i) {
+    model::EntityDescription d("u" + std::to_string(i));
+    d.AddPair("p", i == 0 ? "common rare" : "common");
+    c.Add(d);
+  }
+  TokenSetCollection sets = TokenSetCollection::Build(c);
+  // Entity 0 has both tokens; the rare one must sort first.
+  const TokenSet& set0 = sets.sets()[0];
+  ASSERT_EQ(set0.size(), 2u);
+  EXPECT_LT(set0.tokens[0], set0.tokens[1]);
+  // And the shared "common" token id is the larger one everywhere.
+  EXPECT_EQ(sets.sets()[1].tokens[0], set0.tokens[1]);
+}
+
+TEST(TokenSetsTest, SortedOverlapAndJaccard) {
+  std::vector<uint32_t> a = {1, 3, 5, 7};
+  std::vector<uint32_t> b = {3, 4, 7, 9};
+  EXPECT_EQ(SortedOverlap(a, b), 2u);
+  EXPECT_DOUBLE_EQ(SortedJaccard(a, b), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(SortedJaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(SortedJaccard(a, {}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Join correctness: AllPairs and PPJoin must equal the naive join.
+// ---------------------------------------------------------------------------
+
+class JoinEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(JoinEquivalence, AllPairsMatchesNaive) {
+  datagen::CorpusConfig config;
+  config.num_entities = 120;
+  config.duplicate_fraction = 0.6;
+  config.seed = 41;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).GenerateDirty();
+  TokenSetCollection sets = TokenSetCollection::Build(corpus.collection);
+  double threshold = GetParam();
+  auto naive = ToPairSet(NaiveJoin(sets, threshold));
+  auto allpairs = ToPairSet(AllPairsJoin(sets, threshold));
+  EXPECT_EQ(naive, allpairs);
+}
+
+TEST_P(JoinEquivalence, PPJoinMatchesNaive) {
+  datagen::CorpusConfig config;
+  config.num_entities = 120;
+  config.duplicate_fraction = 0.6;
+  config.seed = 43;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).GenerateDirty();
+  TokenSetCollection sets = TokenSetCollection::Build(corpus.collection);
+  double threshold = GetParam();
+  auto naive = ToPairSet(NaiveJoin(sets, threshold));
+  auto ppjoin = ToPairSet(PPJoin(sets, threshold));
+  EXPECT_EQ(naive, ppjoin);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, JoinEquivalence,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "t" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+// ---------------------------------------------------------------------------
+// Pruning power
+// ---------------------------------------------------------------------------
+
+TEST(JoinPruningTest, PrefixFilteringPrunesCandidates) {
+  datagen::CorpusConfig config;
+  config.num_entities = 200;
+  config.duplicate_fraction = 0.5;
+  config.seed = 47;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).GenerateDirty();
+  TokenSetCollection sets = TokenSetCollection::Build(corpus.collection);
+  JoinStats naive_stats;
+  JoinStats allpairs_stats;
+  NaiveJoin(sets, 0.7, &naive_stats);
+  AllPairsJoin(sets, 0.7, &allpairs_stats);
+  EXPECT_LT(allpairs_stats.verifications, naive_stats.verifications / 5)
+      << "prefix filtering should prune most verifications";
+  EXPECT_EQ(allpairs_stats.results, naive_stats.results);
+}
+
+TEST(JoinPruningTest, PositionalFilterPrunesAtLeastAsMuch) {
+  datagen::CorpusConfig config;
+  config.num_entities = 200;
+  config.duplicate_fraction = 0.5;
+  config.seed = 53;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).GenerateDirty();
+  TokenSetCollection sets = TokenSetCollection::Build(corpus.collection);
+  JoinStats allpairs_stats;
+  JoinStats ppjoin_stats;
+  AllPairsJoin(sets, 0.8, &allpairs_stats);
+  PPJoin(sets, 0.8, &ppjoin_stats);
+  EXPECT_LE(ppjoin_stats.candidates, allpairs_stats.candidates);
+  EXPECT_EQ(ppjoin_stats.results, allpairs_stats.results);
+}
+
+TEST(JoinPruningTest, HigherThresholdFewerResults) {
+  datagen::CorpusConfig config;
+  config.num_entities = 150;
+  config.seed = 59;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).GenerateDirty();
+  TokenSetCollection sets = TokenSetCollection::Build(corpus.collection);
+  size_t low = AllPairsJoin(sets, 0.5).size();
+  size_t high = AllPairsJoin(sets, 0.9).size();
+  EXPECT_LE(high, low);
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases and settings
+// ---------------------------------------------------------------------------
+
+TEST(JoinEdgeCasesTest, IdenticalSetsFoundAtThresholdOne) {
+  model::EntityCollection c;
+  for (int i = 0; i < 2; ++i) {
+    model::EntityDescription d("u" + std::to_string(i));
+    d.AddPair("p", "exact same tokens");
+    c.Add(d);
+  }
+  TokenSetCollection sets = TokenSetCollection::Build(c);
+  auto results = AllPairsJoin(sets, 1.0);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].similarity, 1.0);
+  EXPECT_EQ(PPJoin(sets, 1.0).size(), 1u);
+}
+
+TEST(JoinEdgeCasesTest, EmptyCollection) {
+  model::EntityCollection c;
+  TokenSetCollection sets = TokenSetCollection::Build(c);
+  EXPECT_TRUE(AllPairsJoin(sets, 0.5).empty());
+  EXPECT_TRUE(PPJoin(sets, 0.5).empty());
+}
+
+TEST(JoinEdgeCasesTest, EmptyTokenSetsJoinWithNothing) {
+  model::EntityCollection c;
+  c.Add(model::EntityDescription("u0"));  // No pairs -> empty token set.
+  model::EntityDescription d("u1");
+  d.AddPair("p", "something");
+  c.Add(d);
+  TokenSetCollection sets = TokenSetCollection::Build(c);
+  EXPECT_TRUE(AllPairsJoin(sets, 0.5).empty());
+}
+
+TEST(JoinEdgeCasesTest, CleanCleanSettingHonoured) {
+  model::GroundTruth truth;
+  model::EntityCollection c = ::weber::testing::TinyCleanClean(&truth);
+  TokenSetCollection sets = TokenSetCollection::Build(c);
+  for (const SimilarPair& r : AllPairsJoin(sets, 0.3)) {
+    EXPECT_TRUE(c.Comparable(r.a, r.b));
+  }
+  for (const SimilarPair& r : PPJoin(sets, 0.3)) {
+    EXPECT_TRUE(c.Comparable(r.a, r.b));
+  }
+}
+
+TEST(JoinEdgeCasesTest, ResultsMeetThreshold) {
+  datagen::CorpusConfig config;
+  config.num_entities = 80;
+  config.seed = 61;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).GenerateDirty();
+  TokenSetCollection sets = TokenSetCollection::Build(corpus.collection);
+  for (const SimilarPair& r : PPJoin(sets, 0.75)) {
+    EXPECT_GE(r.similarity, 0.75);
+  }
+}
+
+}  // namespace
+}  // namespace weber::simjoin

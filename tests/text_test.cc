@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/entity.h"
+#include "text/minhash.h"
+#include "text/normalizer.h"
+#include "text/phonetic.h"
+#include "text/qgram.h"
+#include "text/similarity.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace weber::text {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Normalizer
+// ---------------------------------------------------------------------------
+
+TEST(NormalizerTest, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(Normalize("J.R.R. Tolkien"), "j r r tolkien");
+  EXPECT_EQ(Normalize("Hello, World!"), "hello world");
+}
+
+TEST(NormalizerTest, CollapsesWhitespace) {
+  EXPECT_EQ(Normalize("  a   b\t c  "), "a b c");
+}
+
+TEST(NormalizerTest, OptionsCanBeDisabled) {
+  NormalizeOptions opts;
+  opts.lowercase = false;
+  opts.strip_punctuation = false;
+  opts.collapse_whitespace = false;
+  EXPECT_EQ(Normalize("A.b C", opts), "A.b C");
+}
+
+TEST(NormalizerTest, EmptyInput) { EXPECT_EQ(Normalize(""), ""); }
+
+TEST(NormalizerTest, OnlyPunctuation) { EXPECT_EQ(Normalize("!!!"), ""); }
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, SplitsOnSpaces) {
+  auto tokens = TokenizeWords("alpha beta gamma");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], "beta");
+}
+
+TEST(TokenizerTest, NormalizeAndTokenize) {
+  auto tokens = NormalizeAndTokenize("Jean-Luc PICARD");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "jean");
+  EXPECT_EQ(tokens[1], "luc");
+  EXPECT_EQ(tokens[2], "picard");
+}
+
+TEST(TokenizerTest, ValueTokensAreDistinctAcrossAttributes) {
+  model::EntityDescription d("u");
+  d.AddPair("name", "Alan Turing");
+  d.AddPair("label", "Turing, Alan");
+  auto tokens = ValueTokens(d);
+  EXPECT_EQ(tokens.size(), 2u);  // "alan", "turing" deduplicated.
+}
+
+TEST(TokenizerTest, AttributeValueTokensScopesToAttribute) {
+  model::EntityDescription d("u");
+  d.AddPair("name", "Alan Turing");
+  d.AddPair("city", "London");
+  auto tokens = AttributeValueTokens(d, "city");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "london");
+}
+
+TEST(TokenizerTest, EmptyDescription) {
+  model::EntityDescription d("u");
+  EXPECT_TRUE(ValueTokens(d).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Q-grams
+// ---------------------------------------------------------------------------
+
+TEST(QGramTest, BasicTrigrams) {
+  auto grams = QGrams("abcde", 3);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "abc");
+  EXPECT_EQ(grams[2], "cde");
+}
+
+TEST(QGramTest, ShortInputYieldsWholeString) {
+  auto grams = QGrams("ab", 3);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "ab");
+}
+
+TEST(QGramTest, DistinctQGramsDedup) {
+  auto grams = DistinctQGrams("aaaa", 2);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "aa");
+}
+
+TEST(QGramTest, PaddedQGramsFrameBoundaries) {
+  auto grams = PaddedQGrams("ab", 3);
+  // ##ab$$ -> ##a, #ab, ab$, b$$.
+  ASSERT_EQ(grams.size(), 4u);
+  EXPECT_EQ(grams.front(), "##a");
+  EXPECT_EQ(grams.back(), "b$$");
+}
+
+TEST(QGramTest, EmptyAndZeroQ) {
+  EXPECT_TRUE(QGrams("", 3).empty());
+  EXPECT_TRUE(QGrams("abc", 0).empty());
+  EXPECT_TRUE(PaddedQGrams("", 3).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Phonetic encodings
+// ---------------------------------------------------------------------------
+
+TEST(SoundexTest, ClassicCodes) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+}
+
+TEST(SoundexTest, SoundAlikesShareCodes) {
+  EXPECT_EQ(Soundex("smith"), Soundex("smyth"));
+  EXPECT_EQ(Soundex("jon"), Soundex("john"));
+  EXPECT_NE(Soundex("smith"), Soundex("jones"));
+}
+
+TEST(SoundexTest, PaddingAndShortWords) {
+  EXPECT_EQ(Soundex("a"), "A000");
+  EXPECT_EQ(Soundex("ab"), "A100");
+  EXPECT_EQ(Soundex("").size(), 0u);
+  EXPECT_EQ(Soundex("123"), "");
+}
+
+TEST(SoundexTest, CaseInsensitive) {
+  EXPECT_EQ(Soundex("SMITH"), Soundex("smith"));
+}
+
+TEST(PhoneticKeyTest, CollapsesDigraphsAndVowels) {
+  EXPECT_EQ(PhoneticKey("philip"), PhoneticKey("filip"));
+  EXPECT_EQ(PhoneticKey("knight"), PhoneticKey("night"));
+  EXPECT_EQ(PhoneticKey("shell"), PhoneticKey("chell"));
+  EXPECT_NE(PhoneticKey("shell"), PhoneticKey("bell"));
+  EXPECT_EQ(PhoneticKey(""), "");
+}
+
+TEST(PhoneticKeyTest, LongerThanSoundexOnLongNames) {
+  // PhoneticKey keeps discriminating consonants beyond 4 chars.
+  EXPECT_GT(PhoneticKey("konstantinopolis").size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Character similarities
+// ---------------------------------------------------------------------------
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+}
+
+TEST(LevenshteinTest, SymmetricAndTriangle) {
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"),
+            LevenshteinDistance("lawn", "flaw"));
+  // Triangle inequality on a small example.
+  size_t ab = LevenshteinDistance("cat", "car");
+  size_t bc = LevenshteinDistance("car", "bar");
+  size_t ac = LevenshteinDistance("cat", "bar");
+  EXPECT_LE(ac, ab + bc);
+}
+
+TEST(LevenshteinTest, SimilarityNormalisation) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("abcd", "abce"), 0.75, 1e-12);
+}
+
+TEST(JaroTest, IdenticalAndDisjoint) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("martha", "martha"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+}
+
+TEST(JaroTest, ClassicExample) {
+  // Canonical value from the literature.
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944444, 1e-5);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  double jaro = JaroSimilarity("martha", "marhta");
+  double jw = JaroWinklerSimilarity("martha", "marhta");
+  EXPECT_GT(jw, jaro);
+  EXPECT_NEAR(jw, 0.961111, 1e-5);
+}
+
+TEST(JaroWinklerTest, NoPrefixNoBoost) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abc", "xbc"),
+                   JaroSimilarity("abc", "xbc"));
+}
+
+TEST(JaroWinklerTest, BoundedByOne) {
+  EXPECT_LE(JaroWinklerSimilarity("prefix", "prefixx"), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Token-set similarities
+// ---------------------------------------------------------------------------
+
+using Tokens = std::vector<std::string>;
+
+TEST(SetSimilarityTest, JaccardBasics) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b", "c"}, {"b", "c", "d"}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+}
+
+TEST(SetSimilarityTest, JaccardIgnoresDuplicates) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "a", "b"}, {"a", "b", "b"}), 1.0);
+}
+
+TEST(SetSimilarityTest, DiceAndCosineAndOverlap) {
+  Tokens a = {"x", "y"};
+  Tokens b = {"y", "z"};
+  EXPECT_DOUBLE_EQ(DiceSimilarity(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(a, b), 0.5);
+  EXPECT_EQ(OverlapSize(a, b), 1u);
+}
+
+TEST(SetSimilarityTest, OverlapCoefficientSubset) {
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({"a"}, {"a", "b", "c"}), 1.0);
+}
+
+TEST(SetSimilarityTest, MongeElkanFindsBestAlignments) {
+  Tokens a = {"jon", "smith"};
+  Tokens b = {"john", "smith"};
+  double sim = MongeElkanSimilarity(a, b);
+  EXPECT_GT(sim, 0.9);
+  EXPECT_LE(sim, 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({"a"}, {}), 0.0);
+}
+
+TEST(SetSimilarityTest, QGramJaccardRobustToTypos) {
+  double clean = QGramJaccard("johnson", "johnson");
+  double typo = QGramJaccard("johnson", "jonhson");
+  double different = QGramJaccard("johnson", "einstein");
+  EXPECT_DOUBLE_EQ(clean, 1.0);
+  EXPECT_GT(typo, different);
+}
+
+// Parameterized property sweep: all token-set similarities are symmetric,
+// bounded in [0,1], and equal 1 on identical sets.
+class SetSimilarityProperty
+    : public ::testing::TestWithParam<std::pair<Tokens, Tokens>> {};
+
+TEST_P(SetSimilarityProperty, SymmetricAndBounded) {
+  const auto& [a, b] = GetParam();
+  for (auto fn : {JaccardSimilarity, DiceSimilarity, CosineSimilarity,
+                  OverlapCoefficient}) {
+    double ab = fn(a, b);
+    double ba = fn(b, a);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(fn(a, a), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, SetSimilarityProperty,
+    ::testing::Values(
+        std::make_pair(Tokens{"a"}, Tokens{"a"}),
+        std::make_pair(Tokens{"a", "b"}, Tokens{"c"}),
+        std::make_pair(Tokens{"a", "b", "c"}, Tokens{"b", "c", "d"}),
+        std::make_pair(Tokens{"x", "y", "z", "w"}, Tokens{"w"}),
+        std::make_pair(Tokens{"one", "two"}, Tokens{"two", "one"})));
+
+// ---------------------------------------------------------------------------
+// MinHash
+// ---------------------------------------------------------------------------
+
+TEST(MinHashTest, IdenticalSetsAgreeFully) {
+  MinHasher hasher(64);
+  Tokens tokens = {"alpha", "beta", "gamma"};
+  auto a = hasher.Signature(tokens);
+  auto b = hasher.Signature(tokens);
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard(a, b), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsAgreeRarely) {
+  MinHasher hasher(128);
+  auto a = hasher.Signature({"aaa", "bbb", "ccc"});
+  auto b = hasher.Signature({"xxx", "yyy", "zzz"});
+  EXPECT_LT(MinHasher::EstimateJaccard(a, b), 0.1);
+}
+
+TEST(MinHashTest, EstimatesJaccardWithinTolerance) {
+  // Sets with known Jaccard 10/30 ~ 0.333.
+  Tokens a;
+  Tokens b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back("t" + std::to_string(i));        // 0..19
+    b.push_back("t" + std::to_string(i + 10));   // 10..29
+  }
+  MinHasher hasher(512, 7);
+  double estimate =
+      MinHasher::EstimateJaccard(hasher.Signature(a), hasher.Signature(b));
+  EXPECT_NEAR(estimate, 1.0 / 3.0, 0.08);
+}
+
+TEST(MinHashTest, DuplicateTokensDoNotChangeSignature) {
+  MinHasher hasher(64);
+  auto once = hasher.Signature({"x", "y"});
+  auto twice = hasher.Signature({"x", "x", "y", "y", "x"});
+  EXPECT_EQ(once, twice);
+}
+
+TEST(MinHashTest, MismatchedSignaturesScoreZero) {
+  MinHasher h64(64);
+  MinHasher h32(32);
+  auto a = h64.Signature({"x"});
+  auto b = h32.Signature({"x"});
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard({}, {}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// TF-IDF
+// ---------------------------------------------------------------------------
+
+model::EntityCollection SmallCorpus() {
+  model::EntityCollection c;
+  model::EntityDescription a("u1");
+  a.AddPair("name", "alan turing");
+  model::EntityDescription b("u2");
+  b.AddPair("name", "alan kay");
+  model::EntityDescription d("u3");
+  d.AddPair("name", "grace hopper");
+  c.Add(a);
+  c.Add(b);
+  c.Add(d);
+  return c;
+}
+
+TEST(TfIdfTest, VectorsAreUnitLength) {
+  model::EntityCollection c = SmallCorpus();
+  TfIdfModel model = TfIdfModel::Fit(c);
+  for (const auto& v : model.VectorizeAll(c)) {
+    double norm = 0.0;
+    for (const auto& [id, w] : v.entries) norm += w * w;
+    EXPECT_NEAR(norm, 1.0, 1e-9);
+  }
+}
+
+TEST(TfIdfTest, SharedRareTokenBeatsSharedCommonToken) {
+  model::EntityCollection c;
+  // "common" appears everywhere; "rare" in exactly two descriptions.
+  for (int i = 0; i < 6; ++i) {
+    model::EntityDescription d("u" + std::to_string(i));
+    std::string value = "common filler" + std::to_string(i);
+    if (i < 2) value += " rare";
+    d.AddPair("name", value);
+    c.Add(d);
+  }
+  TfIdfModel model = TfIdfModel::Fit(c);
+  auto vectors = model.VectorizeAll(c);
+  double rare_pair = TfIdfModel::Cosine(vectors[0], vectors[1]);
+  double common_pair = TfIdfModel::Cosine(vectors[2], vectors[3]);
+  EXPECT_GT(rare_pair, common_pair);
+}
+
+TEST(TfIdfTest, CosineSelfIsOne) {
+  model::EntityCollection c = SmallCorpus();
+  TfIdfModel model = TfIdfModel::Fit(c);
+  auto v = model.Vectorize(c[0]);
+  EXPECT_NEAR(TfIdfModel::Cosine(v, v), 1.0, 1e-9);
+}
+
+TEST(TfIdfTest, UnknownTokensSkipped) {
+  model::EntityCollection c = SmallCorpus();
+  TfIdfModel model = TfIdfModel::Fit(c);
+  model::EntityDescription unseen("u9");
+  unseen.AddPair("name", "completely novel tokens");
+  auto v = model.Vectorize(unseen);
+  EXPECT_TRUE(v.entries.empty());
+  EXPECT_EQ(model.TokenId("novel"), -1);
+  EXPECT_GE(model.TokenId("alan"), 0);
+}
+
+TEST(TfIdfTest, VocabularyCounts) {
+  model::EntityCollection c = SmallCorpus();
+  TfIdfModel model = TfIdfModel::Fit(c);
+  // alan, turing, kay, grace, hopper.
+  EXPECT_EQ(model.vocabulary_size(), 5u);
+}
+
+}  // namespace
+}  // namespace weber::text
