@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cleaning.dir/bench_ablation_cleaning.cc.o"
+  "CMakeFiles/bench_ablation_cleaning.dir/bench_ablation_cleaning.cc.o.d"
+  "bench_ablation_cleaning"
+  "bench_ablation_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocking_families.dir/bench_blocking_families.cc.o"
+  "CMakeFiles/bench_blocking_families.dir/bench_blocking_families.cc.o.d"
+  "bench_blocking_families"
+  "bench_blocking_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocking_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocking_pc_rr.dir/bench_blocking_pc_rr.cc.o"
+  "CMakeFiles/bench_blocking_pc_rr.dir/bench_blocking_pc_rr.cc.o.d"
+  "bench_blocking_pc_rr"
+  "bench_blocking_pc_rr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocking_pc_rr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collective.dir/bench_collective.cc.o"
+  "CMakeFiles/bench_collective.dir/bench_collective.cc.o.d"
+  "bench_collective"
+  "bench_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

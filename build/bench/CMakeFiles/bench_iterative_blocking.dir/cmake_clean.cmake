@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iterative_blocking.dir/bench_iterative_blocking.cc.o"
+  "CMakeFiles/bench_iterative_blocking.dir/bench_iterative_blocking.cc.o.d"
+  "bench_iterative_blocking"
+  "bench_iterative_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iterative_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metablocking.dir/bench_metablocking.cc.o"
+  "CMakeFiles/bench_metablocking.dir/bench_metablocking.cc.o.d"
+  "bench_metablocking"
+  "bench_metablocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metablocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_progressive_hints.dir/bench_progressive_hints.cc.o"
+  "CMakeFiles/bench_progressive_hints.dir/bench_progressive_hints.cc.o.d"
+  "bench_progressive_hints"
+  "bench_progressive_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_progressive_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_psnm.dir/bench_psnm.cc.o"
+  "CMakeFiles/bench_psnm.dir/bench_psnm.cc.o.d"
+  "bench_psnm"
+  "bench_psnm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_psnm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_swoosh.dir/bench_swoosh.cc.o"
+  "CMakeFiles/bench_swoosh.dir/bench_swoosh.cc.o.d"
+  "bench_swoosh"
+  "bench_swoosh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swoosh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

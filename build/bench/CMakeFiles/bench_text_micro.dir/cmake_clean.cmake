@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text_micro.dir/bench_text_micro.cc.o"
+  "CMakeFiles/bench_text_micro.dir/bench_text_micro.cc.o.d"
+  "bench_text_micro"
+  "bench_text_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

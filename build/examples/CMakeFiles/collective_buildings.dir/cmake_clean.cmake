@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_buildings.dir/collective_buildings.cc.o"
+  "CMakeFiles/collective_buildings.dir/collective_buildings.cc.o.d"
+  "collective_buildings"
+  "collective_buildings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_buildings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_corpus.dir/gen_corpus.cc.o"
+  "CMakeFiles/gen_corpus.dir/gen_corpus.cc.o.d"
+  "gen_corpus"
+  "gen_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_linking.dir/kb_linking.cc.o"
+  "CMakeFiles/kb_linking.dir/kb_linking.cc.o.d"
+  "kb_linking"
+  "kb_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

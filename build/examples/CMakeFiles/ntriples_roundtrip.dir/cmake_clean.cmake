@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntriples_roundtrip.dir/ntriples_roundtrip.cc.o"
+  "CMakeFiles/ntriples_roundtrip.dir/ntriples_roundtrip.cc.o.d"
+  "ntriples_roundtrip"
+  "ntriples_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntriples_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

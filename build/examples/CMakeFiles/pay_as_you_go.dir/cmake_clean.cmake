@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pay_as_you_go.dir/pay_as_you_go.cc.o"
+  "CMakeFiles/pay_as_you_go.dir/pay_as_you_go.cc.o.d"
+  "pay_as_you_go"
+  "pay_as_you_go.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pay_as_you_go.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

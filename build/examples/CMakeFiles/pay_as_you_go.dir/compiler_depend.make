@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pay_as_you_go.
+# This may be replaced when dependencies are built.

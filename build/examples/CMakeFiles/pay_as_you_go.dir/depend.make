@@ -1,0 +1,2 @@
+# Empty dependencies file for pay_as_you_go.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocking/attribute_clustering.cc" "src/CMakeFiles/weber.dir/blocking/attribute_clustering.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/attribute_clustering.cc.o.d"
+  "/root/repo/src/blocking/block.cc" "src/CMakeFiles/weber.dir/blocking/block.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/block.cc.o.d"
+  "/root/repo/src/blocking/block_filtering.cc" "src/CMakeFiles/weber.dir/blocking/block_filtering.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/block_filtering.cc.o.d"
+  "/root/repo/src/blocking/block_purging.cc" "src/CMakeFiles/weber.dir/blocking/block_purging.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/block_purging.cc.o.d"
+  "/root/repo/src/blocking/canopy_clustering.cc" "src/CMakeFiles/weber.dir/blocking/canopy_clustering.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/canopy_clustering.cc.o.d"
+  "/root/repo/src/blocking/comparison_propagation.cc" "src/CMakeFiles/weber.dir/blocking/comparison_propagation.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/comparison_propagation.cc.o.d"
+  "/root/repo/src/blocking/frequent_tokens.cc" "src/CMakeFiles/weber.dir/blocking/frequent_tokens.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/frequent_tokens.cc.o.d"
+  "/root/repo/src/blocking/lsh_blocking.cc" "src/CMakeFiles/weber.dir/blocking/lsh_blocking.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/lsh_blocking.cc.o.d"
+  "/root/repo/src/blocking/multidimensional.cc" "src/CMakeFiles/weber.dir/blocking/multidimensional.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/multidimensional.cc.o.d"
+  "/root/repo/src/blocking/phonetic_blocking.cc" "src/CMakeFiles/weber.dir/blocking/phonetic_blocking.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/phonetic_blocking.cc.o.d"
+  "/root/repo/src/blocking/prefix_infix_suffix.cc" "src/CMakeFiles/weber.dir/blocking/prefix_infix_suffix.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/prefix_infix_suffix.cc.o.d"
+  "/root/repo/src/blocking/qgrams_blocking.cc" "src/CMakeFiles/weber.dir/blocking/qgrams_blocking.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/qgrams_blocking.cc.o.d"
+  "/root/repo/src/blocking/sorted_neighborhood.cc" "src/CMakeFiles/weber.dir/blocking/sorted_neighborhood.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/sorted_neighborhood.cc.o.d"
+  "/root/repo/src/blocking/standard_blocking.cc" "src/CMakeFiles/weber.dir/blocking/standard_blocking.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/standard_blocking.cc.o.d"
+  "/root/repo/src/blocking/suffix_blocking.cc" "src/CMakeFiles/weber.dir/blocking/suffix_blocking.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/suffix_blocking.cc.o.d"
+  "/root/repo/src/blocking/token_blocking.cc" "src/CMakeFiles/weber.dir/blocking/token_blocking.cc.o" "gcc" "src/CMakeFiles/weber.dir/blocking/token_blocking.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/weber.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/weber.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/datagen/corpus_generator.cc" "src/CMakeFiles/weber.dir/datagen/corpus_generator.cc.o" "gcc" "src/CMakeFiles/weber.dir/datagen/corpus_generator.cc.o.d"
+  "/root/repo/src/datagen/noise.cc" "src/CMakeFiles/weber.dir/datagen/noise.cc.o" "gcc" "src/CMakeFiles/weber.dir/datagen/noise.cc.o.d"
+  "/root/repo/src/eval/block_stats.cc" "src/CMakeFiles/weber.dir/eval/block_stats.cc.o" "gcc" "src/CMakeFiles/weber.dir/eval/block_stats.cc.o.d"
+  "/root/repo/src/eval/blocking_metrics.cc" "src/CMakeFiles/weber.dir/eval/blocking_metrics.cc.o" "gcc" "src/CMakeFiles/weber.dir/eval/blocking_metrics.cc.o.d"
+  "/root/repo/src/eval/match_metrics.cc" "src/CMakeFiles/weber.dir/eval/match_metrics.cc.o" "gcc" "src/CMakeFiles/weber.dir/eval/match_metrics.cc.o.d"
+  "/root/repo/src/eval/progressive_curve.cc" "src/CMakeFiles/weber.dir/eval/progressive_curve.cc.o" "gcc" "src/CMakeFiles/weber.dir/eval/progressive_curve.cc.o.d"
+  "/root/repo/src/iterative/collective.cc" "src/CMakeFiles/weber.dir/iterative/collective.cc.o" "gcc" "src/CMakeFiles/weber.dir/iterative/collective.cc.o.d"
+  "/root/repo/src/iterative/iterative_blocking.cc" "src/CMakeFiles/weber.dir/iterative/iterative_blocking.cc.o" "gcc" "src/CMakeFiles/weber.dir/iterative/iterative_blocking.cc.o.d"
+  "/root/repo/src/iterative/rswoosh.cc" "src/CMakeFiles/weber.dir/iterative/rswoosh.cc.o" "gcc" "src/CMakeFiles/weber.dir/iterative/rswoosh.cc.o.d"
+  "/root/repo/src/mapreduce/engine.cc" "src/CMakeFiles/weber.dir/mapreduce/engine.cc.o" "gcc" "src/CMakeFiles/weber.dir/mapreduce/engine.cc.o.d"
+  "/root/repo/src/mapreduce/parallel_meta_blocking.cc" "src/CMakeFiles/weber.dir/mapreduce/parallel_meta_blocking.cc.o" "gcc" "src/CMakeFiles/weber.dir/mapreduce/parallel_meta_blocking.cc.o.d"
+  "/root/repo/src/mapreduce/parallel_token_blocking.cc" "src/CMakeFiles/weber.dir/mapreduce/parallel_token_blocking.cc.o" "gcc" "src/CMakeFiles/weber.dir/mapreduce/parallel_token_blocking.cc.o.d"
+  "/root/repo/src/matching/clustering.cc" "src/CMakeFiles/weber.dir/matching/clustering.cc.o" "gcc" "src/CMakeFiles/weber.dir/matching/clustering.cc.o.d"
+  "/root/repo/src/matching/match_graph.cc" "src/CMakeFiles/weber.dir/matching/match_graph.cc.o" "gcc" "src/CMakeFiles/weber.dir/matching/match_graph.cc.o.d"
+  "/root/repo/src/matching/matcher.cc" "src/CMakeFiles/weber.dir/matching/matcher.cc.o" "gcc" "src/CMakeFiles/weber.dir/matching/matcher.cc.o.d"
+  "/root/repo/src/metablocking/blocking_graph.cc" "src/CMakeFiles/weber.dir/metablocking/blocking_graph.cc.o" "gcc" "src/CMakeFiles/weber.dir/metablocking/blocking_graph.cc.o.d"
+  "/root/repo/src/metablocking/pruning_schemes.cc" "src/CMakeFiles/weber.dir/metablocking/pruning_schemes.cc.o" "gcc" "src/CMakeFiles/weber.dir/metablocking/pruning_schemes.cc.o.d"
+  "/root/repo/src/metablocking/weight_schemes.cc" "src/CMakeFiles/weber.dir/metablocking/weight_schemes.cc.o" "gcc" "src/CMakeFiles/weber.dir/metablocking/weight_schemes.cc.o.d"
+  "/root/repo/src/model/entity.cc" "src/CMakeFiles/weber.dir/model/entity.cc.o" "gcc" "src/CMakeFiles/weber.dir/model/entity.cc.o.d"
+  "/root/repo/src/model/ground_truth.cc" "src/CMakeFiles/weber.dir/model/ground_truth.cc.o" "gcc" "src/CMakeFiles/weber.dir/model/ground_truth.cc.o.d"
+  "/root/repo/src/model/io.cc" "src/CMakeFiles/weber.dir/model/io.cc.o" "gcc" "src/CMakeFiles/weber.dir/model/io.cc.o.d"
+  "/root/repo/src/progressive/benefit_cost.cc" "src/CMakeFiles/weber.dir/progressive/benefit_cost.cc.o" "gcc" "src/CMakeFiles/weber.dir/progressive/benefit_cost.cc.o.d"
+  "/root/repo/src/progressive/ordered_blocks.cc" "src/CMakeFiles/weber.dir/progressive/ordered_blocks.cc.o" "gcc" "src/CMakeFiles/weber.dir/progressive/ordered_blocks.cc.o.d"
+  "/root/repo/src/progressive/partition_hierarchy.cc" "src/CMakeFiles/weber.dir/progressive/partition_hierarchy.cc.o" "gcc" "src/CMakeFiles/weber.dir/progressive/partition_hierarchy.cc.o.d"
+  "/root/repo/src/progressive/progressive_sn.cc" "src/CMakeFiles/weber.dir/progressive/progressive_sn.cc.o" "gcc" "src/CMakeFiles/weber.dir/progressive/progressive_sn.cc.o.d"
+  "/root/repo/src/progressive/psnm.cc" "src/CMakeFiles/weber.dir/progressive/psnm.cc.o" "gcc" "src/CMakeFiles/weber.dir/progressive/psnm.cc.o.d"
+  "/root/repo/src/progressive/scheduler.cc" "src/CMakeFiles/weber.dir/progressive/scheduler.cc.o" "gcc" "src/CMakeFiles/weber.dir/progressive/scheduler.cc.o.d"
+  "/root/repo/src/simjoin/all_pairs.cc" "src/CMakeFiles/weber.dir/simjoin/all_pairs.cc.o" "gcc" "src/CMakeFiles/weber.dir/simjoin/all_pairs.cc.o.d"
+  "/root/repo/src/simjoin/ppjoin.cc" "src/CMakeFiles/weber.dir/simjoin/ppjoin.cc.o" "gcc" "src/CMakeFiles/weber.dir/simjoin/ppjoin.cc.o.d"
+  "/root/repo/src/simjoin/token_sets.cc" "src/CMakeFiles/weber.dir/simjoin/token_sets.cc.o" "gcc" "src/CMakeFiles/weber.dir/simjoin/token_sets.cc.o.d"
+  "/root/repo/src/text/minhash.cc" "src/CMakeFiles/weber.dir/text/minhash.cc.o" "gcc" "src/CMakeFiles/weber.dir/text/minhash.cc.o.d"
+  "/root/repo/src/text/normalizer.cc" "src/CMakeFiles/weber.dir/text/normalizer.cc.o" "gcc" "src/CMakeFiles/weber.dir/text/normalizer.cc.o.d"
+  "/root/repo/src/text/phonetic.cc" "src/CMakeFiles/weber.dir/text/phonetic.cc.o" "gcc" "src/CMakeFiles/weber.dir/text/phonetic.cc.o.d"
+  "/root/repo/src/text/qgram.cc" "src/CMakeFiles/weber.dir/text/qgram.cc.o" "gcc" "src/CMakeFiles/weber.dir/text/qgram.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/CMakeFiles/weber.dir/text/similarity.cc.o" "gcc" "src/CMakeFiles/weber.dir/text/similarity.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/CMakeFiles/weber.dir/text/tfidf.cc.o" "gcc" "src/CMakeFiles/weber.dir/text/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/weber.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/weber.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/weber.dir/util/random.cc.o" "gcc" "src/CMakeFiles/weber.dir/util/random.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/CMakeFiles/weber.dir/util/timer.cc.o" "gcc" "src/CMakeFiles/weber.dir/util/timer.cc.o.d"
+  "/root/repo/src/util/union_find.cc" "src/CMakeFiles/weber.dir/util/union_find.cc.o" "gcc" "src/CMakeFiles/weber.dir/util/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_processing_test.dir/block_processing_test.cc.o"
+  "CMakeFiles/block_processing_test.dir/block_processing_test.cc.o.d"
+  "block_processing_test"
+  "block_processing_test.pdb"
+  "block_processing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_processing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simjoin_test.dir/simjoin_test.cc.o"
+  "CMakeFiles/simjoin_test.dir/simjoin_test.cc.o.d"
+  "simjoin_test"
+  "simjoin_test.pdb"
+  "simjoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simjoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
