@@ -13,6 +13,7 @@
 #include "core/pipeline.h"
 #include "eval/match_metrics.h"
 #include "matching/matcher.h"
+#include "obs/metrics.h"
 #include "progressive/progressive_sn.h"
 
 namespace weber {
@@ -91,6 +92,31 @@ void BM_Pipeline_MetaBlocking(benchmark::State& state) {
   ReportQuality(state, result, corpus.truth);
 }
 BENCHMARK(BM_Pipeline_MetaBlocking)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Same pipeline as BM_Pipeline_PlainBlocking but with a metrics registry
+// attached: the row pair quantifies the observability overhead (expected
+// within noise of the plain run).
+void BM_Pipeline_PlainBlockingWithMetrics(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  obs::MetricsRegistry registry;
+  core::PipelineConfig config;
+  config.blocker = &blocker;
+  config.matcher = &matcher;
+  config.match_threshold = 0.5;
+  config.metrics = &registry;
+  core::PipelineResult result;
+  for (auto _ : state) {
+    result = core::RunPipeline(corpus.collection, corpus.truth, config);
+  }
+  ReportQuality(state, result, corpus.truth);
+  state.counters["obs_counters"] = static_cast<double>(
+      registry.TakeSnapshot().counters.size());
+}
+BENCHMARK(BM_Pipeline_PlainBlockingWithMetrics)
+    ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
 // Budgeted progressive variant: the update phase (scheduler feedback)

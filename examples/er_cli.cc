@@ -3,11 +3,13 @@
 // Usage:
 //   er_cli INPUT.nt [--threshold T] [--blocker token|qgrams|sn|pis]
 //          [--meta WEIGHT PRUNING] [--truth TRUTH_FILE] [--budget N]
-//          [--out LINKS_FILE]
+//          [--out LINKS_FILE] [--metrics-json METRICS_FILE] [--verbose]
 //
 // Reads entity descriptions from INPUT.nt, resolves them, and writes the
 // discovered links as owl:sameAs N-Triples to stdout (or --out). With
 // --truth (lines of "<uri1> <uri2>") it also prints quality metrics.
+// --metrics-json writes the full observability snapshot (per-phase spans,
+// counters, histograms) as JSON; --verbose dumps it as text to stderr.
 // Run without arguments for a self-contained demo on a generated corpus.
 
 #include <cstdio>
@@ -29,6 +31,8 @@
 #include "matching/matcher.h"
 #include "metablocking/weight_schemes.h"
 #include "model/io.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -66,7 +70,9 @@ int main(int argc, char** argv) {
   std::string input_path;
   std::string truth_path;
   std::string out_path;
+  std::string metrics_path;
   std::string blocker_name = "token";
+  bool verbose = false;
   double threshold = 0.5;
   uint64_t budget = 0;
   std::optional<std::pair<metablocking::WeightScheme,
@@ -102,6 +108,14 @@ int main(int argc, char** argv) {
       auto v = next("--budget");
       if (!v) return 1;
       budget = std::stoull(*v);
+    } else if (arg == "--metrics-json") {
+      auto v = next("--metrics-json");
+      if (!v) return 1;
+      metrics_path = *v;
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = arg.substr(std::strlen("--metrics-json="));
+    } else if (arg == "--verbose") {
+      verbose = true;
     } else if (arg == "--meta") {
       auto w = next("--meta");
       if (!w) return 1;
@@ -154,6 +168,7 @@ int main(int argc, char** argv) {
   if (blocker == nullptr) return Fail("unknown blocker " + blocker_name);
 
   matching::TokenJaccardMatcher matcher;
+  obs::MetricsRegistry registry;
   core::PipelineConfig config;
   config.blocker = blocker.get();
   config.auto_purge = true;
@@ -161,6 +176,7 @@ int main(int argc, char** argv) {
   config.matcher = &matcher;
   config.match_threshold = threshold;
   config.budget = budget;
+  config.metrics = &registry;
   core::PipelineResult result = core::RunPipeline(collection, truth, config);
 
   std::fprintf(stderr,
@@ -170,6 +186,11 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(result.candidates),
                static_cast<unsigned long long>(result.comparisons),
                result.matches.size(), result.clusters.size());
+  std::fprintf(stderr,
+               "er_cli: phase timings: blocking=%.3fs scheduling=%.3fs "
+               "matching=%.3fs\n",
+               result.blocking_seconds, result.scheduling_seconds,
+               result.matching_seconds);
   if (truth.NumMatches() > 0) {
     eval::MatchQuality quality =
         eval::EvaluateMatchPairs(result.matches, truth);
@@ -190,6 +211,20 @@ int main(int argc, char** argv) {
     *out << '<' << collection[pair.low].uri()
          << "> <http://www.w3.org/2002/07/owl#sameAs> <"
          << collection[pair.high].uri() << "> .\n";
+  }
+
+  if (verbose) {
+    std::ostringstream text;
+    obs::TextExporter().Export(registry, text);
+    std::fputs(text.str().c_str(), stderr);
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_out(metrics_path);
+    if (!metrics_out) return Fail("cannot write " + metrics_path);
+    obs::JsonExporter().Export(registry, metrics_out);
+    metrics_out << '\n';
+    std::fprintf(stderr, "er_cli: wrote metrics to %s\n",
+                 metrics_path.c_str());
   }
   return 0;
 }

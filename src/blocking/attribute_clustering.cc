@@ -102,7 +102,7 @@ AttributeClusteringBlocking::ClusterAttributes(
   return assignment;
 }
 
-BlockCollection AttributeClusteringBlocking::Build(
+BlockCollection AttributeClusteringBlocking::BuildBlocks(
     const model::EntityCollection& collection) const {
   std::unordered_map<std::string, uint32_t> clusters =
       ClusterAttributes(collection);

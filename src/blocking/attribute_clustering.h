@@ -33,7 +33,7 @@ class AttributeClusteringBlocking : public Blocker {
       AttributeClusteringOptions options = {})
       : options_(options) {}
 
-  BlockCollection Build(
+  BlockCollection BuildBlocks(
       const model::EntityCollection& collection) const override;
 
   std::string name() const override { return "AttributeClusteringBlocking"; }

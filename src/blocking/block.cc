@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "util/timer.h"
+
 namespace weber::blocking {
 
 uint64_t Block::NumComparisons(
@@ -19,6 +22,7 @@ uint64_t Block::NumComparisons(
 }
 
 void BlockCollection::AddBlock(Block block) {
+  ++keys_emitted_;
   std::sort(block.entities.begin(), block.entities.end());
   block.entities.erase(
       std::unique(block.entities.begin(), block.entities.end()),
@@ -104,6 +108,28 @@ void BlockCollection::SortBlocksBySize() {
               }
               return x.key < y.key;
             });
+}
+
+BlockCollection Blocker::Build(
+    const model::EntityCollection& collection) const {
+  obs::MetricsRegistry* registry = obs::Current();
+  if (registry == nullptr) return BuildBlocks(collection);
+
+  util::Timer timer;
+  BlockCollection blocks = BuildBlocks(collection);
+  registry->GetHistogram("weber.blocking.build_seconds")
+      .Record(timer.ElapsedSeconds());
+  registry->GetCounter("weber.blocking.builds").Increment();
+  registry->GetCounter("weber.blocking.keys_emitted")
+      .Add(blocks.keys_emitted());
+  registry->GetCounter("weber.blocking.blocks_built").Add(blocks.NumBlocks());
+  registry->GetCounter("weber.blocking.comparisons_suggested")
+      .Add(blocks.TotalComparisonsWithRedundancy());
+  obs::Histogram& sizes = registry->GetHistogram("weber.blocking.block_size");
+  for (const Block& block : blocks.blocks()) {
+    sizes.Record(static_cast<double>(block.size()));
+  }
+  return blocks;
 }
 
 }  // namespace weber::blocking

@@ -44,6 +44,10 @@ class BlockCollection {
   size_t NumBlocks() const { return blocks_.size(); }
   bool empty() const { return blocks_.empty(); }
 
+  /// Number of AddBlock calls, including blocks dropped as too small or
+  /// suggesting no comparison: the raw key count the builder emitted.
+  uint64_t keys_emitted() const { return keys_emitted_; }
+
   const model::EntityCollection* collection() const { return collection_; }
 
   /// Aggregate comparisons over all blocks, counting a pair once per block
@@ -75,6 +79,7 @@ class BlockCollection {
 
  private:
   std::vector<Block> blocks_;
+  uint64_t keys_emitted_ = 0;
   const model::EntityCollection* collection_ = nullptr;
 };
 
@@ -83,12 +88,20 @@ class Blocker {
  public:
   virtual ~Blocker() = default;
 
-  /// Builds the blocking collection for the given entities.
-  virtual BlockCollection Build(
-      const model::EntityCollection& collection) const = 0;
+  /// Builds the blocking collection for the given entities. When a
+  /// metrics registry is attached (obs::ScopedRegistry) the build reports
+  /// its duration, keys emitted, blocks built, suggested comparisons and
+  /// block-size distribution under `weber.blocking.*`; nested builders
+  /// (multi-pass, multidimensional) report their inner builds too.
+  BlockCollection Build(const model::EntityCollection& collection) const;
 
   /// Human-readable name for reports.
   virtual std::string name() const = 0;
+
+ protected:
+  /// The actual blocking method, implemented by each subclass.
+  virtual BlockCollection BuildBlocks(
+      const model::EntityCollection& collection) const = 0;
 };
 
 }  // namespace weber::blocking

@@ -9,7 +9,7 @@
 
 namespace weber::blocking {
 
-BlockCollection CanopyClustering::Build(
+BlockCollection CanopyClustering::BuildBlocks(
     const model::EntityCollection& collection) const {
   BlockCollection result(&collection);
   if (collection.size() < 2) return result;

@@ -28,7 +28,7 @@ class CanopyClustering : public Blocker {
  public:
   explicit CanopyClustering(CanopyOptions options = {}) : options_(options) {}
 
-  BlockCollection Build(
+  BlockCollection BuildBlocks(
       const model::EntityCollection& collection) const override;
 
   std::string name() const override { return "CanopyClustering"; }

@@ -8,7 +8,7 @@
 
 namespace weber::blocking {
 
-BlockCollection FrequentTokenPairBlocking::Build(
+BlockCollection FrequentTokenPairBlocking::BuildBlocks(
     const model::EntityCollection& collection) const {
   // Pass 1: token document frequencies.
   std::vector<std::vector<std::string>> tokens_of(collection.size());

@@ -33,7 +33,7 @@ class FrequentTokenPairBlocking : public Blocker {
   explicit FrequentTokenPairBlocking(FrequentTokenOptions options = {})
       : options_(options) {}
 
-  BlockCollection Build(
+  BlockCollection BuildBlocks(
       const model::EntityCollection& collection) const override;
 
   std::string name() const override { return "FrequentTokenPairBlocking"; }

@@ -14,7 +14,7 @@ double LshBlocking::ThresholdEstimate() const {
   return std::pow(1.0 / b, 1.0 / r);
 }
 
-BlockCollection LshBlocking::Build(
+BlockCollection LshBlocking::BuildBlocks(
     const model::EntityCollection& collection) const {
   size_t bands = std::max<size_t>(options_.bands, 1);
   size_t rows = std::max<size_t>(options_.rows_per_band, 1);

@@ -28,7 +28,7 @@ class LshBlocking : public Blocker {
  public:
   explicit LshBlocking(LshOptions options = {}) : options_(options) {}
 
-  BlockCollection Build(
+  BlockCollection BuildBlocks(
       const model::EntityCollection& collection) const override;
 
   std::string name() const override { return "LshBlocking"; }

@@ -35,7 +35,7 @@ BlockCollection AggregateMultidimensional(
   return result;
 }
 
-BlockCollection MultidimensionalBlocking::Build(
+BlockCollection MultidimensionalBlocking::BuildBlocks(
     const model::EntityCollection& collection) const {
   std::vector<BlockCollection> built;
   built.reserve(dimensions_.size());

@@ -35,7 +35,7 @@ class MultidimensionalBlocking : public Blocker {
                            size_t min_agreement)
       : dimensions_(std::move(dimensions)), min_agreement_(min_agreement) {}
 
-  BlockCollection Build(
+  BlockCollection BuildBlocks(
       const model::EntityCollection& collection) const override;
 
   std::string name() const override { return "MultidimensionalBlocking"; }

@@ -8,7 +8,7 @@
 
 namespace weber::blocking {
 
-BlockCollection PhoneticBlocking::Build(
+BlockCollection PhoneticBlocking::BuildBlocks(
     const model::EntityCollection& collection) const {
   std::map<std::string, std::vector<model::EntityId>> index;
   for (model::EntityId id = 0; id < collection.size(); ++id) {

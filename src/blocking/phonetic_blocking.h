@@ -20,7 +20,7 @@ class PhoneticBlocking : public Blocker {
                             size_t min_token_length = 3)
       : use_soundex_(use_soundex), min_token_length_(min_token_length) {}
 
-  BlockCollection Build(
+  BlockCollection BuildBlocks(
       const model::EntityCollection& collection) const override;
 
   std::string name() const override { return "PhoneticBlocking"; }

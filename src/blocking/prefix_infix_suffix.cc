@@ -51,7 +51,7 @@ UriParts SplitUri(std::string_view uri) {
   return parts;
 }
 
-BlockCollection PrefixInfixSuffixBlocking::Build(
+BlockCollection PrefixInfixSuffixBlocking::BuildBlocks(
     const model::EntityCollection& collection) const {
   std::map<std::string, std::vector<model::EntityId>> index;
   for (model::EntityId id = 0; id < collection.size(); ++id) {

@@ -33,7 +33,7 @@ class PrefixInfixSuffixBlocking : public Blocker {
   explicit PrefixInfixSuffixBlocking(bool include_value_tokens = true)
       : include_value_tokens_(include_value_tokens) {}
 
-  BlockCollection Build(
+  BlockCollection BuildBlocks(
       const model::EntityCollection& collection) const override;
 
   std::string name() const override { return "PrefixInfixSuffixBlocking"; }

@@ -16,7 +16,7 @@ class QGramsBlocking : public Blocker {
   explicit QGramsBlocking(size_t q = 3, size_t min_token_length = 3)
       : q_(q), min_token_length_(min_token_length) {}
 
-  BlockCollection Build(
+  BlockCollection BuildBlocks(
       const model::EntityCollection& collection) const override;
 
   std::string name() const override { return "QGramsBlocking"; }

@@ -53,7 +53,7 @@ std::vector<model::EntityId> SortedOrder(
   return order;
 }
 
-BlockCollection SortedNeighborhood::Build(
+BlockCollection SortedNeighborhood::BuildBlocks(
     const model::EntityCollection& collection) const {
   BlockCollection result(&collection);
   if (window_ < 2 || collection.size() < 2) return result;
@@ -68,7 +68,7 @@ BlockCollection SortedNeighborhood::Build(
   return result;
 }
 
-BlockCollection MultiPassSortedNeighborhood::Build(
+BlockCollection MultiPassSortedNeighborhood::BuildBlocks(
     const model::EntityCollection& collection) const {
   BlockCollection result(&collection);
   for (size_t pass = 0; pass < passes_.size(); ++pass) {

@@ -37,7 +37,7 @@ class SortedNeighborhood : public Blocker {
   explicit SortedNeighborhood(size_t window, SortedOrderOptions options = {})
       : window_(window), options_(std::move(options)) {}
 
-  BlockCollection Build(
+  BlockCollection BuildBlocks(
       const model::EntityCollection& collection) const override;
 
   std::string name() const override { return "SortedNeighborhood"; }
@@ -57,7 +57,7 @@ class MultiPassSortedNeighborhood : public Blocker {
                               std::vector<SortedOrderOptions> passes)
       : window_(window), passes_(std::move(passes)) {}
 
-  BlockCollection Build(
+  BlockCollection BuildBlocks(
       const model::EntityCollection& collection) const override;
 
   std::string name() const override { return "MultiPassSortedNeighborhood"; }

@@ -23,7 +23,7 @@ std::string StandardBlockingKey(const model::EntityDescription& entity,
   return key;
 }
 
-BlockCollection StandardBlocking::Build(
+BlockCollection StandardBlocking::BuildBlocks(
     const model::EntityCollection& collection) const {
   std::map<std::string, std::vector<model::EntityId>> index;
   for (model::EntityId id = 0; id < collection.size(); ++id) {

@@ -31,7 +31,7 @@ class StandardBlocking : public Blocker {
       : key_attributes_(std::move(key_attributes)),
         value_prefix_(value_prefix) {}
 
-  BlockCollection Build(
+  BlockCollection BuildBlocks(
       const model::EntityCollection& collection) const override;
 
   std::string name() const override { return "StandardBlocking"; }

@@ -7,7 +7,7 @@
 
 namespace weber::blocking {
 
-BlockCollection SuffixBlocking::Build(
+BlockCollection SuffixBlocking::BuildBlocks(
     const model::EntityCollection& collection) const {
   std::map<std::string, std::vector<model::EntityId>> index;
   for (model::EntityId id = 0; id < collection.size(); ++id) {

@@ -17,7 +17,7 @@ class SuffixBlocking : public Blocker {
       : min_suffix_length_(min_suffix_length),
         max_block_size_(max_block_size) {}
 
-  BlockCollection Build(
+  BlockCollection BuildBlocks(
       const model::EntityCollection& collection) const override;
 
   std::string name() const override { return "SuffixBlocking"; }

@@ -7,7 +7,7 @@
 
 namespace weber::blocking {
 
-BlockCollection TokenBlocking::Build(
+BlockCollection TokenBlocking::BuildBlocks(
     const model::EntityCollection& collection) const {
   // token -> entity ids. std::map keeps block order deterministic.
   std::map<std::string, std::vector<model::EntityId>> index;

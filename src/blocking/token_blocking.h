@@ -30,7 +30,7 @@ class TokenBlocking : public Blocker {
   explicit TokenBlocking(TokenBlockingOptions options = {})
       : options_(options) {}
 
-  BlockCollection Build(
+  BlockCollection BuildBlocks(
       const model::EntityCollection& collection) const override;
 
   std::string name() const override { return "TokenBlocking"; }

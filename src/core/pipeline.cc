@@ -5,6 +5,7 @@
 
 #include "blocking/block_filtering.h"
 #include "blocking/block_purging.h"
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace weber::core {
@@ -17,13 +18,31 @@ PipelineResult RunPipeline(const model::EntityCollection& collection,
   PipelineResult result;
   util::Timer timer;
 
+  // Make the configured registry ambient for every nested layer; a null
+  // config.metrics leaves any caller-installed registry in place.
+  obs::ScopedRegistry attach(config.metrics);
+  obs::MetricsRegistry* registry = obs::Current();
+  obs::Span pipeline_span(registry, "pipeline");
+
   // ---- Blocking phase (plus optional cleaning). ----
-  blocking::BlockCollection blocks = config.blocker->Build(collection);
-  if (config.auto_purge) {
-    blocking::AutoPurgeBlocks(blocks);
-  }
-  if (config.filter_ratio < 1.0) {
-    blocks = blocking::FilterBlocks(blocks, config.filter_ratio);
+  blocking::BlockCollection blocks;
+  {
+    obs::Span span(registry, "blocking");
+    blocks = config.blocker->Build(collection);
+    size_t blocks_before_cleaning = blocks.NumBlocks();
+    if (config.auto_purge) {
+      blocking::AutoPurgeBlocks(blocks);
+    }
+    size_t blocks_after_purge = blocks.NumBlocks();
+    if (config.filter_ratio < 1.0) {
+      blocks = blocking::FilterBlocks(blocks, config.filter_ratio);
+    }
+    if (registry != nullptr) {
+      registry->GetCounter("weber.pipeline.purged_blocks")
+          .Add(blocks_before_cleaning - blocks_after_purge);
+      registry->GetCounter("weber.pipeline.blocks")
+          .Add(blocks.NumBlocks());
+    }
   }
   result.blocking_quality = eval::EvaluateBlocks(blocks, truth);
   result.blocking_seconds = timer.ElapsedSeconds();
@@ -31,57 +50,77 @@ PipelineResult RunPipeline(const model::EntityCollection& collection,
 
   // ---- Candidate generation: meta-blocking or distinct block pairs. ----
   std::vector<model::IdPair> candidates;
-  if (config.meta_blocking.has_value()) {
-    candidates = metablocking::MetaBlock(blocks,
-                                         config.meta_blocking->first,
-                                         config.meta_blocking->second);
-  } else {
-    blocks.VisitDistinctPairs(
-        [&candidates](model::EntityId a, model::EntityId b) {
-          candidates.push_back(model::IdPair::Of(a, b));
-        });
-  }
-  result.candidates = candidates.size();
-
-  // ---- Scheduling phase. ----
   std::unique_ptr<progressive::PairScheduler> scheduler;
-  if (config.make_scheduler) {
-    scheduler = config.make_scheduler(collection, std::move(candidates));
-  } else {
-    scheduler = std::make_unique<progressive::StaticListScheduler>(
-        std::move(candidates));
+  {
+    obs::Span span(registry, "scheduling");
+    if (config.meta_blocking.has_value()) {
+      candidates = metablocking::MetaBlock(blocks,
+                                           config.meta_blocking->first,
+                                           config.meta_blocking->second);
+    } else {
+      blocks.VisitDistinctPairs(
+          [&candidates](model::EntityId a, model::EntityId b) {
+            candidates.push_back(model::IdPair::Of(a, b));
+          });
+    }
+    result.candidates = candidates.size();
+    if (registry != nullptr) {
+      registry->GetCounter("weber.pipeline.candidates")
+          .Add(result.candidates);
+    }
+
+    if (config.make_scheduler) {
+      scheduler = config.make_scheduler(collection, std::move(candidates));
+    } else {
+      scheduler = std::make_unique<progressive::StaticListScheduler>(
+          std::move(candidates));
+    }
   }
   result.scheduling_seconds = timer.ElapsedSeconds();
   timer.Restart();
 
   // ---- Matching + update phases under the budget. ----
-  matching::ThresholdMatcher threshold_matcher(config.matcher,
-                                               config.match_threshold);
-  uint64_t budget = config.budget == 0
-                        ? std::numeric_limits<uint64_t>::max()
-                        : config.budget;
-  progressive::ProgressiveRunResult run = progressive::RunProgressive(
-      collection, *scheduler, threshold_matcher, budget, truth);
-  result.comparisons = run.comparisons;
-  result.matches = std::move(run.reported);
-  result.curve = std::move(run.curve);
+  {
+    obs::Span span(registry, "matching");
+    matching::ThresholdMatcher threshold_matcher(config.matcher,
+                                                 config.match_threshold);
+    uint64_t budget = config.budget == 0
+                          ? std::numeric_limits<uint64_t>::max()
+                          : config.budget;
+    progressive::ProgressiveRunResult run = progressive::RunProgressive(
+        collection, *scheduler, threshold_matcher, budget, truth);
+    result.comparisons = run.comparisons;
+    result.matches = std::move(run.reported);
+    result.curve = std::move(run.curve);
+  }
   result.matching_seconds = timer.ElapsedSeconds();
 
   // ---- Clustering. ----
-  matching::MatchGraph graph(collection.size());
-  for (const model::IdPair& pair : result.matches) {
-    graph.AddMatch(pair.low, pair.high);
+  {
+    obs::Span span(registry, "clustering");
+    matching::MatchGraph graph(collection.size());
+    for (const model::IdPair& pair : result.matches) {
+      graph.AddMatch(pair.low, pair.high);
+    }
+    switch (config.clustering) {
+      case ClusteringAlgorithm::kConnectedComponents:
+        result.clusters = matching::ConnectedComponents(graph);
+        break;
+      case ClusteringAlgorithm::kCenter:
+        result.clusters = matching::CenterClustering(graph);
+        break;
+      case ClusteringAlgorithm::kMergeCenter:
+        result.clusters = matching::MergeCenterClustering(graph);
+        break;
+    }
   }
-  switch (config.clustering) {
-    case ClusteringAlgorithm::kConnectedComponents:
-      result.clusters = matching::ConnectedComponents(graph);
-      break;
-    case ClusteringAlgorithm::kCenter:
-      result.clusters = matching::CenterClustering(graph);
-      break;
-    case ClusteringAlgorithm::kMergeCenter:
-      result.clusters = matching::MergeCenterClustering(graph);
-      break;
+
+  if (registry != nullptr) {
+    registry->GetCounter("weber.pipeline.comparisons").Add(result.comparisons);
+    registry->GetCounter("weber.pipeline.matches").Add(result.matches.size());
+    registry->GetCounter("weber.pipeline.clusters")
+        .Add(result.clusters.size());
+    registry->GetCounter("weber.pipeline.runs").Increment();
   }
   return result;
 }

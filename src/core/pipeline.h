@@ -17,6 +17,10 @@
 #include "model/ground_truth.h"
 #include "progressive/scheduler.h"
 
+namespace weber::obs {
+class MetricsRegistry;
+}  // namespace weber::obs
+
 namespace weber::core {
 
 /// Which clustering closes the pipeline.
@@ -61,6 +65,14 @@ struct PipelineConfig {
 
   /// Final clustering.
   ClusteringAlgorithm clustering = ClusteringAlgorithm::kConnectedComponents;
+
+  /// Optional observability sink. When set, the run installs it as the
+  /// ambient registry (obs::ScopedRegistry) so every layer — blockers,
+  /// meta-blocking, the progressive runner, MapReduce jobs — reports into
+  /// it, and the run itself emits one span per Fig. 1 phase plus
+  /// `weber.pipeline.*` counters. When null (the default) instrumentation
+  /// costs one relaxed atomic load per site.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything a pipeline run reports.

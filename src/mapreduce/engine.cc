@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace weber::mapreduce {
+
+void PublishJobStats(const JobStats& stats) {
+  obs::MetricsRegistry* registry = obs::Current();
+  if (registry == nullptr) return;
+  registry->GetCounter("weber.mapreduce.jobs").Increment();
+  registry->GetCounter("weber.mapreduce.intermediate_pairs")
+      .Add(stats.intermediate_pairs);
+  registry->GetCounter("weber.mapreduce.distinct_keys")
+      .Add(stats.distinct_keys);
+  registry->GetHistogram("weber.mapreduce.map_seconds")
+      .Record(stats.map_seconds);
+  registry->GetHistogram("weber.mapreduce.shuffle_seconds")
+      .Record(stats.shuffle_seconds);
+  registry->GetHistogram("weber.mapreduce.reduce_seconds")
+      .Record(stats.reduce_seconds);
+  registry->GetGauge("weber.mapreduce.map_balance_speedup")
+      .Set(stats.map_balance_speedup);
+  registry->GetGauge("weber.mapreduce.reduce_balance_speedup")
+      .Set(stats.reduce_balance_speedup);
+}
 
 void ParallelFor(size_t n, size_t workers,
                  const std::function<void(size_t)>& fn,

@@ -36,6 +36,13 @@ struct JobStats {
   }
 };
 
+/// Re-expresses a JobStats on the ambient metrics registry (no-op when
+/// none is attached): `weber.mapreduce.*` counters for volumes, phase
+/// histograms for the timings, gauges for the balance speedups. The
+/// engine calls this after every job, so JobStats stays a plain façade
+/// for callers while the registry accumulates across jobs.
+void PublishJobStats(const JobStats& stats);
+
 /// Runs fn(i) for i in [0, n) on `workers` threads, splitting the range
 /// into contiguous chunks. fn must be safe to call concurrently for
 /// distinct i. When worker_cpu is non-null it receives one per-thread CPU
@@ -151,24 +158,25 @@ class MapReduceJob {
     }
     double reduce_seconds = timer.ElapsedSeconds();
 
-    if (stats != nullptr) {
-      stats->map_seconds = map_seconds;
-      stats->shuffle_seconds = shuffle_seconds;
-      stats->reduce_seconds = reduce_seconds;
-      stats->intermediate_pairs = intermediate;
-      stats->distinct_keys = distinct_keys;
-      auto balance = [](const std::vector<double>& cpu) {
-        double sum = 0.0;
-        double max = 0.0;
-        for (double c : cpu) {
-          sum += c;
-          max = std::max(max, c);
-        }
-        return max > 0.0 ? sum / max : 1.0;
-      };
-      stats->map_balance_speedup = balance(map_cpu);
-      stats->reduce_balance_speedup = balance(reduce_cpu);
-    }
+    JobStats job;
+    job.map_seconds = map_seconds;
+    job.shuffle_seconds = shuffle_seconds;
+    job.reduce_seconds = reduce_seconds;
+    job.intermediate_pairs = intermediate;
+    job.distinct_keys = distinct_keys;
+    auto balance = [](const std::vector<double>& cpu) {
+      double sum = 0.0;
+      double max = 0.0;
+      for (double c : cpu) {
+        sum += c;
+        max = std::max(max, c);
+      }
+      return max > 0.0 ? sum / max : 1.0;
+    };
+    job.map_balance_speedup = balance(map_cpu);
+    job.reduce_balance_speedup = balance(reduce_cpu);
+    PublishJobStats(job);
+    if (stats != nullptr) *stats = job;
 
     std::vector<Output> all;
     size_t total = 0;

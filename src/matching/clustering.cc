@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/union_find.h"
 
 namespace weber::matching {
@@ -10,6 +11,18 @@ namespace {
 
 Clusters GroupsToClusters(util::UnionFind& forest) {
   return forest.Groups(/*include_singletons=*/true);
+}
+
+// Clustering closes the matching phase; report its volume when a metrics
+// registry is attached.
+void ReportClustering(const MatchGraph& graph, const Clusters& clusters) {
+  if (obs::MetricsRegistry* registry = obs::Current()) {
+    registry->GetCounter("weber.matching.clusterings").Increment();
+    registry->GetCounter("weber.matching.graph_edges")
+        .Add(graph.matches().size());
+    registry->GetCounter("weber.matching.clusters_formed")
+        .Add(clusters.size());
+  }
 }
 
 std::vector<ScoredPair> EdgesHeaviestFirst(const MatchGraph& graph) {
@@ -30,7 +43,9 @@ Clusters ConnectedComponents(const MatchGraph& graph) {
   for (const ScoredPair& edge : graph.matches()) {
     forest.Union(edge.a, edge.b);
   }
-  return GroupsToClusters(forest);
+  Clusters clusters = GroupsToClusters(forest);
+  ReportClustering(graph, clusters);
+  return clusters;
 }
 
 Clusters CenterClustering(const MatchGraph& graph) {
@@ -53,7 +68,9 @@ Clusters CenterClustering(const MatchGraph& graph) {
     }
     // Center-center and attached-* edges are ignored.
   }
-  return GroupsToClusters(forest);
+  Clusters clusters = GroupsToClusters(forest);
+  ReportClustering(graph, clusters);
+  return clusters;
 }
 
 Clusters MergeCenterClustering(const MatchGraph& graph) {
@@ -77,7 +94,9 @@ Clusters MergeCenterClustering(const MatchGraph& graph) {
       forest.Union(edge.a, edge.b);  // Merge the two clusters.
     }
   }
-  return GroupsToClusters(forest);
+  Clusters clusters = GroupsToClusters(forest);
+  ReportClustering(graph, clusters);
+  return clusters;
 }
 
 std::vector<model::IdPair> ClusterPairs(const Clusters& clusters) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <functional>
 
+#include "obs/metrics.h"
+
 namespace weber::metablocking {
 
 std::string ToString(PruningScheme scheme) {
@@ -158,6 +160,20 @@ std::vector<model::IdPair> MetaBlock(const blocking::BlockCollection& blocks,
                                      const PruneOptions& options) {
   BlockingGraph graph = BlockingGraph::Build(blocks, weights);
   std::vector<WeightedEdge> kept = Prune(graph, blocks, pruning, options);
+  if (obs::MetricsRegistry* registry = obs::Current()) {
+    registry->GetCounter("weber.metablocking.graph_nodes")
+        .Add(graph.num_nodes());
+    registry->GetCounter("weber.metablocking.graph_edges")
+        .Add(graph.num_edges());
+    registry->GetCounter("weber.metablocking.kept_edges").Add(kept.size());
+    registry->GetCounter("weber.metablocking.pruned_edges")
+        .Add(graph.num_edges() - kept.size());
+    if (graph.num_edges() > 0) {
+      registry->GetGauge("weber.metablocking.pruning_ratio")
+          .Set(1.0 - static_cast<double>(kept.size()) /
+                         static_cast<double>(graph.num_edges()));
+    }
+  }
   std::vector<model::IdPair> pairs;
   pairs.reserve(kept.size());
   for (const WeightedEdge& edge : kept) pairs.push_back(edge.pair());

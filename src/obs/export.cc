@@ -1,0 +1,163 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace weber::obs {
+
+namespace {
+
+// Shortest round-trippable representation; non-finite values (never
+// produced by healthy instrumentation) degrade to null to keep the
+// document parseable.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string JsonString(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void WriteSpanJson(const SpanSnapshot& span, std::ostream& out) {
+  out << "{\"name\":" << JsonString(span.name)
+      << ",\"wall_seconds\":" << JsonNumber(span.wall_seconds)
+      << ",\"cpu_seconds\":" << JsonNumber(span.cpu_seconds);
+  if (span.open) out << ",\"open\":true";
+  out << ",\"children\":[";
+  for (size_t i = 0; i < span.children.size(); ++i) {
+    if (i > 0) out << ',';
+    WriteSpanJson(span.children[i], out);
+  }
+  out << "]}";
+}
+
+void WriteSpanText(const SpanSnapshot& span, int depth, std::ostream& out) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << span.name << ": wall=" << span.wall_seconds << "s cpu="
+      << span.cpu_seconds << "s";
+  if (span.open) out << " (open)";
+  out << "\n";
+  for (const SpanSnapshot& child : span.children) {
+    WriteSpanText(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+void TextExporter::Export(const RegistrySnapshot& snapshot,
+                          std::ostream& out) const {
+  if (!snapshot.trace.empty()) {
+    out << "== trace ==\n";
+    for (const SpanSnapshot& root : snapshot.trace) {
+      WriteSpanText(root, 0, out);
+    }
+  }
+  if (!snapshot.counters.empty()) {
+    out << "== counters ==\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      out << name << " = " << value << "\n";
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "== gauges ==\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      out << name << " = " << value << "\n";
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out << "== histograms ==\n";
+    for (const auto& [name, h] : snapshot.histograms) {
+      out << name << ": count=" << h.count << " mean=" << h.Mean()
+          << " p50=" << h.Quantile(0.50) << " p95=" << h.Quantile(0.95)
+          << " p99=" << h.Quantile(0.99) << " min=" << h.min
+          << " max=" << h.max << "\n";
+    }
+  }
+}
+
+void TextExporter::Export(const MetricsRegistry& registry,
+                          std::ostream& out) const {
+  Export(registry.TakeSnapshot(), out);
+}
+
+void JsonExporter::Export(const RegistrySnapshot& snapshot,
+                          std::ostream& out) const {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out << ',';
+    first = false;
+    out << JsonString(name) << ':' << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out << ',';
+    first = false;
+    out << JsonString(name) << ':' << JsonNumber(value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out << ',';
+    first = false;
+    out << JsonString(name) << ":{\"count\":" << h.count
+        << ",\"sum\":" << JsonNumber(h.sum)
+        << ",\"min\":" << JsonNumber(h.min)
+        << ",\"max\":" << JsonNumber(h.max)
+        << ",\"mean\":" << JsonNumber(h.Mean())
+        << ",\"p50\":" << JsonNumber(h.Quantile(0.50))
+        << ",\"p95\":" << JsonNumber(h.Quantile(0.95))
+        << ",\"p99\":" << JsonNumber(h.Quantile(0.99)) << '}';
+  }
+  out << "},\"trace\":[";
+  for (size_t i = 0; i < snapshot.trace.size(); ++i) {
+    if (i > 0) out << ',';
+    WriteSpanJson(snapshot.trace[i], out);
+  }
+  out << "]}";
+}
+
+void JsonExporter::Export(const MetricsRegistry& registry,
+                          std::ostream& out) const {
+  Export(registry.TakeSnapshot(), out);
+}
+
+std::string JsonExporter::ToString(const MetricsRegistry& registry) const {
+  std::ostringstream out;
+  Export(registry, out);
+  return out.str();
+}
+
+}  // namespace weber::obs

@@ -1,0 +1,34 @@
+#ifndef WEBER_OBS_EXPORT_H_
+#define WEBER_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace weber::obs {
+
+/// Human-readable dump of a registry snapshot: the trace tree indented by
+/// depth, then counters, gauges, and histogram summaries, each section
+/// sorted by metric name.
+class TextExporter {
+ public:
+  void Export(const RegistrySnapshot& snapshot, std::ostream& out) const;
+  void Export(const MetricsRegistry& registry, std::ostream& out) const;
+};
+
+/// JSON serialization of a registry snapshot with stable key names:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {name: {count,sum,min,max,mean,p50,p95,p99}},
+///    "trace": [{name,wall_seconds,cpu_seconds,children:[...]}]}
+/// The shape is flat enough to drop into a BENCH_*.json trajectory point.
+class JsonExporter {
+ public:
+  void Export(const RegistrySnapshot& snapshot, std::ostream& out) const;
+  void Export(const MetricsRegistry& registry, std::ostream& out) const;
+  std::string ToString(const MetricsRegistry& registry) const;
+};
+
+}  // namespace weber::obs
+
+#endif  // WEBER_OBS_EXPORT_H_

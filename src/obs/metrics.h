@@ -1,0 +1,148 @@
+#ifndef WEBER_OBS_METRICS_H_
+#define WEBER_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace weber::obs {
+
+/// Monotonic counter. Increments are sharded across cache-line-padded
+/// atomics indexed by thread so that worker pools bumping the same
+/// counter do not contend; Value() sums the shards.
+class Counter {
+ public:
+  void Add(uint64_t delta);
+  void Increment() { Add(1); }
+  uint64_t Value() const;
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// A last-write-wins double value (ratios, thresholds, speedups).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Aggregated view of a histogram at snapshot time.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Ascending bucket upper bounds; buckets[i] counts values v with
+  /// bounds[i-1] < v <= bounds[i]. buckets has one extra overflow slot
+  /// for values above bounds.back().
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  /// Streaming quantile estimate (q in [0,1]) by linear interpolation
+  /// inside the bucket holding the q-th value, clamped to [min, max].
+  /// Accuracy is bounded by the bucket width (default bounds: ~12%
+  /// relative error worst case).
+  double Quantile(double q) const;
+};
+
+/// Fixed-bucket histogram with streaming quantiles. Recording is one
+/// relaxed atomic increment plus a branchless bucket search; safe for
+/// concurrent use.
+class Histogram {
+ public:
+  /// Geometric bounds covering 1e-9..1e9 with ratio 10^0.05 (~1.122):
+  /// fine enough for p50/p95/p99 of both durations (seconds) and sizes.
+  static const std::vector<double>& DefaultBounds();
+
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Everything a registry knew at one instant; the unit exporters work on.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::vector<SpanSnapshot> trace;
+};
+
+/// Thread-safe registry of named counters, gauges, histograms and a phase
+/// trace. Metric names follow `weber.<module>.<metric>`. Lookup takes a
+/// mutex, so hot paths should fetch the metric handle once (references
+/// remain stable for the registry's lifetime) or aggregate locally and
+/// publish at phase end.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+  Histogram& GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+  RegistrySnapshot TakeSnapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  Trace trace_;
+};
+
+/// The ambient registry instrumentation sites report to, or nullptr when
+/// observability is detached (the default — sites then skip all work
+/// beyond one relaxed atomic load).
+MetricsRegistry* Current();
+
+/// RAII installer of the ambient registry. Passing nullptr leaves the
+/// previously installed registry in place, so nested components can
+/// unconditionally construct one from an optional config field.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(MetricsRegistry* registry);
+  ~ScopedRegistry();
+
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  MetricsRegistry* prev_ = nullptr;
+  bool installed_ = false;
+};
+
+}  // namespace weber::obs
+
+#endif  // WEBER_OBS_METRICS_H_

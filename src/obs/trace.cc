@@ -1,0 +1,93 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+namespace weber::obs {
+
+namespace {
+
+SpanSnapshot CopyNode(const Trace::Node& node) {
+  SpanSnapshot snap;
+  snap.name = node.name;
+  snap.wall_seconds = node.wall_seconds;
+  snap.cpu_seconds = node.cpu_seconds;
+  snap.open = node.open;
+  snap.children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    snap.children.push_back(CopyNode(*child));
+  }
+  return snap;
+}
+
+}  // namespace
+
+Trace::Node* Trace::OpenSpan(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto node = std::make_unique<Node>();
+  node->name = std::string(name);
+  node->parent = current_;
+  Node* raw = node.get();
+  if (current_ != nullptr) {
+    current_->children.push_back(std::move(node));
+  } else {
+    roots_.push_back(std::move(node));
+  }
+  current_ = raw;
+  return raw;
+}
+
+void Trace::CloseSpan(Node* node, double wall_seconds, double cpu_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  node->wall_seconds = wall_seconds;
+  node->cpu_seconds = cpu_seconds;
+  node->open = false;
+  if (current_ == node) {
+    current_ = node->parent;
+  }
+}
+
+std::vector<SpanSnapshot> Trace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanSnapshot> roots;
+  roots.reserve(roots_.size());
+  for (const auto& root : roots_) {
+    roots.push_back(CopyNode(*root));
+  }
+  return roots;
+}
+
+bool Trace::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return roots_.empty();
+}
+
+Span::Span(Trace* trace, std::string_view name) : trace_(trace) {
+  if (trace_ == nullptr) return;
+  node_ = trace_->OpenSpan(name);
+  cpu_start_ = util::ThreadCpuSeconds();
+  timer_.Restart();
+}
+
+Span::Span(MetricsRegistry* registry, std::string_view name)
+    : Span(registry != nullptr ? &registry->trace() : nullptr, name) {}
+
+Span::~Span() {
+  if (node_ == nullptr) return;
+  trace_->CloseSpan(node_, timer_.ElapsedSeconds(),
+                    util::ThreadCpuSeconds() - cpu_start_);
+}
+
+ScopedTimer::ScopedTimer(MetricsRegistry* registry,
+                         std::string_view histogram_name)
+    : registry_(registry) {
+  if (registry_ == nullptr) return;
+  name_ = std::string(histogram_name);
+  timer_.Restart();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (registry_ == nullptr) return;
+  registry_->GetHistogram(name_).Record(timer_.ElapsedSeconds());
+}
+
+}  // namespace weber::obs

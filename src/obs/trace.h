@@ -1,0 +1,100 @@
+#ifndef WEBER_OBS_TRACE_H_
+#define WEBER_OBS_TRACE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace weber::obs {
+
+class MetricsRegistry;
+
+/// One node of a captured trace tree: a named phase with its wall-clock
+/// duration and the CPU time the opening thread spent inside it.
+struct SpanSnapshot {
+  std::string name;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  /// True when the span had not been closed at snapshot time.
+  bool open = false;
+  std::vector<SpanSnapshot> children;
+};
+
+/// A hierarchical phase trace: spans nest into the tree in the order they
+/// are opened (phase -> sub-phase -> per-batch events). Spans must be
+/// opened and closed in LIFO order from the orchestration thread — worker
+/// threads report through counters/histograms instead, keeping the tree
+/// linear and cheap.
+class Trace {
+ public:
+  struct Node {
+    std::string name;
+    double wall_seconds = 0.0;
+    double cpu_seconds = 0.0;
+    bool open = true;
+    Node* parent = nullptr;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  /// Opens a span under the currently open one (or as a new root). The
+  /// returned node stays valid for the lifetime of the trace.
+  Node* OpenSpan(std::string_view name);
+
+  /// Closes `node`, recording its measured durations.
+  void CloseSpan(Node* node, double wall_seconds, double cpu_seconds);
+
+  /// Deep copy of the tree so far; open spans are marked as such.
+  std::vector<SpanSnapshot> Snapshot() const;
+
+  bool empty() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Node>> roots_;
+  Node* current_ = nullptr;
+};
+
+/// RAII span: opens on construction, closes on destruction with the
+/// elapsed wall clock and the calling thread's CPU time. A null trace or
+/// registry makes the span a no-op, so instrumentation sites pay nothing
+/// when observability is detached.
+class Span {
+ public:
+  Span(Trace* trace, std::string_view name);
+  /// Convenience: spans into `registry->trace()`; null registry -> no-op.
+  Span(MetricsRegistry* registry, std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Trace* trace_ = nullptr;
+  Trace::Node* node_ = nullptr;
+  util::Timer timer_;
+  double cpu_start_ = 0.0;
+};
+
+/// RAII stopwatch: records its elapsed seconds into the named histogram
+/// of the registry on destruction. Null registry -> no-op.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string_view histogram_name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  std::string name_;
+  util::Timer timer_;
+};
+
+}  // namespace weber::obs
+
+#endif  // WEBER_OBS_TRACE_H_

@@ -1,5 +1,9 @@
 #include "progressive/scheduler.h"
 
+#include <limits>
+
+#include "obs/metrics.h"
+
 namespace weber::progressive {
 
 ProgressiveRunResult RunProgressive(const model::EntityCollection& collection,
@@ -9,12 +13,20 @@ ProgressiveRunResult RunProgressive(const model::EntityCollection& collection,
                                     const model::GroundTruth& truth) {
   ProgressiveRunResult result(truth.NumMatches());
   model::IdPairSet executed;
+  // Aggregated locally and published once at the end: the loop body is
+  // the hot path of the whole matching phase.
+  uint64_t scheduled = 0;
+  uint64_t skipped = 0;
   while (result.comparisons < budget) {
     std::optional<model::IdPair> pair = scheduler.NextPair();
     if (!pair.has_value()) break;
-    if (pair->low == pair->high) continue;
-    if (!collection.Comparable(pair->low, pair->high)) continue;
-    if (!executed.insert(*pair).second) continue;  // Already evaluated.
+    ++scheduled;
+    if (pair->low == pair->high ||
+        !collection.Comparable(pair->low, pair->high) ||
+        !executed.insert(*pair).second) {
+      ++skipped;  // Self-pair, incomparable, or already evaluated.
+      continue;
+    }
     bool matched =
         matcher.Matches(collection[pair->low], collection[pair->high]);
     ++result.comparisons;
@@ -22,6 +34,25 @@ ProgressiveRunResult RunProgressive(const model::EntityCollection& collection,
     result.curve.Record(true_match);
     if (matched) result.reported.push_back(*pair);
     scheduler.OnResult(*pair, matched);
+  }
+
+  if (obs::MetricsRegistry* registry = obs::Current()) {
+    registry->GetCounter("weber.progressive.scheduled_pairs").Add(scheduled);
+    registry->GetCounter("weber.progressive.skipped_pairs").Add(skipped);
+    registry->GetCounter("weber.progressive.comparisons")
+        .Add(result.comparisons);
+    registry->GetCounter("weber.progressive.matches")
+        .Add(result.reported.size());
+    if (budget > 0 && budget != std::numeric_limits<uint64_t>::max()) {
+      registry->GetGauge("weber.progressive.budget_used_ratio")
+          .Set(static_cast<double>(result.comparisons) /
+               static_cast<double>(budget));
+    }
+    if (result.comparisons > 0) {
+      registry->GetGauge("weber.progressive.emission_rate")
+          .Set(static_cast<double>(result.reported.size()) /
+               static_cast<double>(result.comparisons));
+    }
   }
   return result;
 }

@@ -11,6 +11,7 @@
 #include "mapreduce/parallel_meta_blocking.h"
 #include "mapreduce/parallel_token_blocking.h"
 #include "metablocking/pruning_schemes.h"
+#include "obs/metrics.h"
 
 namespace weber::mapreduce {
 namespace {
@@ -255,6 +256,62 @@ TEST(ParallelMetaBlockingTest, EmptyBlocks) {
   auto pairs = ParallelMetaBlock(blocks, metablocking::WeightScheme::kCbs,
                                  metablocking::PruningScheme::kWep, {}, 4);
   EXPECT_TRUE(pairs.empty());
+}
+
+TEST(JobStatsObsTest, JobsPublishIntoAmbientRegistry) {
+  obs::MetricsRegistry registry;
+  obs::ScopedRegistry attach(&registry);
+
+  std::vector<std::string> lines = {"a b a", "b c", "a", "c c d"};
+  MapReduceJob<std::string, std::string, int, std::pair<std::string, int>>
+      job(
+          [](const std::string& line, const auto& emit) {
+            std::string token;
+            for (char c : line) {
+              if (c == ' ') {
+                if (!token.empty()) emit(token, 1);
+                token.clear();
+              } else {
+                token += c;
+              }
+            }
+            if (!token.empty()) emit(token, 1);
+          },
+          [](const std::string& key, std::vector<int>& values,
+             std::vector<std::pair<std::string, int>>& out) {
+            int total = 0;
+            for (int v : values) total += v;
+            out.emplace_back(key, total);
+          });
+
+  JobStats stats;
+  job.Run(lines, /*workers=*/2, &stats);
+  job.Run(lines, /*workers=*/2);  // Second job, no stats struct.
+
+  obs::RegistrySnapshot snap = registry.TakeSnapshot();
+  // The JobStats facade and the registry agree, and the registry
+  // accumulates across jobs where the facade only sees the last one.
+  EXPECT_EQ(snap.counters.at("weber.mapreduce.jobs"), 2u);
+  EXPECT_EQ(snap.counters.at("weber.mapreduce.intermediate_pairs"),
+            2 * stats.intermediate_pairs);
+  EXPECT_EQ(snap.counters.at("weber.mapreduce.distinct_keys"),
+            2 * stats.distinct_keys);
+  EXPECT_EQ(snap.histograms.at("weber.mapreduce.map_seconds").count, 2u);
+  EXPECT_GT(snap.gauges.at("weber.mapreduce.map_balance_speedup"), 0.0);
+}
+
+TEST(JobStatsObsTest, DetachedJobStillFillsFacade) {
+  std::vector<int> inputs = {1, 2, 3, 4};
+  MapReduceJob<int, int, int, int> job(
+      [](int v, const auto& emit) { emit(v % 2, v); },
+      [](int, std::vector<int>& values, std::vector<int>& out) {
+        for (int v : values) out.push_back(v);
+      });
+  JobStats stats;
+  std::vector<int> out = job.Run(inputs, 2, &stats);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(stats.intermediate_pairs, 4u);
+  EXPECT_EQ(stats.distinct_keys, 2u);
 }
 
 }  // namespace

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tests/test_json.h"
+#include "util/random.h"
+
+namespace weber::obs {
+namespace {
+
+using ::weber::testing::JsonChecker;
+
+// ---------------------------------------------------------------------------
+// Counters and gauges
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("weber.test.hits");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 100000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(CounterTest, SameNameReturnsSameCounter) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("weber.test.c");
+  Counter& b = registry.GetCounter("weber.test.c");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  b.Add(4);
+  EXPECT_EQ(a.Value(), 7u);
+}
+
+TEST(GaugeTest, SetAndConcurrentAdd) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.GetGauge("weber.test.g");
+  gauge.Set(1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 1.5);
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&gauge] {
+      for (int i = 0; i < kAdds; ++i) gauge.Add(1.0);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 1.5 + kThreads * kAdds);
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, CountSumMinMaxExact) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("weber.test.h");
+  double sum = 0.0;
+  for (int v = 1; v <= 100; ++v) {
+    h.Record(v);
+    sum += v;
+  }
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.sum, sum);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), sum / 100.0);
+}
+
+TEST(HistogramTest, QuantilesTrackSortedReference) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("weber.test.q");
+  // Shuffled 1..10000 so that recording order cannot help.
+  std::vector<double> values;
+  values.reserve(10000);
+  for (int v = 1; v <= 10000; ++v) values.push_back(v);
+  util::Rng rng(7);
+  for (size_t i = values.size() - 1; i > 0; --i) {
+    std::swap(values[i], values[rng.NextBounded(i + 1)]);
+  }
+  for (double v : values) h.Record(v);
+
+  std::sort(values.begin(), values.end());
+  HistogramSnapshot snap = h.Snapshot();
+  for (double q : {0.10, 0.50, 0.95, 0.99}) {
+    double reference =
+        values[static_cast<size_t>(std::ceil(q * values.size())) - 1];
+    double estimate = snap.Quantile(q);
+    // Default buckets grow by 10^0.05 (~12%); allow 15% relative error.
+    EXPECT_NEAR(estimate, reference, reference * 0.15)
+        << "quantile " << q;
+  }
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 10000.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepTotalCount) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("weber.test.hc");
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&h, t] {
+      for (int i = 0; i < kRecords; ++i) h.Record(t + 1);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kRecords);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 4.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  MetricsRegistry registry;
+  HistogramSnapshot snap = registry.GetHistogram("weber.test.e").Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, SpansNestInOpeningOrder) {
+  Trace trace;
+  {
+    Span outer(&trace, "outer");
+    { Span first(&trace, "first"); }
+    { Span second(&trace, "second"); }
+    {
+      Span third(&trace, "third");
+      { Span nested(&trace, "nested"); }
+    }
+  }
+  std::vector<SpanSnapshot> roots = trace.Snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  const SpanSnapshot& outer = roots[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_FALSE(outer.open);
+  ASSERT_EQ(outer.children.size(), 3u);
+  EXPECT_EQ(outer.children[0].name, "first");
+  EXPECT_EQ(outer.children[1].name, "second");
+  EXPECT_EQ(outer.children[2].name, "third");
+  ASSERT_EQ(outer.children[2].children.size(), 1u);
+  EXPECT_EQ(outer.children[2].children[0].name, "nested");
+  // A parent's wall clock covers its children.
+  double child_wall = 0.0;
+  for (const SpanSnapshot& child : outer.children) {
+    EXPECT_GE(child.wall_seconds, 0.0);
+    child_wall += child.wall_seconds;
+  }
+  EXPECT_GE(outer.wall_seconds, child_wall);
+  EXPECT_GE(outer.cpu_seconds, 0.0);
+}
+
+TEST(TraceTest, SnapshotMarksOpenSpans) {
+  Trace trace;
+  Span outer(&trace, "running");
+  std::vector<SpanSnapshot> roots = trace.Snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_TRUE(roots[0].open);
+}
+
+TEST(TraceTest, NullSinkSpansAreNoops) {
+  Span null_trace_span(static_cast<Trace*>(nullptr), "a");
+  Span null_registry_span(static_cast<MetricsRegistry*>(nullptr), "b");
+  ScopedTimer null_timer(nullptr, "weber.test.t");
+  // Nothing to assert beyond "does not crash".
+}
+
+TEST(TraceTest, ScopedTimerRecordsIntoHistogram) {
+  MetricsRegistry registry;
+  { ScopedTimer timer(&registry, "weber.test.scoped_seconds"); }
+  HistogramSnapshot snap =
+      registry.GetHistogram("weber.test.scoped_seconds").Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.max, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Ambient registry
+// ---------------------------------------------------------------------------
+
+TEST(ScopedRegistryTest, InstallsAndRestores) {
+  MetricsRegistry outer_registry;
+  MetricsRegistry inner_registry;
+  MetricsRegistry* before = Current();
+  {
+    ScopedRegistry outer(&outer_registry);
+    EXPECT_EQ(Current(), &outer_registry);
+    {
+      // Null leaves the outer registry ambient.
+      ScopedRegistry noop(nullptr);
+      EXPECT_EQ(Current(), &outer_registry);
+      ScopedRegistry inner(&inner_registry);
+      EXPECT_EQ(Current(), &inner_registry);
+    }
+    EXPECT_EQ(Current(), &outer_registry);
+  }
+  EXPECT_EQ(Current(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& PopulatedRegistry() {
+  static MetricsRegistry& registry = *new MetricsRegistry();
+  static bool initialized = false;
+  if (!initialized) {
+    initialized = true;
+    registry.GetCounter("weber.test.candidates").Add(42);
+    registry.GetCounter("weber.test.matches").Add(7);
+    registry.GetGauge("weber.test.ratio").Set(0.25);
+    Histogram& h = registry.GetHistogram("weber.test.seconds");
+    h.Record(0.001);
+    h.Record(0.002);
+    Span outer(&registry, "pipeline");
+    Span inner(&registry, "blocking");
+  }
+  return registry;
+}
+
+TEST(JsonExporterTest, RoundTripsThroughParser) {
+  std::string json = JsonExporter().ToString(PopulatedRegistry());
+  JsonChecker checker;
+  ASSERT_TRUE(checker.Parse(json)) << json;
+  // Stable top-level and per-metric key names.
+  EXPECT_TRUE(checker.HasKey("counters"));
+  EXPECT_TRUE(checker.HasKey("gauges"));
+  EXPECT_TRUE(checker.HasKey("histograms"));
+  EXPECT_TRUE(checker.HasKey("trace"));
+  EXPECT_TRUE(checker.HasKey("weber.test.candidates"));
+  EXPECT_TRUE(checker.HasKey("weber.test.ratio"));
+  EXPECT_TRUE(checker.HasKey("weber.test.seconds"));
+  for (const char* stat : {"count", "sum", "min", "max", "mean", "p50",
+                           "p95", "p99"}) {
+    EXPECT_TRUE(checker.HasKey(stat)) << stat;
+  }
+  for (const char* span_key : {"name", "wall_seconds", "cpu_seconds",
+                               "children"}) {
+    EXPECT_TRUE(checker.HasKey(span_key)) << span_key;
+  }
+}
+
+TEST(JsonExporterTest, EscapesAwkwardNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird \"name\"\\with\nescapes").Add(1);
+  std::string json = JsonExporter().ToString(registry);
+  JsonChecker checker;
+  EXPECT_TRUE(checker.Parse(json)) << json;
+}
+
+TEST(TextExporterTest, MentionsEverySection) {
+  std::ostringstream out;
+  TextExporter().Export(PopulatedRegistry(), out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("== trace =="), std::string::npos);
+  EXPECT_NE(text.find("== counters =="), std::string::npos);
+  EXPECT_NE(text.find("== gauges =="), std::string::npos);
+  EXPECT_NE(text.find("== histograms =="), std::string::npos);
+  EXPECT_NE(text.find("weber.test.candidates = 42"), std::string::npos);
+  EXPECT_NE(text.find("pipeline"), std::string::npos);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("weber.b").Add(2);
+  registry.GetCounter("weber.a").Add(1);
+  RegistrySnapshot snap = registry.TakeSnapshot();
+  std::vector<std::string> names;
+  for (const auto& [name, value] : snap.counters) names.push_back(name);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+}  // namespace
+}  // namespace weber::obs

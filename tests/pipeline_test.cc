@@ -6,9 +6,14 @@
 #include "core/pipeline.h"
 #include "datagen/corpus_generator.h"
 #include "eval/match_metrics.h"
+#include "mapreduce/parallel_token_blocking.h"
 #include "matching/matcher.h"
+#include "metablocking/pruning_schemes.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "progressive/progressive_sn.h"
 #include "tests/test_corpus.h"
+#include "tests/test_json.h"
 
 namespace weber::core {
 namespace {
@@ -175,6 +180,131 @@ TEST(PipelineTest, CleanCleanCollection) {
   for (const model::IdPair& pair : result.matches) {
     EXPECT_TRUE(corpus.collection.Comparable(pair.low, pair.high));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Observability integration: one run with an attached registry reports the
+// whole Fig. 1 phase tree plus per-layer counters, exportable as JSON.
+// ---------------------------------------------------------------------------
+
+const obs::SpanSnapshot* FindChild(const obs::SpanSnapshot& parent,
+                                   const std::string& name) {
+  for (const obs::SpanSnapshot& child : parent.children) {
+    if (child.name == name) return &child;
+  }
+  return nullptr;
+}
+
+TEST(PipelineObsTest, RunReportsSpansAndCounters) {
+  datagen::Corpus corpus = MediumCorpus();
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  obs::MetricsRegistry registry;
+  PipelineConfig config;
+  config.blocker = &blocker;
+  config.auto_purge = true;
+  config.meta_blocking = {{metablocking::WeightScheme::kJs,
+                           metablocking::PruningScheme::kWnp}};
+  config.matcher = &matcher;
+  config.match_threshold = 0.5;
+  config.metrics = &registry;
+  PipelineResult result = RunPipeline(corpus.collection, corpus.truth,
+                                      config);
+
+  obs::RegistrySnapshot snap = registry.TakeSnapshot();
+
+  // One span per Fig. 1 phase, with wall and CPU time populated.
+  ASSERT_EQ(snap.trace.size(), 1u);
+  const obs::SpanSnapshot& pipeline = snap.trace[0];
+  EXPECT_EQ(pipeline.name, "pipeline");
+  EXPECT_FALSE(pipeline.open);
+  for (const char* phase :
+       {"blocking", "scheduling", "matching", "clustering"}) {
+    const obs::SpanSnapshot* span = FindChild(pipeline, phase);
+    ASSERT_NE(span, nullptr) << phase;
+    EXPECT_FALSE(span->open) << phase;
+    EXPECT_GE(span->wall_seconds, 0.0) << phase;
+    EXPECT_GE(span->cpu_seconds, 0.0) << phase;
+  }
+
+  // Pipeline-level counters agree with the returned result.
+  EXPECT_EQ(snap.counters.at("weber.pipeline.candidates"),
+            result.candidates);
+  EXPECT_EQ(snap.counters.at("weber.pipeline.comparisons"),
+            result.comparisons);
+  EXPECT_EQ(snap.counters.at("weber.pipeline.matches"),
+            result.matches.size());
+  EXPECT_EQ(snap.counters.at("weber.pipeline.clusters"),
+            result.clusters.size());
+
+  // Blocker-level counters reported through the Blocker NVI wrapper.
+  EXPECT_EQ(snap.counters.at("weber.blocking.builds"), 1u);
+  EXPECT_GT(snap.counters.at("weber.blocking.blocks_built"), 0u);
+  EXPECT_GE(snap.counters.at("weber.blocking.keys_emitted"),
+            snap.counters.at("weber.blocking.blocks_built"));
+  EXPECT_GT(snap.histograms.at("weber.blocking.block_size").count, 0u);
+
+  // Meta-blocking graph and pruning counters.
+  EXPECT_GT(snap.counters.at("weber.metablocking.graph_edges"), 0u);
+  EXPECT_EQ(snap.counters.at("weber.metablocking.kept_edges"),
+            result.candidates);
+  EXPECT_EQ(snap.counters.at("weber.metablocking.graph_edges"),
+            snap.counters.at("weber.metablocking.kept_edges") +
+                snap.counters.at("weber.metablocking.pruned_edges"));
+
+  // Progressive scheduling counters.
+  EXPECT_EQ(snap.counters.at("weber.progressive.comparisons"),
+            result.comparisons);
+  EXPECT_EQ(snap.counters.at("weber.matching.clusterings"), 1u);
+}
+
+TEST(PipelineObsTest, AmbientRegistryCollectsMapReduceAndPipeline) {
+  datagen::Corpus corpus = MediumCorpus();
+  obs::MetricsRegistry registry;
+  obs::ScopedRegistry attach(&registry);
+
+  // A MapReduce blocking job and a pipeline run report into the same
+  // ambient registry, so one JSON snapshot carries the whole story.
+  blocking::BlockCollection parallel_blocks =
+      mapreduce::ParallelTokenBlocking(corpus.collection, /*workers=*/3);
+  EXPECT_GT(parallel_blocks.NumBlocks(), 0u);
+
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  PipelineConfig config;
+  config.blocker = &blocker;
+  config.matcher = &matcher;
+  config.match_threshold = 0.5;
+  RunPipeline(corpus.collection, corpus.truth, config);
+
+  obs::RegistrySnapshot snap = registry.TakeSnapshot();
+  EXPECT_GE(snap.counters.at("weber.mapreduce.jobs"), 1u);
+  EXPECT_GT(snap.counters.at("weber.mapreduce.intermediate_pairs"), 0u);
+  EXPECT_GT(snap.counters.at("weber.pipeline.candidates"), 0u);
+  EXPECT_EQ(snap.histograms.at("weber.mapreduce.map_seconds").count,
+            snap.counters.at("weber.mapreduce.jobs"));
+
+  std::string json = obs::JsonExporter().ToString(registry);
+  weber::testing::JsonChecker checker;
+  ASSERT_TRUE(checker.Parse(json));
+  EXPECT_TRUE(checker.HasKey("weber.mapreduce.jobs"));
+  EXPECT_TRUE(checker.HasKey("weber.pipeline.candidates"));
+  EXPECT_TRUE(checker.HasKey("trace"));
+}
+
+TEST(PipelineObsTest, DetachedRunReportsNothing) {
+  model::GroundTruth truth;
+  model::EntityCollection c = TinyDirty(&truth);
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  obs::MetricsRegistry registry;
+  PipelineConfig config;
+  config.blocker = &blocker;
+  config.matcher = &matcher;
+  RunPipeline(c, truth, config);  // config.metrics left null.
+  obs::RegistrySnapshot snap = registry.TakeSnapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.trace.empty());
 }
 
 }  // namespace

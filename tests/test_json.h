@@ -1,0 +1,178 @@
+#ifndef WEBER_TESTS_TEST_JSON_H_
+#define WEBER_TESTS_TEST_JSON_H_
+
+// Minimal recursive-descent JSON validator for tests: checks syntax and
+// collects every object key encountered, so exporter tests can assert
+// round-trip parseability and stable key names without a JSON library.
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace weber::testing {
+
+class JsonChecker {
+ public:
+  /// Parses `text` as one JSON value. Returns true iff the whole input is
+  /// syntactically valid JSON; object keys are appended to keys() in
+  /// encounter order.
+  bool Parse(const std::string& text) {
+    text_ = &text;
+    pos_ = 0;
+    keys_.clear();
+    bool ok = ParseValue();
+    SkipSpace();
+    return ok && pos_ == text.size();
+  }
+
+  const std::vector<std::string>& keys() const { return keys_; }
+
+  bool HasKey(const std::string& key) const {
+    for (const std::string& k : keys_) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_->size() &&
+           std::isspace(static_cast<unsigned char>((*text_)[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char& c) {
+    SkipSpace();
+    if (pos_ >= text_->size()) return false;
+    c = (*text_)[pos_];
+    return true;
+  }
+
+  bool Consume(char expected) {
+    char c;
+    if (!Peek(c) || c != expected) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    std::string value;
+    while (pos_ < text_->size()) {
+      char c = (*text_)[pos_++];
+      if (c == '"') {
+        if (out != nullptr) *out = value;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_->size()) return false;
+        char esc = (*text_)[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_->size() ||
+                !std::isxdigit(static_cast<unsigned char>((*text_)[pos_]))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+        value += '?';
+      } else {
+        value += c;
+      }
+    }
+    return false;  // Unterminated.
+  }
+
+  bool ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_->size() && (*text_)[pos_] == '-') ++pos_;
+    bool digits = false;
+    while (pos_ < text_->size() &&
+           std::isdigit(static_cast<unsigned char>((*text_)[pos_]))) {
+      ++pos_;
+      digits = true;
+    }
+    if (!digits) return false;
+    if (pos_ < text_->size() && (*text_)[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_->size() &&
+             std::isdigit(static_cast<unsigned char>((*text_)[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_->size() &&
+        ((*text_)[pos_] == 'e' || (*text_)[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_->size() &&
+          ((*text_)[pos_] == '+' || (*text_)[pos_] == '-')) {
+        ++pos_;
+      }
+      bool exp_digits = false;
+      while (pos_ < text_->size() &&
+             std::isdigit(static_cast<unsigned char>((*text_)[pos_]))) {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool ParseLiteral(const std::string& literal) {
+    if (text_->compare(pos_, literal.size(), literal) != 0) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue() {
+    char c;
+    if (!Peek(c)) return false;
+    switch (c) {
+      case '{': {
+        ++pos_;
+        if (Consume('}')) return true;
+        while (true) {
+          std::string key;
+          SkipSpace();
+          if (!ParseString(&key)) return false;
+          keys_.push_back(key);
+          if (!Consume(':')) return false;
+          if (!ParseValue()) return false;
+          if (Consume(',')) continue;
+          return Consume('}');
+        }
+      }
+      case '[': {
+        ++pos_;
+        if (Consume(']')) return true;
+        while (true) {
+          if (!ParseValue()) return false;
+          if (Consume(',')) continue;
+          return Consume(']');
+        }
+      }
+      case '"':
+        return ParseString(nullptr);
+      case 't':
+        return ParseLiteral("true");
+      case 'f':
+        return ParseLiteral("false");
+      case 'n':
+        return ParseLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  const std::string* text_ = nullptr;
+  size_t pos_ = 0;
+  std::vector<std::string> keys_;
+};
+
+}  // namespace weber::testing
+
+#endif  // WEBER_TESTS_TEST_JSON_H_

@@ -160,6 +160,45 @@ TEST(TimerTest, RestartResets) {
   EXPECT_LT(timer.ElapsedMicros(), 5000);
 }
 
+TEST(TimerTest, ElapsedIsMonotonic) {
+  Timer timer;
+  double previous = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    double now = timer.ElapsedSeconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+  int64_t micros_before = timer.ElapsedMicros();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GT(timer.ElapsedMicros(), micros_before);
+}
+
+TEST(TimerTest, ThreadCpuSecondsNonDecreasingUnderWork) {
+  double previous = ThreadCpuSeconds();
+  EXPECT_GE(previous, 0.0);
+  volatile uint64_t sink = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (uint64_t i = 0; i < 200000; ++i) sink += i;
+    double now = ThreadCpuSeconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+  // Enough work ran that the thread must have accumulated CPU time.
+  EXPECT_GT(previous, 0.0);
+}
+
+TEST(TimerTest, ThreadCpuSecondsIsPerThread) {
+  // A fresh thread starts from (near) zero CPU, independent of ours.
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < 2000000; ++i) sink += i;
+  double fresh_thread_cpu = 1e9;
+  std::thread probe([&fresh_thread_cpu] {
+    fresh_thread_cpu = ThreadCpuSeconds();
+  });
+  probe.join();
+  EXPECT_LT(fresh_thread_cpu, ThreadCpuSeconds());
+}
+
 TEST(UnionFindTest, SingletonsInitially) {
   UnionFind forest(5);
   EXPECT_EQ(forest.num_sets(), 5u);
