@@ -13,15 +13,28 @@
 // shape; outputs are verified bit-equal to the sequential algorithms in
 // tests/mapreduce_test.cc regardless of worker count.
 //
+// The executor-backed rows measure the same shape for the in-library hot
+// paths (meta-blocking weighting/pruning and batched progressive
+// matching) on the shared work-stealing pool: `balance_speedup` is read
+// back from the `weber.executor.parallel_for_balance` histogram the
+// ParallelFor calls publish.
+//
 // Rows: (job, workers).
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "bench/bench_util.h"
 #include "blocking/block_purging.h"
 #include "blocking/token_blocking.h"
+#include "core/executor.h"
 #include "mapreduce/parallel_meta_blocking.h"
 #include "mapreduce/parallel_token_blocking.h"
+#include "matching/matcher.h"
+#include "metablocking/pruning_schemes.h"
+#include "obs/metrics.h"
+#include "progressive/scheduler.h"
 
 namespace weber {
 namespace {
@@ -79,6 +92,61 @@ void BM_ParallelMetaBlocking(benchmark::State& state) {
   state.counters["combine_s"] = stats.combine_seconds;
 }
 BENCHMARK(BM_ParallelMetaBlocking)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+// Mean chunk balance of the ParallelFor calls issued while `fn` ran: the
+// speedup this partitioning realises on ideal cores (see the substitution
+// note above).
+double MeasuredBalance(const std::function<void()>& fn) {
+  obs::MetricsRegistry registry;
+  obs::ScopedRegistry attach(&registry);
+  fn();
+  obs::RegistrySnapshot snap = registry.TakeSnapshot();
+  auto it = snap.histograms.find("weber.executor.parallel_for_balance");
+  return it == snap.histograms.end() ? 1.0 : it->second.Mean();
+}
+
+void BM_ExecutorMetaBlocking(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  core::ScopedParallelism parallelism(threads);
+  for (auto _ : state) {
+    auto pairs = metablocking::MetaBlock(Blocks(),
+                                         metablocking::WeightScheme::kJs,
+                                         metablocking::PruningScheme::kWnp);
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.counters["workers"] = static_cast<double>(threads);
+  state.counters["balance_speedup"] = MeasuredBalance([] {
+    auto pairs = metablocking::MetaBlock(Blocks(),
+                                         metablocking::WeightScheme::kJs,
+                                         metablocking::PruningScheme::kWnp);
+    benchmark::DoNotOptimize(pairs);
+  });
+}
+BENCHMARK(BM_ExecutorMetaBlocking)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+void BM_ExecutorBatchedMatching(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  core::ScopedParallelism parallelism(threads);
+  const datagen::Corpus& corpus = Corpus();
+  std::vector<model::IdPair> candidates = metablocking::MetaBlock(
+      Blocks(), metablocking::WeightScheme::kJs,
+      metablocking::PruningScheme::kWnp);
+  matching::TokenJaccardMatcher matcher;
+  matching::ThresholdMatcher threshold(&matcher, 0.5);
+  auto run = [&] {
+    progressive::StaticListScheduler scheduler(candidates);
+    auto result = progressive::RunProgressive(
+        corpus.collection, scheduler, threshold, candidates.size(),
+        corpus.truth);
+    benchmark::DoNotOptimize(result);
+  };
+  for (auto _ : state) run();
+  state.counters["workers"] = static_cast<double>(threads);
+  state.counters["balance_speedup"] = MeasuredBalance(run);
+}
+BENCHMARK(BM_ExecutorBatchedMatching)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->MinTime(0.5);
 
 }  // namespace

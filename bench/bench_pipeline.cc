@@ -119,6 +119,41 @@ BENCHMARK(BM_Pipeline_PlainBlockingWithMetrics)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// Threaded row: the same meta-blocking pipeline with num_threads=4. Wall
+// clock cannot improve on this single-core container (see
+// bench_parallel_scaling.cc); the executor counters show the work the
+// shared pool carried and the balance it achieved.
+void BM_Pipeline_MetaBlockingThreaded(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  obs::MetricsRegistry registry;
+  core::PipelineConfig config;
+  config.blocker = &blocker;
+  config.auto_purge = true;
+  config.meta_blocking = {{metablocking::WeightScheme::kJs,
+                           metablocking::PruningScheme::kWnp}};
+  config.matcher = &matcher;
+  config.match_threshold = 0.5;
+  config.num_threads = 4;
+  config.metrics = &registry;
+  core::PipelineResult result;
+  for (auto _ : state) {
+    result = core::RunPipeline(corpus.collection, corpus.truth, config);
+  }
+  ReportQuality(state, result, corpus.truth);
+  obs::RegistrySnapshot snap = registry.TakeSnapshot();
+  state.counters["executor_tasks"] = static_cast<double>(
+      snap.counters.count("weber.executor.tasks_run") != 0
+          ? snap.counters.at("weber.executor.tasks_run")
+          : 0);
+  auto balance = snap.histograms.find("weber.executor.parallel_for_balance");
+  state.counters["balance_speedup"] =
+      balance != snap.histograms.end() ? balance->second.Mean() : 1.0;
+}
+BENCHMARK(BM_Pipeline_MetaBlockingThreaded)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 // Budgeted progressive variant: the update phase (scheduler feedback)
 // participates, demonstrating the full Fig. 1 loop.
 void BM_Pipeline_ProgressiveBudgeted(benchmark::State& state) {

@@ -3,16 +3,20 @@
 // Usage:
 //   er_cli INPUT.nt [--threshold T] [--blocker token|qgrams|sn|pis]
 //          [--meta WEIGHT PRUNING] [--truth TRUTH_FILE] [--budget N]
-//          [--out LINKS_FILE] [--metrics-json METRICS_FILE] [--verbose]
+//          [--threads N] [--out LINKS_FILE]
+//          [--metrics-json METRICS_FILE] [--verbose]
 //
 // Reads entity descriptions from INPUT.nt, resolves them, and writes the
 // discovered links as owl:sameAs N-Triples to stdout (or --out). With
 // --truth (lines of "<uri1> <uri2>") it also prints quality metrics.
 // --metrics-json writes the full observability snapshot (per-phase spans,
 // counters, histograms) as JSON; --verbose dumps it as text to stderr.
+// --threads N pins the parallelism of the run (results are bit-identical
+// for any N; default: the shared executor's worker count).
 // Run without arguments for a self-contained demo on a generated corpus.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -64,6 +68,14 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+bool ParseThreads(const std::string& value, size_t* threads) {
+  char* end = nullptr;
+  unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size()) return false;
+  *threads = static_cast<size_t>(parsed);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -75,6 +87,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   double threshold = 0.5;
   uint64_t budget = 0;
+  size_t threads = 0;
   std::optional<std::pair<metablocking::WeightScheme,
                           metablocking::PruningScheme>>
       meta;
@@ -108,6 +121,13 @@ int main(int argc, char** argv) {
       auto v = next("--budget");
       if (!v) return 1;
       budget = std::stoull(*v);
+    } else if (arg == "--threads") {
+      auto v = next("--threads");
+      if (!v) return 1;
+      if (!ParseThreads(*v, &threads)) return Fail("bad --threads " + *v);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      std::string v = arg.substr(std::strlen("--threads="));
+      if (!ParseThreads(v, &threads)) return Fail("bad --threads " + v);
     } else if (arg == "--metrics-json") {
       auto v = next("--metrics-json");
       if (!v) return 1;
@@ -176,6 +196,7 @@ int main(int argc, char** argv) {
   config.matcher = &matcher;
   config.match_threshold = threshold;
   config.budget = budget;
+  config.num_threads = threads;
   config.metrics = &registry;
   core::PipelineResult result = core::RunPipeline(collection, truth, config);
 

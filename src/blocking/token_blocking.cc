@@ -3,6 +3,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "core/executor.h"
 #include "text/tokenizer.h"
 
 namespace weber::blocking {
@@ -10,12 +11,33 @@ namespace weber::blocking {
 BlockCollection TokenBlocking::BuildBlocks(
     const model::EntityCollection& collection) const {
   // token -> entity ids. std::map keeps block order deterministic.
-  std::map<std::string, std::vector<model::EntityId>> index;
-  for (model::EntityId id = 0; id < collection.size(); ++id) {
-    for (std::string& token :
-         text::ValueTokens(collection[id], options_.normalize)) {
-      if (token.size() < options_.min_token_length) continue;
-      index[std::move(token)].push_back(id);
+  // Tokenisation dominates the cost, so the entity range is cut into
+  // contiguous chunks indexed independently; merging the chunk maps in
+  // chunk order appends each token's entity ids ascending — exactly the
+  // order the serial scan produces, for any chunk count.
+  using TokenIndex = std::map<std::string, std::vector<model::EntityId>>;
+  size_t chunks = std::min<size_t>(
+      std::max<size_t>(collection.size(), 1), core::EffectiveParallelism());
+  std::vector<TokenIndex> partial(chunks);
+  core::Executor::Shared().ParallelChunks(
+      collection.size(), chunks,
+      [this, &collection, &partial](size_t chunk, size_t begin, size_t end) {
+        TokenIndex& local = partial[chunk];
+        for (size_t id = begin; id < end; ++id) {
+          for (std::string& token : text::ValueTokens(
+                   collection[static_cast<model::EntityId>(id)],
+                   options_.normalize)) {
+            if (token.size() < options_.min_token_length) continue;
+            local[std::move(token)].push_back(
+                static_cast<model::EntityId>(id));
+          }
+        }
+      });
+  TokenIndex index = std::move(partial[0]);
+  for (size_t chunk = 1; chunk < chunks; ++chunk) {
+    for (auto& [token, entities] : partial[chunk]) {
+      std::vector<model::EntityId>& merged = index[token];
+      merged.insert(merged.end(), entities.begin(), entities.end());
     }
   }
   BlockCollection result(&collection);

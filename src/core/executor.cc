@@ -1,0 +1,372 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace weber::core {
+
+namespace {
+
+// Which pool (if any) the current thread belongs to, and its worker index.
+// Helpers (threads blocked in Wait) keep tl_worker == -1.
+thread_local Executor* tl_executor = nullptr;
+thread_local int tl_worker = -1;
+
+// Innermost ScopedParallelism override; 0 = unset.
+thread_local size_t tl_parallelism = 0;
+
+size_t DefaultWorkerCount() {
+  if (const char* env = std::getenv("WEBER_NUM_THREADS")) {
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && parsed > 0) {
+      return std::min<size_t>(parsed, 64);
+    }
+  }
+  // At least 4 so parallel paths (and their races, under TSan) are
+  // exercised even on single-core containers, matching the historical
+  // engine that spawned as many threads as the job requested.
+  size_t hw = std::thread::hardware_concurrency();
+  return std::max<size_t>(hw, 4);
+}
+
+}  // namespace
+
+struct Executor::GroupState {
+  std::atomic<uint64_t> remaining{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  void SetError(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (error == nullptr) error = std::move(e);
+  }
+
+  void Finish() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu);
+      cv.notify_all();
+    }
+  }
+};
+
+// ------------------------------------------------------------- TaskGroup
+
+Executor::TaskGroup::TaskGroup(Executor& executor)
+    : executor_(executor), state_(std::make_shared<GroupState>()) {}
+
+Executor::TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+    // A group abandoned without Wait() swallows the task error.
+  }
+}
+
+void Executor::TaskGroup::Run(std::function<void()> fn) {
+  state_->remaining.fetch_add(1, std::memory_order_acq_rel);
+  executor_.Enqueue(Task{std::move(fn), state_});
+}
+
+void Executor::TaskGroup::Wait() {
+  int self = (tl_executor == &executor_) ? tl_worker : -1;
+  while (state_->remaining.load(std::memory_order_acquire) > 0) {
+    if (executor_.TryRunOneTask(self)) continue;
+    // Nothing runnable: our tasks are executing on other threads. Sleep
+    // briefly but keep helping, in case new (e.g. nested) tasks appear.
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return state_->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state_->error_mu);
+    error = state_->error;
+    state_->error = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+// -------------------------------------------------------------- Executor
+
+Executor::Executor(size_t num_workers) {
+  if (num_workers == 0) num_workers = DefaultWorkerCount();
+  queues_.reserve(num_workers);
+  worker_busy_.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+    worker_busy_.push_back(std::make_unique<std::atomic<double>>(0.0));
+  }
+  start_time_ = std::chrono::steady_clock::now();
+  last_published_.worker_busy_seconds.assign(num_workers, 0.0);
+  // One worker means inline execution: tasks are drained by whoever waits.
+  if (num_workers < 2) return;
+  threads_.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+Executor& Executor::Shared() {
+  static Executor shared(0);
+  return shared;
+}
+
+void Executor::Enqueue(Task task) {
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+  size_t idx;
+  if (tl_executor == this && tl_worker >= 0) {
+    idx = static_cast<size_t>(tl_worker);  // Own deque: LIFO locality.
+  } else {
+    idx = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+          queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[idx]->mu);
+    queues_[idx]->tasks.push_back(std::move(task));
+  }
+  uint64_t depth = pending_.fetch_add(1, std::memory_order_release) + 1;
+  uint64_t observed = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > observed &&
+         !max_queue_depth_.compare_exchange_weak(
+             observed, depth, std::memory_order_relaxed)) {
+  }
+  if (!threads_.empty()) {
+    // The empty critical section pairs with the predicate evaluation in
+    // WorkerLoop so the notify cannot slot between a worker reading
+    // pending_ == 0 and starting to sleep (lost wakeup).
+    { std::lock_guard<std::mutex> lock(sleep_mu_); }
+    sleep_cv_.notify_one();
+  }
+}
+
+bool Executor::PopOwn(size_t w, Task* task) {
+  WorkerQueue& queue = *queues_[w];
+  std::lock_guard<std::mutex> lock(queue.mu);
+  if (queue.tasks.empty()) return false;
+  *task = std::move(queue.tasks.back());
+  queue.tasks.pop_back();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Executor::StealFrom(int self, Task* task) {
+  size_t nq = queues_.size();
+  size_t start = self >= 0
+                     ? static_cast<size_t>(self) + 1
+                     : next_queue_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < nq; ++i) {
+    size_t victim = (start + i) % nq;
+    if (self >= 0 && victim == static_cast<size_t>(self)) continue;
+    WorkerQueue& queue = *queues_[victim];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    if (queue.tasks.empty()) continue;
+    *task = std::move(queue.tasks.front());  // FIFO end: oldest task.
+    queue.tasks.pop_front();
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void Executor::RunTask(int self, Task& task) {
+  double cpu_start = util::ThreadCpuSeconds();
+  try {
+    task.fn();
+  } catch (...) {
+    task.group->SetError(std::current_exception());
+  }
+  double busy = util::ThreadCpuSeconds() - cpu_start;
+  if (self >= 0) {
+    worker_busy_[static_cast<size_t>(self)]->fetch_add(
+        busy, std::memory_order_relaxed);
+  } else {
+    helper_busy_.fetch_add(busy, std::memory_order_relaxed);
+  }
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<GroupState> group = std::move(task.group);
+  task = Task{};  // Drop the closure before signalling completion.
+  group->Finish();
+}
+
+bool Executor::TryRunOneTask(int self) {
+  Task task;
+  bool got = (self >= 0 && PopOwn(static_cast<size_t>(self), &task)) ||
+             StealFrom(self, &task);
+  if (!got) return false;
+  RunTask(self, task);
+  return true;
+}
+
+void Executor::WorkerLoop(size_t w) {
+  tl_executor = this;
+  tl_worker = static_cast<int>(w);
+  Task task;
+  while (true) {
+    if (PopOwn(w, &task) || StealFrom(static_cast<int>(w), &task)) {
+      RunTask(static_cast<int>(w), task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    sleep_cv_.wait(lock, [&] {
+      return stop_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+size_t Executor::ChunksFor(size_t n) const {
+  size_t parallelism = tl_parallelism;
+  if (parallelism == 0) parallelism = std::max<size_t>(num_workers(), 1);
+  return std::min(n, parallelism);
+}
+
+void Executor::ParallelChunks(
+    size_t n, size_t chunks,
+    const std::function<void(size_t, size_t, size_t)>& fn,
+    std::vector<double>* chunk_cpu) {
+  chunks = std::max<size_t>(chunks, 1);
+  if (chunk_cpu != nullptr) chunk_cpu->assign(chunks, 0.0);
+  if (n == 0) return;
+  size_t chunk_size = (n + chunks - 1) / chunks;
+  size_t live = (n + chunk_size - 1) / chunk_size;
+  if (live <= 1) {
+    double cpu_start = util::ThreadCpuSeconds();
+    fn(0, 0, n);
+    if (chunk_cpu != nullptr) {
+      (*chunk_cpu)[0] = util::ThreadCpuSeconds() - cpu_start;
+    }
+    return;
+  }
+  TaskGroup group(*this);
+  for (size_t c = 0; c < live; ++c) {
+    size_t begin = c * chunk_size;
+    size_t end = std::min(n, begin + chunk_size);
+    group.Run([&fn, chunk_cpu, c, begin, end] {
+      double cpu_start = util::ThreadCpuSeconds();
+      fn(c, begin, end);
+      if (chunk_cpu != nullptr) {
+        (*chunk_cpu)[c] = util::ThreadCpuSeconds() - cpu_start;
+      }
+    });
+  }
+  group.Wait();
+}
+
+void Executor::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  size_t chunks = ChunksFor(n);
+  if (chunks <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<double> chunk_cpu;
+  ParallelChunks(
+      n, chunks,
+      [&fn](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      },
+      &chunk_cpu);
+  if (obs::MetricsRegistry* registry = obs::Current()) {
+    double sum = 0.0;
+    double max = 0.0;
+    for (double c : chunk_cpu) {
+      sum += c;
+      max = std::max(max, c);
+    }
+    double balance = max > 0.0 ? sum / max : 1.0;
+    registry->GetCounter("weber.executor.parallel_fors").Increment();
+    registry->GetGauge("weber.executor.balance_speedup").Set(balance);
+    registry->GetHistogram("weber.executor.parallel_for_balance")
+        .Record(balance);
+  }
+}
+
+ExecutorStats Executor::Snapshot() const {
+  ExecutorStats stats;
+  stats.workers = queues_.size();
+  stats.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  stats.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  stats.worker_busy_seconds.reserve(worker_busy_.size());
+  for (const auto& busy : worker_busy_) {
+    stats.worker_busy_seconds.push_back(
+        busy->load(std::memory_order_relaxed));
+  }
+  stats.helper_busy_seconds = helper_busy_.load(std::memory_order_relaxed);
+  stats.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  return stats;
+}
+
+void Executor::PublishMetrics() {
+  obs::MetricsRegistry* registry = obs::Current();
+  if (registry == nullptr) return;
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  ExecutorStats now = Snapshot();
+  const ExecutorStats& prev = last_published_;
+  registry->GetCounter("weber.executor.tasks_run")
+      .Add(now.tasks_run - prev.tasks_run);
+  registry->GetCounter("weber.executor.tasks_submitted")
+      .Add(now.tasks_submitted - prev.tasks_submitted);
+  registry->GetCounter("weber.executor.steals")
+      .Add(now.steals - prev.steals);
+  registry->GetGauge("weber.executor.workers")
+      .Set(static_cast<double>(now.workers));
+  registry->GetGauge("weber.executor.max_queue_depth")
+      .Set(static_cast<double>(now.max_queue_depth));
+  double wall = now.uptime_seconds - prev.uptime_seconds;
+  if (wall > 0.0 && now.workers > 0) {
+    double busy = now.helper_busy_seconds - prev.helper_busy_seconds;
+    obs::Histogram& per_worker =
+        registry->GetHistogram("weber.executor.worker_utilization");
+    for (size_t w = 0; w < now.worker_busy_seconds.size(); ++w) {
+      double prev_busy = w < prev.worker_busy_seconds.size()
+                             ? prev.worker_busy_seconds[w]
+                             : 0.0;
+      double delta = now.worker_busy_seconds[w] - prev_busy;
+      busy += delta;
+      per_worker.Record(delta / wall);
+    }
+    registry->GetGauge("weber.executor.utilization")
+        .Set(busy / (wall * static_cast<double>(now.workers)));
+  }
+  last_published_ = std::move(now);
+}
+
+// ---------------------------------------------------- ScopedParallelism
+
+ScopedParallelism::ScopedParallelism(size_t parallelism)
+    : prev_(tl_parallelism), installed_(parallelism != 0) {
+  if (installed_) tl_parallelism = parallelism;
+}
+
+ScopedParallelism::~ScopedParallelism() {
+  if (installed_) tl_parallelism = prev_;
+}
+
+size_t EffectiveParallelism() {
+  if (tl_parallelism != 0) return tl_parallelism;
+  return std::max<size_t>(Executor::Shared().num_workers(), 1);
+}
+
+}  // namespace weber::core

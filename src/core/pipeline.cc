@@ -5,6 +5,7 @@
 
 #include "blocking/block_filtering.h"
 #include "blocking/block_purging.h"
+#include "core/executor.h"
 #include "obs/metrics.h"
 #include "util/timer.h"
 
@@ -23,6 +24,9 @@ PipelineResult RunPipeline(const model::EntityCollection& collection,
   obs::ScopedRegistry attach(config.metrics);
   obs::MetricsRegistry* registry = obs::Current();
   obs::Span pipeline_span(registry, "pipeline");
+  // Pin the parallelism of every hot path for the whole run; 0 keeps the
+  // shared executor's worker count (or an enclosing override).
+  ScopedParallelism parallelism(config.num_threads);
 
   // ---- Blocking phase (plus optional cleaning). ----
   blocking::BlockCollection blocks;
@@ -121,6 +125,9 @@ PipelineResult RunPipeline(const model::EntityCollection& collection,
     registry->GetCounter("weber.pipeline.clusters")
         .Add(result.clusters.size());
     registry->GetCounter("weber.pipeline.runs").Increment();
+    // Flush what the executor accumulated during this run (tasks, steals,
+    // utilization) into the same registry as the pipeline counters.
+    Executor::Shared().PublishMetrics();
   }
   return result;
 }

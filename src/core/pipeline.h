@@ -66,6 +66,13 @@ struct PipelineConfig {
   /// Final clustering.
   ClusteringAlgorithm clustering = ClusteringAlgorithm::kConnectedComponents;
 
+  /// Parallelism of the run: how many chunks the parallel hot paths
+  /// (blocking index build, meta-blocking weighting/pruning, batched
+  /// matching) cut their work into. 0 = use the shared executor's worker
+  /// count; 1 = fully serial. Every stage is bit-deterministic across
+  /// values of this knob, so it only trades wall-clock for cores.
+  size_t num_threads = 0;
+
   /// Optional observability sink. When set, the run installs it as the
   /// ambient registry (obs::ScopedRegistry) so every layer — blockers,
   /// meta-blocking, the progressive runner, MapReduce jobs — reports into

@@ -30,32 +30,12 @@ void ParallelFor(size_t n, size_t workers,
                  const std::function<void(size_t)>& fn,
                  std::vector<double>* worker_cpu) {
   workers = std::max<size_t>(workers, 1);
-  if (worker_cpu != nullptr) worker_cpu->assign(workers, 0.0);
-  if (n == 0) return;
-  if (workers == 1) {
-    double cpu_start = util::ThreadCpuSeconds();
-    for (size_t i = 0; i < n; ++i) fn(i);
-    if (worker_cpu != nullptr) {
-      (*worker_cpu)[0] = util::ThreadCpuSeconds() - cpu_start;
-    }
-    return;
-  }
-  size_t chunk = (n + workers - 1) / workers;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    size_t begin = w * chunk;
-    size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([&fn, worker_cpu, w, begin, end] {
-      double cpu_start = util::ThreadCpuSeconds();
-      for (size_t i = begin; i < end; ++i) fn(i);
-      if (worker_cpu != nullptr) {
-        (*worker_cpu)[w] = util::ThreadCpuSeconds() - cpu_start;
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
+  core::Executor::Shared().ParallelChunks(
+      n, workers,
+      [&fn](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      },
+      worker_cpu);
 }
 
 }  // namespace weber::mapreduce

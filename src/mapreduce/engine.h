@@ -1,13 +1,14 @@
 #ifndef WEBER_MAPREDUCE_ENGINE_H_
 #define WEBER_MAPREDUCE_ENGINE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/executor.h"
 #include "util/timer.h"
 
 namespace weber::mapreduce {
@@ -43,14 +44,27 @@ struct JobStats {
 /// for callers while the registry accumulates across jobs.
 void PublishJobStats(const JobStats& stats);
 
-/// Runs fn(i) for i in [0, n) on `workers` threads, splitting the range
-/// into contiguous chunks. fn must be safe to call concurrently for
-/// distinct i. When worker_cpu is non-null it receives one per-thread CPU
-/// time entry per worker (see JobStats::map_balance_speedup for why CPU
-/// time, not wall time).
+/// Runs fn(i) for i in [0, n) split into `workers` contiguous chunks on
+/// the shared work-stealing executor (core::Executor). fn must be safe to
+/// call concurrently for distinct i. When worker_cpu is non-null it
+/// receives one per-chunk CPU time entry per worker slot (see
+/// JobStats::map_balance_speedup for why CPU time, not wall time).
 void ParallelFor(size_t n, size_t workers,
                  const std::function<void(size_t)>& fn,
                  std::vector<double>* worker_cpu = nullptr);
+
+/// Mixes a raw std::hash fingerprint with the splitmix64 finalizer before
+/// the modulo that assigns intermediate keys to partitions. Identity
+/// hashes (libstdc++ hashes integers to themselves) would otherwise
+/// stripe sequential or strided key spaces onto a single reducer.
+inline uint64_t MixFingerprint(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
 
 /// In-process multi-threaded MapReduce engine.
 ///
@@ -76,39 +90,40 @@ class MapReduceJob {
   /// Executes the job over the inputs with the given parallelism and
   /// returns all reducer outputs (ordered by partition, then by the
   /// grouping order within the partition — callers needing a specific
-  /// order must sort).
+  /// order must sort). Phases run as chunked tasks on the shared
+  /// work-stealing executor instead of spawning fresh threads per phase.
   std::vector<Output> Run(const std::vector<Input>& inputs, size_t workers,
                           JobStats* stats = nullptr) const {
     workers = std::max<size_t>(workers, 1);
+    if (inputs.empty()) {
+      // Nothing to map: skip all three phases instead of dispatching
+      // `workers` empty tasks per phase.
+      JobStats job;
+      PublishJobStats(job);
+      if (stats != nullptr) *stats = job;
+      return {};
+    }
     size_t partitions = workers;
     util::Timer timer;
+    core::Executor& executor = core::Executor::Shared();
 
-    // ---- Map phase: each worker fills its own per-partition buffers. ----
+    // ---- Map phase: each chunk fills its own per-partition buffers. ----
     std::vector<std::vector<std::vector<std::pair<K, V>>>> buffers(
         workers, std::vector<std::vector<std::pair<K, V>>>(partitions));
-    std::vector<double> map_cpu(workers, 0.0);
-    {
-      std::vector<std::thread> pool;
-      pool.reserve(workers);
-      size_t chunk = (inputs.size() + workers - 1) / std::max<size_t>(workers, 1);
-      for (size_t w = 0; w < workers; ++w) {
-        size_t begin = w * chunk;
-        size_t end = std::min(inputs.size(), begin + chunk);
-        pool.emplace_back([this, &inputs, &buffers, &map_cpu, w, begin, end,
-                           partitions] {
-          double cpu_start = util::ThreadCpuSeconds();
+    std::vector<double> map_cpu;
+    executor.ParallelChunks(
+        inputs.size(), workers,
+        [this, &inputs, &buffers, partitions](size_t w, size_t begin,
+                                              size_t end) {
           Emit emit = [&buffers, w, partitions](K key, V value) {
-            size_t p = std::hash<K>{}(key) % partitions;
+            size_t p = MixFingerprint(std::hash<K>{}(key)) % partitions;
             buffers[w][p].emplace_back(std::move(key), std::move(value));
           };
           for (size_t i = begin; i < end; ++i) {
             map_fn_(inputs[i], emit);
           }
-          map_cpu[w] = util::ThreadCpuSeconds() - cpu_start;
-        });
-      }
-      for (std::thread& t : pool) t.join();
-    }
+        },
+        &map_cpu);
     double map_seconds = timer.ElapsedSeconds();
     timer.Restart();
 
@@ -116,46 +131,41 @@ class MapReduceJob {
     std::vector<std::unordered_map<K, std::vector<V>>> grouped(partitions);
     uint64_t intermediate = 0;
     {
-      std::vector<std::thread> pool;
-      pool.reserve(partitions);
       std::vector<uint64_t> per_partition_pairs(partitions, 0);
-      for (size_t p = 0; p < partitions; ++p) {
-        pool.emplace_back([&buffers, &grouped, &per_partition_pairs, p,
-                           workers] {
-          for (size_t w = 0; w < workers; ++w) {
-            for (auto& [key, value] : buffers[w][p]) {
-              grouped[p][std::move(key)].push_back(std::move(value));
-              ++per_partition_pairs[p];
+      executor.ParallelChunks(
+          partitions, partitions,
+          [&buffers, &grouped, &per_partition_pairs, workers](
+              size_t, size_t begin, size_t end) {
+            for (size_t p = begin; p < end; ++p) {
+              for (size_t w = 0; w < workers; ++w) {
+                for (auto& [key, value] : buffers[w][p]) {
+                  grouped[p][std::move(key)].push_back(std::move(value));
+                  ++per_partition_pairs[p];
+                }
+                buffers[w][p].clear();
+              }
             }
-            buffers[w][p].clear();
-          }
-        });
-      }
-      for (std::thread& t : pool) t.join();
+          });
       for (uint64_t c : per_partition_pairs) intermediate += c;
     }
     double shuffle_seconds = timer.ElapsedSeconds();
     timer.Restart();
 
-    // ---- Reduce phase: one thread per partition. ----
+    // ---- Reduce phase: one task per partition. ----
     std::vector<std::vector<Output>> outputs(partitions);
-    std::vector<double> reduce_cpu(partitions, 0.0);
+    std::vector<double> reduce_cpu;
     uint64_t distinct_keys = 0;
-    {
-      std::vector<std::thread> pool;
-      pool.reserve(partitions);
-      for (size_t p = 0; p < partitions; ++p) {
-        pool.emplace_back([this, &grouped, &outputs, &reduce_cpu, p] {
-          double cpu_start = util::ThreadCpuSeconds();
-          for (auto& [key, values] : grouped[p]) {
-            reduce_fn_(key, values, outputs[p]);
+    executor.ParallelChunks(
+        partitions, partitions,
+        [this, &grouped, &outputs](size_t, size_t begin, size_t end) {
+          for (size_t p = begin; p < end; ++p) {
+            for (auto& [key, values] : grouped[p]) {
+              reduce_fn_(key, values, outputs[p]);
+            }
           }
-          reduce_cpu[p] = util::ThreadCpuSeconds() - cpu_start;
-        });
-      }
-      for (std::thread& t : pool) t.join();
-      for (const auto& g : grouped) distinct_keys += g.size();
-    }
+        },
+        &reduce_cpu);
+    for (const auto& g : grouped) distinct_keys += g.size();
     double reduce_seconds = timer.ElapsedSeconds();
 
     JobStats job;

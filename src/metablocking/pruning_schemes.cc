@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "core/executor.h"
 #include "obs/metrics.h"
 
 namespace weber::metablocking {
@@ -66,11 +67,20 @@ std::vector<WeightedEdge> NodeCentricPrune(
         model::EntityId, const std::vector<uint32_t>&)>& retained_of_node,
     bool reciprocal) {
   std::vector<std::vector<uint32_t>> node_edges = graph.NodeEdges();
+  // Each node's retained set depends only on its own incident edges, so
+  // the nodes parallelize into fixed slots; the integer vote combination
+  // stays serial, making the result identical to the serial scan for any
+  // thread count.
+  std::vector<std::vector<uint32_t>> retained(node_edges.size());
+  core::Executor::Shared().ParallelFor(node_edges.size(), [&](size_t v) {
+    if (node_edges[v].empty()) return;
+    retained[v] = retained_of_node(static_cast<model::EntityId>(v),
+                                   node_edges[v]);
+  });
   // Votes per edge: 0, 1, or 2 endpoints retained it.
   std::vector<uint8_t> votes(graph.num_edges(), 0);
-  for (model::EntityId v = 0; v < node_edges.size(); ++v) {
-    if (node_edges[v].empty()) continue;
-    for (uint32_t e : retained_of_node(v, node_edges[v])) {
+  for (const std::vector<uint32_t>& node_retained : retained) {
+    for (uint32_t e : node_retained) {
       if (votes[e] < 2) ++votes[e];
     }
   }

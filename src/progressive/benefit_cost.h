@@ -50,6 +50,9 @@ class BenefitCostScheduler : public PairScheduler {
   /// Update phase: propagates influence from matches.
   void OnResult(const model::IdPair& pair, bool matched) override;
 
+  /// Influence re-ranks future windows, so the runner must stay serial.
+  bool AdaptsToFeedback() const override { return true; }
+
   std::string name() const override { return "BenefitCost"; }
 
   /// Number of windows scheduled so far.

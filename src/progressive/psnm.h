@@ -24,6 +24,9 @@ class PsnmScheduler : public ProgressiveSnScheduler {
   /// Update phase: a match triggers the lookahead promotions.
   void OnResult(const model::IdPair& pair, bool matched) override;
 
+  /// Lookahead reorders the schedule, so the runner must stay serial.
+  bool AdaptsToFeedback() const override { return true; }
+
   std::string name() const override { return "PSNM"; }
 
  private:

@@ -1,7 +1,9 @@
 #include "progressive/scheduler.h"
 
+#include <algorithm>
 #include <limits>
 
+#include "core/executor.h"
 #include "obs/metrics.h"
 
 namespace weber::progressive {
@@ -17,23 +19,63 @@ ProgressiveRunResult RunProgressive(const model::EntityCollection& collection,
   // the hot path of the whole matching phase.
   uint64_t scheduled = 0;
   uint64_t skipped = 0;
-  while (result.comparisons < budget) {
-    std::optional<model::IdPair> pair = scheduler.NextPair();
-    if (!pair.has_value()) break;
-    ++scheduled;
-    if (pair->low == pair->high ||
-        !collection.Comparable(pair->low, pair->high) ||
-        !executed.insert(*pair).second) {
-      ++skipped;  // Self-pair, incomparable, or already evaluated.
-      continue;
+  // An adaptive scheduler must see each verdict before handing out the
+  // next pair, so its batch size is pinned to 1 — the loop below then
+  // interleaves NextPair / score / OnResult exactly like a serial run.
+  // Static schedules admit prefetching: pairs are popped and screened in
+  // schedule order, scored concurrently, and committed in schedule order,
+  // so budget accounting, the curve, and OnResult feedback are
+  // byte-identical to the serial execution.
+  const size_t max_batch =
+      scheduler.AdaptsToFeedback()
+          ? 1
+          : std::min<size_t>(core::EffectiveParallelism() * 8, 256);
+  std::vector<model::IdPair> batch;
+  std::vector<char> verdicts;  // Not vector<bool>: slots written in parallel.
+  bool exhausted = false;
+  while (!exhausted && result.comparisons < budget) {
+    batch.clear();
+    const uint64_t remaining = budget - result.comparisons;
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(max_batch, remaining));
+    while (batch.size() < want) {
+      std::optional<model::IdPair> pair = scheduler.NextPair();
+      if (!pair.has_value()) {
+        exhausted = true;
+        break;
+      }
+      ++scheduled;
+      if (pair->low == pair->high ||
+          !collection.Comparable(pair->low, pair->high) ||
+          !executed.insert(*pair).second) {
+        ++skipped;  // Self-pair, incomparable, or already evaluated.
+        continue;
+      }
+      batch.push_back(*pair);
     }
-    bool matched =
-        matcher.Matches(collection[pair->low], collection[pair->high]);
-    ++result.comparisons;
-    bool true_match = matched && truth.IsMatch(*pair);
-    result.curve.Record(true_match);
-    if (matched) result.reported.push_back(*pair);
-    scheduler.OnResult(*pair, matched);
+    if (batch.empty()) continue;
+    verdicts.assign(batch.size(), 0);
+    if (batch.size() == 1) {
+      verdicts[0] = matcher.Matches(collection[batch[0].low],
+                                    collection[batch[0].high])
+                        ? 1
+                        : 0;
+    } else {
+      core::Executor::Shared().ParallelFor(batch.size(), [&](size_t i) {
+        verdicts[i] = matcher.Matches(collection[batch[i].low],
+                                      collection[batch[i].high])
+                          ? 1
+                          : 0;
+      });
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const model::IdPair& pair = batch[i];
+      bool matched = verdicts[i] != 0;
+      ++result.comparisons;
+      result.curve.Record(matched && truth.IsMatch(pair));
+      if (matched) result.reported.push_back(pair);
+      scheduler.OnResult(pair, matched);
+    }
   }
 
   if (obs::MetricsRegistry* registry = obs::Current()) {

@@ -26,11 +26,21 @@ class PairScheduler {
   virtual std::optional<model::IdPair> NextPair() = 0;
 
   /// Update-phase hook: the outcome of the comparison most recently
-  /// handed out. Default: ignore feedback (static schedules).
+  /// handed out. Default: ignore feedback (static schedules). A scheduler
+  /// overriding this so that feedback influences future NextPair calls
+  /// MUST also override AdaptsToFeedback to return true, or the batched
+  /// runner will prefetch pairs before delivering the feedback.
   virtual void OnResult(const model::IdPair& pair, bool matched) {
     (void)pair;
     (void)matched;
   }
+
+  /// Whether OnResult changes the order NextPair hands pairs out. When
+  /// false (the default), RunProgressive may pop a batch of pairs and
+  /// score them concurrently — results are still committed in schedule
+  /// order, so the run is byte-identical either way. When true, the
+  /// runner stays strictly serial: NextPair, score, OnResult, repeat.
+  virtual bool AdaptsToFeedback() const { return false; }
 
   virtual std::string name() const = 0;
 };

@@ -3,21 +3,55 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/executor.h"
 #include "text/tokenizer.h"
 
 namespace weber::text {
 
 TfIdfModel TfIdfModel::Fit(const model::EntityCollection& collection) {
   TfIdfModel fitted;
+  // Token ids follow first-occurrence order over the serial scan. To keep
+  // that order under parallel fitting, each contiguous entity chunk
+  // records its tokens in local first-occurrence order, and the chunk
+  // results are merged serially in chunk order: the first chunk that saw a
+  // token globally is the one that assigns its id, which is exactly the
+  // serial assignment for any chunk count.
+  struct ChunkVocab {
+    std::unordered_map<std::string, uint32_t> local_id;
+    std::vector<std::string> tokens;  // Local first-occurrence order.
+    std::vector<uint32_t> counts;     // Occurrences, indexed by local id.
+  };
+  size_t chunks = std::min<size_t>(
+      std::max<size_t>(collection.size(), 1), core::EffectiveParallelism());
+  std::vector<ChunkVocab> partial(chunks);
+  core::Executor::Shared().ParallelChunks(
+      collection.size(), chunks,
+      [&collection, &partial](size_t chunk, size_t begin, size_t end) {
+        ChunkVocab& local = partial[chunk];
+        for (size_t i = begin; i < end; ++i) {
+          for (const std::string& token :
+               ValueTokens(collection.descriptions()[i])) {
+            auto [it, inserted] = local.local_id.emplace(
+                token, static_cast<uint32_t>(local.tokens.size()));
+            if (inserted) {
+              local.tokens.push_back(token);
+              local.counts.push_back(1);
+            } else {
+              ++local.counts[it->second];
+            }
+          }
+        }
+      });
   std::vector<uint32_t> document_frequency;
-  for (const model::EntityDescription& entity : collection.descriptions()) {
-    for (const std::string& token : ValueTokens(entity)) {
+  for (ChunkVocab& local : partial) {
+    for (size_t t = 0; t < local.tokens.size(); ++t) {
       auto [it, inserted] = fitted.vocabulary_.emplace(
-          token, static_cast<uint32_t>(document_frequency.size()));
+          std::move(local.tokens[t]),
+          static_cast<uint32_t>(document_frequency.size()));
       if (inserted) {
-        document_frequency.push_back(1);
+        document_frequency.push_back(local.counts[t]);
       } else {
-        ++document_frequency[it->second];
+        document_frequency[it->second] += local.counts[t];
       }
     }
   }
@@ -73,11 +107,12 @@ double TfIdfModel::Cosine(const TfIdfVector& a, const TfIdfVector& b) {
 
 std::vector<TfIdfVector> TfIdfModel::VectorizeAll(
     const model::EntityCollection& collection) const {
-  std::vector<TfIdfVector> vectors;
-  vectors.reserve(collection.size());
-  for (const model::EntityDescription& entity : collection.descriptions()) {
-    vectors.push_back(Vectorize(entity));
-  }
+  // Each description vectorises independently against the (now read-only)
+  // fitted model, into its own pre-sized slot.
+  std::vector<TfIdfVector> vectors(collection.size());
+  core::Executor::Shared().ParallelFor(collection.size(), [&](size_t i) {
+    vectors[i] = Vectorize(collection.descriptions()[i]);
+  });
   return vectors;
 }
 

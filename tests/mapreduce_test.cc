@@ -90,6 +90,33 @@ TEST(MapReduceJobTest, BalanceSpeedupReflectsPartitioning) {
   EXPECT_DOUBLE_EQ(single.map_balance_speedup, 1.0);
 }
 
+TEST(MapReduceJobTest, StridedIntegerKeysSpreadAcrossReducers) {
+  // libstdc++ hashes integers to themselves, so keys k*4 all satisfy
+  // hash(key) % 4 == 0: without fingerprint mixing every group lands on
+  // reducer 0 and reduce_balance_speedup collapses to 1. The splitmix64
+  // finalizer must spread them across partitions.
+  std::vector<int> inputs(256);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  MapReduceJob<int, int, int, double> job(
+      [](const int& i, const auto& emit) { emit(i * 4, i); },
+      [](const int&, std::vector<int>& vs, auto& out) {
+        // Heavy enough that the balance measurement sees real CPU time.
+        double acc = 0.0;
+        for (int v : vs) {
+          for (int k = 1; k <= 20000; ++k) {
+            acc += static_cast<double>(v) / k;
+          }
+        }
+        out.push_back(acc);
+      });
+  JobStats stats;
+  auto outputs = job.Run(inputs, 4, &stats);
+  EXPECT_EQ(outputs.size(), 256u);
+  EXPECT_EQ(stats.distinct_keys, 256u);
+  EXPECT_GT(stats.reduce_balance_speedup, 2.0);
+  EXPECT_LE(stats.reduce_balance_speedup, 4.0 + 1e-9);
+}
+
 TEST(ParallelForTest, WorkerCpuReported) {
   std::vector<double> cpu;
   ParallelFor(
@@ -110,6 +137,26 @@ TEST(MapReduceJobTest, EmptyInput) {
         out.push_back(static_cast<int>(vs.size()));
       });
   EXPECT_TRUE(job.Run({}, 4).empty());
+}
+
+TEST(MapReduceJobTest, EmptyInputReportsZeroedStatsWithoutDispatch) {
+  obs::MetricsRegistry registry;
+  obs::ScopedRegistry attach(&registry);
+  MapReduceJob<int, int, int, int> job(
+      [](const int& x, const auto& emit) { emit(x, x); },
+      [](const int&, std::vector<int>& vs, auto& out) {
+        out.push_back(static_cast<int>(vs.size()));
+      });
+  JobStats stats;
+  EXPECT_TRUE(job.Run({}, 8, &stats).empty());
+  EXPECT_EQ(stats.intermediate_pairs, 0u);
+  EXPECT_EQ(stats.distinct_keys, 0u);
+  EXPECT_DOUBLE_EQ(stats.map_balance_speedup, 1.0);
+  EXPECT_DOUBLE_EQ(stats.reduce_balance_speedup, 1.0);
+  // The job is still accounted for, but no phase tasks were dispatched.
+  obs::RegistrySnapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("weber.mapreduce.jobs"), 1u);
+  EXPECT_EQ(snap.counters.at("weber.mapreduce.intermediate_pairs"), 0u);
 }
 
 TEST(MapReduceJobTest, MoreWorkersThanInputs) {

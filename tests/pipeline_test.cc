@@ -12,6 +12,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "progressive/progressive_sn.h"
+#include "progressive/psnm.h"
 #include "tests/test_corpus.h"
 #include "tests/test_json.h"
 
@@ -183,6 +184,67 @@ TEST(PipelineTest, CleanCleanCollection) {
 }
 
 // ---------------------------------------------------------------------------
+// Determinism across parallelism: every hot path is bit-deterministic, so a
+// pipeline run must produce identical results for any num_threads.
+// ---------------------------------------------------------------------------
+
+PipelineResult RunWithThreads(const datagen::Corpus& corpus,
+                              PipelineConfig config, size_t num_threads) {
+  config.num_threads = num_threads;
+  return RunPipeline(corpus.collection, corpus.truth, config);
+}
+
+void ExpectIdenticalRuns(const PipelineResult& a, const PipelineResult& b) {
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.comparisons, b.comparisons);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.clusters, b.clusters);
+  EXPECT_EQ(a.curve.CumulativeMatches(), b.curve.CumulativeMatches());
+}
+
+TEST(PipelineDeterminismTest, MetaBlockingRunBitEqualAcrossThreadCounts) {
+  datagen::Corpus corpus = MediumCorpus(43);
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  PipelineConfig config;
+  config.blocker = &blocker;
+  config.auto_purge = true;
+  config.meta_blocking = {{metablocking::WeightScheme::kEcbs,
+                           metablocking::PruningScheme::kWnp}};
+  config.matcher = &matcher;
+  config.match_threshold = 0.5;
+  PipelineResult serial = RunWithThreads(corpus, config, 1);
+  EXPECT_GT(serial.comparisons, 0u);
+  ExpectIdenticalRuns(RunWithThreads(corpus, config, 2), serial);
+  ExpectIdenticalRuns(RunWithThreads(corpus, config, 8), serial);
+}
+
+TEST(PipelineDeterminismTest, BudgetedAdaptiveRunBitEqualAcrossThreadCounts) {
+  // PSNM adapts to feedback, so the runner pins its batch to 1 — the
+  // budget, curve, and OnResult interleaving must still be identical for
+  // any parallelism of the surrounding phases.
+  datagen::Corpus corpus = MediumCorpus(47);
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  PipelineConfig config;
+  config.blocker = &blocker;
+  config.matcher = &matcher;
+  config.match_threshold = 0.5;
+  config.budget = corpus.collection.size() * 3;
+  config.make_scheduler =
+      [](const model::EntityCollection& collection,
+         std::vector<model::IdPair> candidates)
+      -> std::unique_ptr<progressive::PairScheduler> {
+    (void)candidates;
+    return std::make_unique<progressive::PsnmScheduler>(collection);
+  };
+  PipelineResult serial = RunWithThreads(corpus, config, 1);
+  EXPECT_EQ(serial.comparisons, config.budget);
+  ExpectIdenticalRuns(RunWithThreads(corpus, config, 2), serial);
+  ExpectIdenticalRuns(RunWithThreads(corpus, config, 8), serial);
+}
+
+// ---------------------------------------------------------------------------
 // Observability integration: one run with an attached registry reports the
 // whole Fig. 1 phase tree plus per-layer counters, exportable as JSON.
 // ---------------------------------------------------------------------------
@@ -256,6 +318,11 @@ TEST(PipelineObsTest, RunReportsSpansAndCounters) {
   EXPECT_EQ(snap.counters.at("weber.progressive.comparisons"),
             result.comparisons);
   EXPECT_EQ(snap.counters.at("weber.matching.clusterings"), 1u);
+
+  // Executor activity is flushed into the same registry at the end of the
+  // run (the parallel hot paths dispatched real tasks for this corpus).
+  EXPECT_GT(snap.counters.at("weber.executor.tasks_run"), 0u);
+  EXPECT_GE(snap.gauges.at("weber.executor.workers"), 1.0);
 }
 
 TEST(PipelineObsTest, AmbientRegistryCollectsMapReduceAndPipeline) {
