@@ -3,7 +3,7 @@
 // Usage:
 //   er_cli INPUT.nt [--threshold T] [--blocker token|qgrams|sn|pis]
 //          [--meta WEIGHT PRUNING] [--truth TRUTH_FILE] [--budget N]
-//          [--threads N] [--out LINKS_FILE]
+//          [--threads N] [--stream[=BATCH]] [--out LINKS_FILE]
 //          [--metrics-json METRICS_FILE] [--verbose]
 //
 // Reads entity descriptions from INPUT.nt, resolves them, and writes the
@@ -13,8 +13,12 @@
 // counters, histograms) as JSON; --verbose dumps it as text to stderr.
 // --threads N pins the parallelism of the run (results are bit-identical
 // for any N; default: the shared executor's worker count).
+// --stream replays the input through the incremental resolver in ingest
+// batches of BATCH entities (default 64) and reports ingest rate and
+// batch-latency quantiles; the final links equal the batch run's.
 // Run without arguments for a self-contained demo on a generated corpus.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,16 +67,49 @@ std::optional<metablocking::PruningScheme> ParsePruning(
   return std::nullopt;
 }
 
+constexpr const char kUsage[] =
+    "usage: er_cli [INPUT.nt] [--threshold T] [--blocker "
+    "token|qgrams|sn|pis] [--meta WEIGHT PRUNING] [--truth FILE] "
+    "[--budget N] [--threads N] [--stream[=BATCH]] [--out FILE] "
+    "[--metrics-json FILE] [--verbose]";
+
 int Fail(const std::string& message) {
   std::fprintf(stderr, "er_cli: %s\n", message.c_str());
   return 1;
 }
 
-bool ParseThreads(const std::string& value, size_t* threads) {
+/// Command-line mistakes get the one-line usage alongside the error.
+int UsageFail(const std::string& message) {
+  std::fprintf(stderr, "er_cli: %s\n%s\n", message.c_str(), kUsage);
+  return 2;
+}
+
+bool ParseUnsigned(const std::string& value, uint64_t* out) {
   char* end = nullptr;
-  unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
-  if (value.empty() || end != value.c_str() + value.size()) return false;
+  errno = 0;
+  unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || errno != 0) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(parsed);
+  return true;
+}
+
+bool ParseThreads(const std::string& value, size_t* threads) {
+  uint64_t parsed = 0;
+  if (!ParseUnsigned(value, &parsed)) return false;
   *threads = static_cast<size_t>(parsed);
+  return true;
+}
+
+bool ParseDouble(const std::string& value, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || errno != 0) {
+    return false;
+  }
+  *out = parsed;
   return true;
 }
 
@@ -88,6 +125,8 @@ int main(int argc, char** argv) {
   double threshold = 0.5;
   uint64_t budget = 0;
   size_t threads = 0;
+  bool stream = false;
+  uint64_t stream_batch = 64;
   std::optional<std::pair<metablocking::WeightScheme,
                           metablocking::PruningScheme>>
       meta;
@@ -103,8 +142,10 @@ int main(int argc, char** argv) {
     };
     if (arg == "--threshold") {
       auto v = next("--threshold");
-      if (!v) return 1;
-      threshold = std::stod(*v);
+      if (!v) return 2;
+      if (!ParseDouble(*v, &threshold)) {
+        return UsageFail("bad --threshold " + *v);
+      }
     } else if (arg == "--blocker") {
       auto v = next("--blocker");
       if (!v) return 1;
@@ -119,15 +160,23 @@ int main(int argc, char** argv) {
       out_path = *v;
     } else if (arg == "--budget") {
       auto v = next("--budget");
-      if (!v) return 1;
-      budget = std::stoull(*v);
+      if (!v) return 2;
+      if (!ParseUnsigned(*v, &budget)) return UsageFail("bad --budget " + *v);
     } else if (arg == "--threads") {
       auto v = next("--threads");
-      if (!v) return 1;
-      if (!ParseThreads(*v, &threads)) return Fail("bad --threads " + *v);
+      if (!v) return 2;
+      if (!ParseThreads(*v, &threads)) return UsageFail("bad --threads " + *v);
     } else if (arg.rfind("--threads=", 0) == 0) {
       std::string v = arg.substr(std::strlen("--threads="));
-      if (!ParseThreads(v, &threads)) return Fail("bad --threads " + v);
+      if (!ParseThreads(v, &threads)) return UsageFail("bad --threads " + v);
+    } else if (arg == "--stream") {
+      stream = true;
+    } else if (arg.rfind("--stream=", 0) == 0) {
+      std::string v = arg.substr(std::strlen("--stream="));
+      stream = true;
+      if (!ParseUnsigned(v, &stream_batch) || stream_batch == 0) {
+        return UsageFail("bad --stream batch size " + v);
+      }
     } else if (arg == "--metrics-json") {
       auto v = next("--metrics-json");
       if (!v) return 1;
@@ -148,10 +197,16 @@ int main(int argc, char** argv) {
       }
       meta = {{*weight, *pruning}};
     } else if (!arg.empty() && arg[0] != '-') {
+      if (!input_path.empty()) {
+        return UsageFail("unexpected extra argument " + arg);
+      }
       input_path = arg;
     } else {
-      return Fail("unknown flag " + arg);
+      return UsageFail("unknown flag " + arg);
     }
+  }
+  if (stream && meta.has_value()) {
+    return UsageFail("--meta is not supported with --stream");
   }
 
   // Load (or generate for the demo) the collection and optional truth.
@@ -170,7 +225,7 @@ int main(int argc, char** argv) {
     truth_path = "<generated>";
   } else {
     std::ifstream in(input_path);
-    if (!in) return Fail("cannot open " + input_path);
+    if (!in) return UsageFail("cannot open " + input_path);
     size_t skipped = 0;
     collection = model::ReadNTriples(in, &skipped);
     if (skipped > 0) {
@@ -178,7 +233,7 @@ int main(int argc, char** argv) {
     }
     if (!truth_path.empty()) {
       std::ifstream truth_in(truth_path);
-      if (!truth_in) return Fail("cannot open " + truth_path);
+      if (!truth_in) return UsageFail("cannot open " + truth_path);
       truth = model::ReadGroundTruth(truth_in, collection);
     }
   }
@@ -198,6 +253,11 @@ int main(int argc, char** argv) {
   config.budget = budget;
   config.num_threads = threads;
   config.metrics = &registry;
+  if (stream) {
+    core::IncrementalMode mode;
+    mode.batch_size = static_cast<size_t>(stream_batch);
+    config.incremental = mode;
+  }
   core::PipelineResult result = core::RunPipeline(collection, truth, config);
 
   std::fprintf(stderr,
@@ -207,6 +267,21 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(result.candidates),
                static_cast<unsigned long long>(result.comparisons),
                result.matches.size(), result.clusters.size());
+  if (stream) {
+    obs::RegistrySnapshot snapshot = registry.TakeSnapshot();
+    const obs::HistogramSnapshot& ingest =
+        snapshot.histograms["weber.incremental.ingest_seconds"];
+    double rate = result.matching_seconds > 0.0
+                      ? static_cast<double>(collection.size()) /
+                            result.matching_seconds
+                      : 0.0;
+    std::fprintf(stderr,
+                 "er_cli: stream: %llu batches of <=%llu, %.0f entities/s, "
+                 "batch latency p50=%.2gms p99=%.2gms\n",
+                 static_cast<unsigned long long>(ingest.count),
+                 static_cast<unsigned long long>(stream_batch), rate,
+                 ingest.Quantile(0.5) * 1e3, ingest.Quantile(0.99) * 1e3);
+  }
   std::fprintf(stderr,
                "er_cli: phase timings: blocking=%.3fs scheduling=%.3fs "
                "matching=%.3fs\n",

@@ -8,10 +8,8 @@
 
 namespace weber::blocking {
 
-namespace {
-
-std::string KeyOf(const model::EntityDescription& entity,
-                  const SortedOrderOptions& options) {
+std::string SortedNeighborhoodKey(const model::EntityDescription& entity,
+                                  const SortedOrderOptions& options) {
   if (!options.key_attribute.empty()) {
     auto value = entity.FirstValueOf(options.key_attribute);
     return value.has_value() ? text::Normalize(*value) : std::string();
@@ -28,14 +26,12 @@ std::string KeyOf(const model::EntityDescription& entity,
   return key;
 }
 
-}  // namespace
-
 std::vector<model::EntityId> SortedOrder(
     const model::EntityCollection& collection,
     const SortedOrderOptions& options, std::vector<std::string>* keys_out) {
   std::vector<std::string> keys(collection.size());
   for (model::EntityId id = 0; id < collection.size(); ++id) {
-    keys[id] = KeyOf(collection[id], options);
+    keys[id] = SortedNeighborhoodKey(collection[id], options);
   }
   std::vector<model::EntityId> order(collection.size());
   std::iota(order.begin(), order.end(), model::EntityId{0});

@@ -6,14 +6,112 @@
 #include "blocking/block_filtering.h"
 #include "blocking/block_purging.h"
 #include "core/executor.h"
+#include "incremental/serving.h"
 #include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace weber::core {
 
+namespace {
+
+/// The resolve-on-ingest execution: replays the collection through a
+/// ResolveService in batches, then reads quality, clusters and counters
+/// back out of the resolver. With merge propagation off this reproduces
+/// the batch result exactly (see IncrementalMode).
+PipelineResult RunIncrementalPipeline(const model::EntityCollection& collection,
+                                      const model::GroundTruth& truth,
+                                      const PipelineConfig& config) {
+  assert(config.matcher != nullptr && "pipeline needs a matcher");
+  assert(collection.setting() == model::ErSetting::kDirty &&
+         "incremental mode resolves dirty collections");
+  PipelineResult result;
+  util::Timer timer;
+
+  obs::ScopedRegistry attach(config.metrics);
+  obs::MetricsRegistry* registry = obs::Current();
+  obs::Span pipeline_span(registry, "pipeline");
+  ScopedParallelism parallelism(config.num_threads);
+
+  const IncrementalMode& mode = *config.incremental;
+  incremental::ServiceOptions service_options;
+  service_options.max_batch = mode.batch_size == 0 ? 64 : mode.batch_size;
+  service_options.resolver.match_threshold = config.match_threshold;
+  service_options.resolver.index = mode.index;
+  service_options.resolver.sn_window = mode.sn_window;
+  service_options.resolver.sn_options = mode.sn_options;
+  service_options.resolver.merge_propagation = mode.merge_propagation;
+  service_options.resolver.metrics = registry;
+
+  incremental::ResolveService service(config.matcher, service_options);
+  eval::ProgressiveCurve curve(truth.NumMatches());
+  service.resolver().set_comparison_observer(
+      [&curve, &truth](const model::IdPair& pair, bool matched) {
+        curve.Record(matched && truth.IsMatch(pair));
+      });
+
+  // ---- Ingest: blocking + matching + update, interleaved per batch. ----
+  {
+    obs::Span span(registry, "ingest");
+    std::vector<model::EntityDescription> batch;
+    batch.reserve(service_options.max_batch);
+    for (model::EntityId id = 0; id < collection.size(); ++id) {
+      batch.push_back(collection.at(id));
+      if (batch.size() == service_options.max_batch) {
+        service.Ingest(std::move(batch));
+        batch.clear();
+        batch.reserve(service_options.max_batch);
+      }
+    }
+    if (!batch.empty()) service.Ingest(std::move(batch));
+  }
+  result.matching_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  incremental::IncrementalResolver& resolver = service.resolver();
+
+  // ---- Blocking quality, from the delta index's exported blocks. ----
+  {
+    obs::Span span(registry, "blocking");
+    blocking::BlockCollection blocks =
+        resolver.IndexBlocks(&resolver.store().collection());
+    result.blocking_quality = eval::EvaluateBlocks(blocks, truth);
+    if (registry != nullptr) {
+      registry->GetCounter("weber.pipeline.blocks").Add(blocks.NumBlocks());
+    }
+  }
+  result.blocking_seconds = timer.ElapsedSeconds();
+
+  // ---- Clustering: the union-find components the resolver maintained. --
+  {
+    obs::Span span(registry, "clustering");
+    result.clusters = resolver.Clusters();
+  }
+
+  result.candidates = resolver.candidates();
+  result.comparisons = resolver.comparisons();
+  result.matches = resolver.matches();
+  result.curve = std::move(curve);
+
+  if (registry != nullptr) {
+    registry->GetCounter("weber.pipeline.candidates").Add(result.candidates);
+    registry->GetCounter("weber.pipeline.comparisons").Add(result.comparisons);
+    registry->GetCounter("weber.pipeline.matches").Add(result.matches.size());
+    registry->GetCounter("weber.pipeline.clusters")
+        .Add(result.clusters.size());
+    registry->GetCounter("weber.pipeline.runs").Increment();
+    Executor::Shared().PublishMetrics();
+  }
+  return result;
+}
+
+}  // namespace
+
 PipelineResult RunPipeline(const model::EntityCollection& collection,
                            const model::GroundTruth& truth,
                            const PipelineConfig& config) {
+  if (config.incremental.has_value()) {
+    return RunIncrementalPipeline(collection, truth, config);
+  }
   assert(config.blocker != nullptr && "pipeline needs a blocker");
   assert(config.matcher != nullptr && "pipeline needs a matcher");
   PipelineResult result;

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "blocking/block.h"
+#include "blocking/sorted_neighborhood.h"
+#include "blocking/token_blocking.h"
 #include "eval/blocking_metrics.h"
 #include "eval/progressive_curve.h"
 #include "matching/clustering.h"
@@ -23,6 +25,33 @@ class MetricsRegistry;
 
 namespace weber::core {
 
+/// Incremental (resolve-on-ingest) execution of the pipeline: the
+/// collection is replayed through an incremental::ResolveService in
+/// ingest batches instead of being blocked and matched in one shot.
+///
+/// With merge_propagation off the result is *replay-equivalent*: the
+/// final clusters equal the batch pipeline over the same collection with
+/// a TokenBlocking blocker built from `index` (same options, purging cap
+/// 0), for any batch_size and any num_threads. Dirty-ER only.
+struct IncrementalMode {
+  /// Entities per ingest batch (0 -> 64).
+  size_t batch_size = 64;
+
+  /// Delta token-index configuration. A non-zero max_block_size applies
+  /// purging online, which trades replay exactness for bounded postings.
+  blocking::TokenBlockingOptions index;
+
+  /// Optional incremental sorted-neighbourhood pass (>= 2 enables; emits
+  /// a superset of the batch windows, so it also forgoes replay
+  /// exactness).
+  size_t sn_window = 0;
+  blocking::SortedOrderOptions sn_options;
+
+  /// R-Swoosh-style merge propagation (serial, representative-level
+  /// scoring with re-blocking of merged clusters).
+  bool merge_propagation = false;
+};
+
 /// Which clustering closes the pipeline.
 enum class ClusteringAlgorithm {
   kConnectedComponents,
@@ -36,8 +65,16 @@ enum class ClusteringAlgorithm {
 /// Stage objects are borrowed, not owned; they must outlive the pipeline
 /// run.
 struct PipelineConfig {
-  /// Blocking phase (required).
+  /// Blocking phase (required unless `incremental` is set).
   const blocking::Blocker* blocker = nullptr;
+
+  /// When set, the run streams the collection through the incremental
+  /// resolver instead of the batch phases below. The blocker, block
+  /// cleaning, meta-blocking, scheduler, budget and clustering choice are
+  /// ignored (the delta token index blocks, union-find components
+  /// cluster); matcher, match_threshold, num_threads and metrics apply
+  /// unchanged.
+  std::optional<IncrementalMode> incremental;
 
   /// Optional block cleaning: automatic purging of oversized blocks and
   /// per-entity block filtering (1.0 = keep all).

@@ -1,0 +1,80 @@
+#include "incremental/entity_store.h"
+
+namespace weber::incremental {
+
+model::EntityId EntityStore::Append(model::EntityDescription description) {
+  if (!description.uri().empty()) {
+    uri_index_.emplace(description.uri(),
+                       static_cast<model::EntityId>(collection_.size()));
+  }
+  model::EntityId id = collection_.Add(std::move(description));
+  alive_.push_back(1);
+  versions_.push_back(0);
+  ++live_;
+  return id;
+}
+
+bool EntityStore::Update(model::EntityId id,
+                         model::EntityDescription description) {
+  if (!alive(id)) return false;
+  model::EntityDescription& slot = collection_.at(id);
+  if (slot.uri() != description.uri()) {
+    auto it = uri_index_.find(slot.uri());
+    if (it != uri_index_.end() && it->second == id) uri_index_.erase(it);
+    if (!description.uri().empty()) uri_index_[description.uri()] = id;
+  }
+  slot = std::move(description);
+  ++versions_[id];
+  ++updates_;
+  return true;
+}
+
+bool EntityStore::Tombstone(model::EntityId id) {
+  if (!alive(id)) return false;
+  alive_[id] = 0;
+  --live_;
+  auto it = uri_index_.find(collection_.at(id).uri());
+  if (it != uri_index_.end() && it->second == id) uri_index_.erase(it);
+  return true;
+}
+
+StoreStats EntityStore::Stats() const {
+  StoreStats stats;
+  stats.total = collection_.size();
+  stats.live = live_;
+  stats.tombstoned = collection_.size() - live_;
+  stats.updates = updates_;
+  return stats;
+}
+
+std::optional<model::EntityId> EntityStore::FindByUri(
+    std::string_view uri) const {
+  auto it = uri_index_.find(std::string(uri));
+  if (it == uri_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void EntityStore::ForEachLive(
+    const std::function<void(model::EntityId,
+                             const model::EntityDescription&)>& visitor)
+    const {
+  for (model::EntityId id = 0; id < collection_.size(); ++id) {
+    if (alive_[id]) visitor(id, collection_.at(id));
+  }
+}
+
+model::EntityCollection EntityStore::Snapshot(
+    std::vector<model::EntityId>* ids_out) const {
+  model::EntityCollection snapshot;
+  if (ids_out != nullptr) {
+    ids_out->clear();
+    ids_out->reserve(live_);
+  }
+  ForEachLive([&](model::EntityId id, const model::EntityDescription& d) {
+    snapshot.Add(d);
+    if (ids_out != nullptr) ids_out->push_back(id);
+  });
+  return snapshot;
+}
+
+}  // namespace weber::incremental

@@ -1,0 +1,111 @@
+#ifndef WEBER_INCREMENTAL_ENTITY_STORE_H_
+#define WEBER_INCREMENTAL_ENTITY_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "model/entity.h"
+
+namespace weber::incremental {
+
+/// Point-in-time size counters of an EntityStore.
+struct StoreStats {
+  /// Ids ever issued (tombstoned included).
+  size_t total = 0;
+  /// Ids currently alive.
+  size_t live = 0;
+  /// Tombstoned ids.
+  size_t tombstoned = 0;
+  /// Update calls applied over the store's lifetime.
+  uint64_t updates = 0;
+};
+
+/// A mutable entity store layered over model::EntityCollection: the
+/// description universe of an always-on resolver.
+///
+/// The batch pipeline treats its EntityCollection as immutable; a serving
+/// deployment instead appends, revises and retires descriptions
+/// continuously. The store keeps the collection's dense-id invariant —
+/// Append issues ids in insertion order, so replaying the same entities
+/// through a store reproduces the ids of the equivalent batch collection —
+/// and adds the three mutations on top:
+///   - Append: a new description under a fresh stable id;
+///   - Update: replace the description behind an id (version bumped);
+///   - Tombstone: retire an id. The id is never reused; downstream
+///     consumers filter on alive().
+///
+/// Ids are stable for the store's lifetime. Iteration helpers skip
+/// tombstones; Snapshot materialises the live descriptions as a fresh
+/// dirty EntityCollection for batch consumers.
+class EntityStore {
+ public:
+  EntityStore() = default;
+
+  /// Appends a description and returns its stable id (dense, insertion
+  /// order — identical to EntityCollection::Add on the same stream).
+  model::EntityId Append(model::EntityDescription description);
+
+  /// Replaces the description behind `id` and bumps its version. Returns
+  /// false (and changes nothing) for unknown or tombstoned ids.
+  bool Update(model::EntityId id, model::EntityDescription description);
+
+  /// Retires `id`. Returns false if the id is unknown or already dead.
+  bool Tombstone(model::EntityId id);
+
+  /// True if the id was issued and not tombstoned.
+  bool alive(model::EntityId id) const {
+    return id < alive_.size() && alive_[id];
+  }
+
+  /// The description behind an issued id (tombstoned ones included —
+  /// callers gate on alive()).
+  const model::EntityDescription& at(model::EntityId id) const {
+    return collection_.at(id);
+  }
+
+  /// Monotonic per-id revision counter: 0 at Append, +1 per Update.
+  uint64_t version(model::EntityId id) const { return versions_[id]; }
+
+  /// Ids ever issued (== the underlying collection's size).
+  size_t size() const { return collection_.size(); }
+  size_t live_count() const { return live_; }
+  bool empty() const { return collection_.empty(); }
+
+  StoreStats Stats() const;
+
+  /// Id of the live description with the given URI, if any. Unlike the
+  /// collection's lazy index this one tracks Update/Tombstone.
+  std::optional<model::EntityId> FindByUri(std::string_view uri) const;
+
+  /// Visits every live description in id order.
+  void ForEachLive(
+      const std::function<void(model::EntityId,
+                               const model::EntityDescription&)>& visitor)
+      const;
+
+  /// The underlying dense collection, tombstones included. Ids in the
+  /// collection equal store ids; use alive() to filter.
+  const model::EntityCollection& collection() const { return collection_; }
+
+  /// Copies the live descriptions into a fresh dirty collection (snapshot
+  /// iteration for batch consumers). When ids_out != nullptr it receives,
+  /// per snapshot id, the originating store id.
+  model::EntityCollection Snapshot(
+      std::vector<model::EntityId>* ids_out = nullptr) const;
+
+ private:
+  model::EntityCollection collection_;
+  std::vector<uint8_t> alive_;
+  std::vector<uint64_t> versions_;
+  std::unordered_map<std::string, model::EntityId> uri_index_;
+  size_t live_ = 0;
+  uint64_t updates_ = 0;
+};
+
+}  // namespace weber::incremental
+
+#endif  // WEBER_INCREMENTAL_ENTITY_STORE_H_

@@ -1,0 +1,120 @@
+#include "incremental/serving.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace weber::incremental {
+
+ResolveService::ResolveService(const matching::Matcher* matcher,
+                               ServiceOptions options)
+    : options_(std::move(options)), resolver_(matcher, options_.resolver) {}
+
+obs::MetricsRegistry* ResolveService::Registry() const {
+  return options_.resolver.metrics != nullptr ? options_.resolver.metrics
+                                              : obs::Current();
+}
+
+void ResolveService::LeadBatch(std::unique_lock<std::mutex>& lock) {
+  std::vector<Request*> drained;
+  size_t total = 0;
+  while (!queue_.empty() && (drained.empty() || total < options_.max_batch)) {
+    Request* request = queue_.front();
+    queue_.pop_front();
+    total += request->entities.size();
+    drained.push_back(request);
+  }
+  lock.unlock();
+
+  std::vector<model::EntityDescription> combined;
+  combined.reserve(total);
+  std::vector<size_t> sizes;
+  sizes.reserve(drained.size());
+  for (Request* request : drained) {
+    sizes.push_back(request->entities.size());
+    for (model::EntityDescription& entity : request->entities) {
+      combined.push_back(std::move(entity));
+    }
+    request->entities.clear();
+  }
+
+  std::vector<model::EntityId> ids;
+  {
+    std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+    ids = resolver_.Ingest(std::move(combined));
+  }
+  batches_run_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::MetricsRegistry* registry = Registry()) {
+    registry->GetCounter("weber.incremental.serve_batches").Increment();
+    registry->GetCounter("weber.incremental.serve_requests")
+        .Add(drained.size());
+    registry->GetHistogram("weber.incremental.coalesced_entities")
+        .Record(static_cast<double>(total));
+  }
+
+  size_t offset = 0;
+  for (size_t i = 0; i < drained.size(); ++i) {
+    drained[i]->ids.assign(ids.begin() + static_cast<int64_t>(offset),
+                           ids.begin() + static_cast<int64_t>(offset) +
+                               static_cast<int64_t>(sizes[i]));
+    offset += sizes[i];
+  }
+
+  lock.lock();
+  for (Request* request : drained) request->done = true;
+  leader_active_ = false;
+  queue_cv_.notify_all();
+}
+
+std::vector<model::EntityId> ResolveService::Ingest(
+    std::vector<model::EntityDescription> batch) {
+  util::Timer timer;
+  Request request;
+  request.entities = std::move(batch);
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_.push_back(&request);
+  while (!request.done) {
+    queue_cv_.wait(lock,
+                   [&] { return request.done || !leader_active_; });
+    if (request.done) break;
+    // Become the leader: serve a batch (which may or may not include our
+    // own request — if not, loop and wait or lead again).
+    leader_active_ = true;
+    LeadBatch(lock);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  if (obs::MetricsRegistry* registry = Registry()) {
+    registry->GetHistogram("weber.incremental.request_seconds")
+        .Record(timer.ElapsedSeconds());
+  }
+  return std::move(request.ids);
+}
+
+std::optional<IncrementalResolver::Resolution> ResolveService::Resolve(
+    model::EntityId id) {
+  util::Timer timer;
+  std::optional<IncrementalResolver::Resolution> resolution;
+  {
+    std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+    resolution = resolver_.Resolve(id);
+  }
+  if (obs::MetricsRegistry* registry = Registry()) {
+    registry->GetHistogram("weber.incremental.resolve_seconds")
+        .Record(timer.ElapsedSeconds());
+  }
+  return resolution;
+}
+
+bool ResolveService::Remove(model::EntityId id) {
+  std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+  return resolver_.Remove(id);
+}
+
+matching::Clusters ResolveService::Clusters() {
+  std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+  return resolver_.Clusters();
+}
+
+}  // namespace weber::incremental

@@ -1,0 +1,99 @@
+#ifndef WEBER_INCREMENTAL_SERVING_H_
+#define WEBER_INCREMENTAL_SERVING_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "incremental/resolver.h"
+
+namespace weber::incremental {
+
+/// Configuration of a ResolveService.
+struct ServiceOptions {
+  /// Coalescing cap: a leader drains queued ingest requests until the
+  /// combined batch reaches this many entities (it always takes at least
+  /// one request, so oversized requests still go through whole).
+  size_t max_batch = 256;
+
+  /// Resolver configuration (threshold, delta indexes, metrics sink).
+  ResolverOptions resolver;
+};
+
+/// The concurrent front door of an IncrementalResolver.
+///
+/// Ingest uses leader/follower coalescing: callers enqueue their batch,
+/// one caller becomes the leader, drains up to max_batch entities worth
+/// of queued requests, and runs a single resolver ingest for all of them
+/// (whose candidate scoring fans out on the shared executor); followers
+/// block until the leader hands their ids back. The resolver lock is held
+/// only for the resolver call itself, never while waiting on the queue,
+/// so enqueueing stays cheap under load and batches grow with pressure —
+/// the RunProgressive pattern (parallel scoring, ordered commit) applied
+/// to a serving loop.
+class ResolveService {
+ public:
+  /// The matcher is borrowed and must outlive the service.
+  explicit ResolveService(const matching::Matcher* matcher,
+                          ServiceOptions options = {});
+
+  /// Ingests a batch (thread-safe, blocking): returns the stable ids
+  /// assigned to the batch's entities, in batch order.
+  std::vector<model::EntityId> Ingest(
+      std::vector<model::EntityDescription> batch);
+
+  /// The cluster of a live entity (thread-safe), or nullopt for
+  /// unknown/removed ids. Latency lands in
+  /// weber.incremental.resolve_seconds.
+  std::optional<IncrementalResolver::Resolution> Resolve(model::EntityId id);
+
+  /// Retires an entity (thread-safe). Returns false for unknown/removed.
+  bool Remove(model::EntityId id);
+
+  /// All current clusters over live entities (thread-safe).
+  matching::Clusters Clusters();
+
+  /// Ingest requests served and leader batches run so far.
+  uint64_t requests() const { return requests_.load(); }
+  uint64_t batches_run() const { return batches_run_.load(); }
+
+  /// Direct access to the underlying resolver. The caller must guarantee
+  /// no concurrent service calls while using it (configuration before
+  /// serving, inspection after).
+  IncrementalResolver& resolver() { return resolver_; }
+  const IncrementalResolver& resolver() const { return resolver_; }
+
+ private:
+  struct Request {
+    std::vector<model::EntityDescription> entities;
+    std::vector<model::EntityId> ids;
+    bool done = false;
+  };
+
+  obs::MetricsRegistry* Registry() const;
+  /// Drains up to max_batch entities worth of requests, runs one resolver
+  /// ingest for them and wakes their owners. Called with `lock` held on
+  /// queue_mu_; returns with it re-acquired.
+  void LeadBatch(std::unique_lock<std::mutex>& lock);
+
+  ServiceOptions options_;
+  IncrementalResolver resolver_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request*> queue_;
+  bool leader_active_ = false;
+
+  std::mutex resolver_mu_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> batches_run_{0};
+};
+
+}  // namespace weber::incremental
+
+#endif  // WEBER_INCREMENTAL_SERVING_H_

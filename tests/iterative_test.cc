@@ -136,6 +136,41 @@ TEST(RSwooshTest, EmptyCollection) {
   EXPECT_EQ(result.comparisons, 0u);
 }
 
+TEST(RSwooshTest, SingleEntity) {
+  model::EntityCollection c;
+  model::EntityDescription d("u/solo");
+  d.AddPair("p", "alpha beta");
+  c.Add(d);
+  matching::TokenJaccardMatcher matcher;
+  SwooshResult result = RSwoosh(c, {&matcher, 0.5});
+  ASSERT_EQ(result.resolved.size(), 1u);
+  EXPECT_EQ(result.comparisons, 0u);
+  EXPECT_EQ(result.merges, 0u);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_EQ(result.clusters[0], std::vector<model::EntityId>{0});
+}
+
+TEST(RSwooshTest, AllDuplicatesCollapseToOneWithoutDuplicateMerges) {
+  // Every description is the same entity: the resolved set must collapse
+  // to one record whose cluster holds each source id exactly once, in
+  // exactly n-1 merges.
+  model::EntityCollection c;
+  for (int i = 0; i < 8; ++i) {
+    model::EntityDescription d("u/dup/" + std::to_string(i));
+    d.AddPair("p", "alpha beta gamma delta");
+    c.Add(d);
+  }
+  matching::TokenJaccardMatcher matcher;
+  SwooshResult result = RSwoosh(c, {&matcher, 0.9});
+  ASSERT_EQ(result.resolved.size(), 1u);
+  EXPECT_EQ(result.merges, 7u);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  std::vector<model::EntityId> members = result.clusters[0];
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members,
+            (std::vector<model::EntityId>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
 TEST(RSwooshTest, OverlapMatcherRecallAtLeastNaiveMinusEpsilon) {
   // With the merge-monotone overlap matcher, R-Swoosh on a partial-view
   // corpus reaches essentially the recall of the quadratic pass while
