@@ -1,0 +1,162 @@
+// Comparison-engine benchmark: string-path matchers vs their prepared
+// (interned-signature) twins on the same pair workload.
+//
+// Rows report pairs/sec for each matcher on both paths at 1 and 8
+// threads; the prepared rows also publish the signature build time so the
+// break-even pair count can be read off directly. The engine is bit-equal
+// to the string path (see tests/signatures_test.cc), so every speedup row
+// is a pure perf delta, not a quality trade.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/executor.h"
+#include "matching/matcher.h"
+#include "matching/signatures.h"
+#include "model/entity.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace weber {
+namespace {
+
+const datagen::Corpus& Corpus() {
+  static const datagen::Corpus& corpus = *new datagen::Corpus(
+      bench::DirtyCorpus(/*seed=*/42, /*num_entities=*/1200));
+  return corpus;
+}
+
+// A fixed random pair workload over the corpus, shared by every row so
+// string and prepared paths score the exact same comparisons.
+const std::vector<model::IdPair>& Pairs() {
+  static const std::vector<model::IdPair>& pairs = [] {
+    auto* out = new std::vector<model::IdPair>();
+    const model::EntityCollection& collection = Corpus().collection;
+    util::Rng rng(7);
+    out->reserve(200000);
+    while (out->size() < 200000) {
+      auto a = static_cast<model::EntityId>(rng.NextBounded(collection.size()));
+      auto b = static_cast<model::EntityId>(rng.NextBounded(collection.size()));
+      if (a == b) continue;
+      out->push_back(model::IdPair::Of(a, b));
+    }
+    return *out;
+  }();
+  return pairs;
+}
+
+constexpr double kThreshold = 0.5;
+
+std::unique_ptr<matching::Matcher> MakeMatcher(int which) {
+  switch (which) {
+    case 0:
+      return std::make_unique<matching::TokenJaccardMatcher>();
+    case 1:
+      return std::make_unique<matching::TokenOverlapMatcher>();
+    case 2:
+      return std::make_unique<matching::TfIdfCosineMatcher>(
+          Corpus().collection);
+    default:
+      return std::make_unique<matching::WeightedAttributeMatcher>(
+          std::vector<matching::AttributeRule>{{"attr0", 2.0, true},
+                                               {"attr1", 1.0, false},
+                                               {"attr2", 1.0, true}});
+  }
+}
+
+// Scores the shared workload on the string path, optionally in parallel.
+void BM_Matching_StringPath(benchmark::State& state) {
+  const model::EntityCollection& collection = Corpus().collection;
+  const std::vector<model::IdPair>& pairs = Pairs();
+  std::unique_ptr<matching::Matcher> matcher =
+      MakeMatcher(static_cast<int>(state.range(0)));
+  size_t threads = static_cast<size_t>(state.range(1));
+  core::ScopedParallelism parallelism(threads);
+  uint64_t matched = 0;
+  for (auto _ : state) {
+    std::vector<uint64_t> partial(core::EffectiveParallelism(), 0);
+    core::Executor::Shared().ParallelChunks(
+        pairs.size(), core::EffectiveParallelism(),
+        [&](size_t chunk, size_t begin, size_t end) {
+          uint64_t local = 0;
+          for (size_t i = begin; i < end; ++i) {
+            const model::IdPair& pair = pairs[i];
+            local += matcher->Similarity(collection[pair.low],
+                                         collection[pair.high]) >= kThreshold;
+          }
+          partial[chunk] = local;
+        });
+    matched = 0;
+    for (uint64_t p : partial) matched += p;
+    benchmark::DoNotOptimize(matched);
+  }
+  state.counters["pairs_per_sec"] = benchmark::Counter(
+      static_cast<double>(pairs.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["matched"] = static_cast<double>(matched);
+}
+
+// Same workload over interned signatures (build cost reported separately
+// as build_ms; the loop measures pure pair cost, like the string row).
+void BM_Matching_Prepared(benchmark::State& state) {
+  const model::EntityCollection& collection = Corpus().collection;
+  const std::vector<model::IdPair>& pairs = Pairs();
+  std::unique_ptr<matching::Matcher> matcher =
+      MakeMatcher(static_cast<int>(state.range(0)));
+  size_t threads = static_cast<size_t>(state.range(1));
+  core::ScopedParallelism parallelism(threads);
+
+  util::Timer build_timer;
+  matching::SignatureStore store = matching::SignatureStore::Build(
+      collection, matching::OptionsFor(*matcher));
+  std::unique_ptr<matching::PreparedMatcher> prepared =
+      matching::Prepare(*matcher, store);
+  double build_ms = build_timer.ElapsedSeconds() * 1e3;
+
+  uint64_t matched = 0;
+  for (auto _ : state) {
+    std::vector<uint64_t> partial(core::EffectiveParallelism(), 0);
+    core::Executor::Shared().ParallelChunks(
+        pairs.size(), core::EffectiveParallelism(),
+        [&](size_t chunk, size_t begin, size_t end) {
+          uint64_t local = 0;
+          for (size_t i = begin; i < end; ++i) {
+            const model::IdPair& pair = pairs[i];
+            local += prepared->Matches(pair.low, pair.high, kThreshold);
+          }
+          partial[chunk] = local;
+        });
+    matched = 0;
+    for (uint64_t p : partial) matched += p;
+    benchmark::DoNotOptimize(matched);
+  }
+  state.counters["pairs_per_sec"] = benchmark::Counter(
+      static_cast<double>(pairs.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["matched"] = static_cast<double>(matched);
+  state.counters["build_ms"] = build_ms;
+  state.counters["arena_mb"] =
+      static_cast<double>(store.ArenaBytes()) / (1024.0 * 1024.0);
+}
+
+// Args: {matcher (0=Jaccard 1=Overlap 2=TfIdf 3=WeightedAttr), threads}.
+BENCHMARK(BM_Matching_StringPath)
+    ->Args({0, 1})->Args({0, 8})
+    ->Args({1, 1})
+    ->Args({2, 1})->Args({2, 8})
+    ->Args({3, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Matching_Prepared)
+    ->Args({0, 1})->Args({0, 8})
+    ->Args({1, 1})
+    ->Args({2, 1})->Args({2, 8})
+    ->Args({3, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weber
+
+BENCHMARK_MAIN();

@@ -55,6 +55,27 @@ void BM_Pipeline_PlainBlocking(benchmark::State& state) {
 BENCHMARK(BM_Pipeline_PlainBlocking)->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// Same pipeline on the string path: together with the plain row (which
+// defaults to the prepared comparison engine) this pair isolates what
+// signature interning buys end to end — identical counters, lower time.
+void BM_Pipeline_StringPathMatching(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  core::PipelineConfig config;
+  config.blocker = &blocker;
+  config.matcher = &matcher;
+  config.match_threshold = 0.5;
+  config.prepared_matching = false;
+  core::PipelineResult result;
+  for (auto _ : state) {
+    result = core::RunPipeline(corpus.collection, corpus.truth, config);
+  }
+  ReportQuality(state, result, corpus.truth);
+}
+BENCHMARK(BM_Pipeline_StringPathMatching)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 void BM_Pipeline_PurgedAndFiltered(benchmark::State& state) {
   const datagen::Corpus& corpus = Corpus();
   blocking::TokenBlocking blocker;

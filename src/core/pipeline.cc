@@ -7,6 +7,7 @@
 #include "blocking/block_purging.h"
 #include "core/executor.h"
 #include "incremental/serving.h"
+#include "matching/signatures.h"
 #include "obs/metrics.h"
 #include "util/timer.h"
 
@@ -40,6 +41,7 @@ PipelineResult RunIncrementalPipeline(const model::EntityCollection& collection,
   service_options.resolver.sn_window = mode.sn_window;
   service_options.resolver.sn_options = mode.sn_options;
   service_options.resolver.merge_propagation = mode.merge_propagation;
+  service_options.resolver.prepared_matching = config.prepared_matching;
   service_options.resolver.metrics = registry;
 
   incremental::ResolveService service(config.matcher, service_options);
@@ -186,11 +188,26 @@ PipelineResult RunPipeline(const model::EntityCollection& collection,
     obs::Span span(registry, "matching");
     matching::ThresholdMatcher threshold_matcher(config.matcher,
                                                  config.match_threshold);
+    // Intern the collection once and score over signatures; bit-equal to
+    // the string path, so the knob only trades build time for pair cost.
+    std::optional<matching::SignatureStore> signatures;
+    std::unique_ptr<matching::PreparedMatcher> prepared;
+    if (config.prepared_matching && matching::Preparable(*config.matcher)) {
+      obs::Span prepare_span(registry, "prepare");
+      util::Timer prepare_timer;
+      signatures.emplace(matching::SignatureStore::Build(
+          collection, matching::OptionsFor(*config.matcher)));
+      prepared = matching::Prepare(*config.matcher, *signatures);
+      if (prepared != nullptr) {
+        signatures->PublishMetrics(prepare_timer.ElapsedSeconds());
+      }
+    }
     uint64_t budget = config.budget == 0
                           ? std::numeric_limits<uint64_t>::max()
                           : config.budget;
     progressive::ProgressiveRunResult run = progressive::RunProgressive(
-        collection, *scheduler, threshold_matcher, budget, truth);
+        collection, *scheduler, threshold_matcher, budget, truth,
+        prepared.get());
     result.comparisons = run.comparisons;
     result.matches = std::move(run.reported);
     result.curve = std::move(run.curve);

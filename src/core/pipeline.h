@@ -97,6 +97,14 @@ struct PipelineConfig {
   const matching::Matcher* matcher = nullptr;
   double match_threshold = 0.5;
 
+  /// Score candidate pairs over interned signatures (SignatureStore +
+  /// PreparedMatcher) instead of re-tokenising both descriptions per pair.
+  /// Bit-equal to the string path for every matcher and thread count, so
+  /// this only trades a one-off interning pass for much cheaper
+  /// comparisons; matchers the engine cannot prepare fall back to the
+  /// string path automatically. Off = always score from raw strings.
+  bool prepared_matching = true;
+
   /// Comparison budget (0 = run the schedule to exhaustion).
   uint64_t budget = 0;
 

@@ -18,6 +18,19 @@ IncrementalResolver::IncrementalResolver(const matching::Matcher* matcher,
     sn_index_ = std::make_unique<IncrementalSortedNeighborhood>(
         options_.sn_window, options_.sn_options);
   }
+  if (options_.prepared_matching && matching::Preparable(*matcher)) {
+    signatures_.emplace(
+        matching::SignatureStore(matching::OptionsFor(*matcher)));
+    signatures_->SetDescriptionProvider(
+        [this](model::EntityId id) -> const model::EntityDescription* {
+          return store_.alive(id) ? &store_.at(id) : nullptr;
+        });
+    // Bind the prepared counters to the configured registry (falls through
+    // to the caller's ambient one when options_.metrics is null).
+    obs::ScopedRegistry attach(options_.metrics);
+    prepared_ = matching::Prepare(matcher_.matcher(), *signatures_);
+    if (prepared_ == nullptr) signatures_.reset();  // e.g. OracleMatcher.
+  }
 }
 
 obs::MetricsRegistry* IncrementalResolver::Registry() const {
@@ -164,6 +177,9 @@ std::vector<model::EntityId> IncrementalResolver::Ingest(
     ids.push_back(store_.Append(std::move(description)));
   }
   forest_.Grow(store_.size());
+  if (signatures_.has_value()) {
+    for (model::EntityId id : ids) signatures_->Absorb(id, store_.at(id));
+  }
 
   // Delta blocking: absorb each new entity in id order; every index emits
   // only pairs that involve the entity being absorbed, so the slice per
@@ -191,21 +207,22 @@ std::vector<model::EntityId> IncrementalResolver::Ingest(
     ResolveBatchPropagating(candidates);
   } else if (!candidates.empty()) {
     // Parallel scoring, ordered commit — the RunProgressive pattern. The
-    // verdicts only depend on the immutable stored descriptions, so any
-    // chunking of the loop commits the identical result.
+    // verdicts only depend on the immutable stored descriptions (or their
+    // interned signatures, which score bit-equal), so any chunking of the
+    // loop commits the identical result.
     std::vector<char> verdicts(candidates.size(), 0);
+    auto score = [&](size_t i) {
+      const model::IdPair& pair = candidates[i];
+      bool matched =
+          prepared_ != nullptr
+              ? prepared_->Matches(pair.low, pair.high, matcher_.threshold())
+              : matcher_.Matches(store_.at(pair.low), store_.at(pair.high));
+      verdicts[i] = matched ? 1 : 0;
+    };
     if (candidates.size() == 1) {
-      verdicts[0] = matcher_.Matches(store_.at(candidates[0].low),
-                                     store_.at(candidates[0].high))
-                        ? 1
-                        : 0;
+      score(0);
     } else {
-      core::Executor::Shared().ParallelFor(candidates.size(), [&](size_t i) {
-        verdicts[i] = matcher_.Matches(store_.at(candidates[i].low),
-                                       store_.at(candidates[i].high))
-                          ? 1
-                          : 0;
-      });
+      core::Executor::Shared().ParallelFor(candidates.size(), score);
     }
     for (size_t i = 0; i < candidates.size(); ++i) {
       bool matched = verdicts[i] != 0;
@@ -240,6 +257,14 @@ std::vector<model::EntityId> IncrementalResolver::Ingest(
         .Record(timer.ElapsedSeconds());
     registry->GetHistogram("weber.incremental.batch_entities")
         .Record(static_cast<double>(ids.size()));
+    if (signatures_.has_value()) {
+      registry->GetGauge("weber.matching.signature.arena_bytes")
+          .Set(static_cast<double>(signatures_->ArenaBytes()));
+      registry->GetGauge("weber.matching.signature.vocabulary")
+          .Set(static_cast<double>(signatures_->vocabulary_size()));
+      registry->GetGauge("weber.matching.signature.released_bytes")
+          .Set(static_cast<double>(signatures_->released_bytes()));
+    }
   }
   return ids;
 }
@@ -258,6 +283,7 @@ bool IncrementalResolver::Remove(model::EntityId id) {
   if (!store_.Tombstone(id)) return false;
   token_index_.Remove(id);
   if (sn_index_ != nullptr) sn_index_->Remove(id);
+  if (signatures_.has_value()) signatures_->Release(id);
   size_t before = matches_.size();
   std::erase_if(matches_, [id](const model::IdPair& pair) {
     return pair.low == id || pair.high == id;

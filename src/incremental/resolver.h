@@ -14,6 +14,7 @@
 #include "incremental/entity_store.h"
 #include "matching/clustering.h"
 #include "matching/matcher.h"
+#include "matching/signatures.h"
 #include "model/entity.h"
 #include "model/ground_truth.h"
 #include "util/union_find.h"
@@ -50,6 +51,13 @@ struct ResolverOptions {
   /// (at the cost of replay exactness, which merging intentionally
   /// forgoes).
   bool merge_propagation = false;
+
+  /// Score candidates over interned signatures: each Ingest absorbs the
+  /// new descriptions into a SignatureStore alongside the delta indexes,
+  /// and the (non-propagating) batch scorer runs the PreparedMatcher twin
+  /// of the configured matcher. Bit-equal to the string path; matchers the
+  /// engine cannot prepare fall back to string scoring automatically.
+  bool prepared_matching = true;
 
   /// Metrics sink. When null the ambient obs::Current() registry of the
   /// calling thread is used (and may itself be null = detached).
@@ -148,6 +156,10 @@ class IncrementalResolver {
   EntityStore store_;
   IncrementalTokenIndex token_index_;
   std::unique_ptr<IncrementalSortedNeighborhood> sn_index_;
+  // Signature engine (prepared_matching): every ingested description is
+  // interned once; Remove tombstones its arena slot.
+  std::optional<matching::SignatureStore> signatures_;
+  std::unique_ptr<matching::PreparedMatcher> prepared_;
 
   util::UnionFind forest_{0};
   bool forest_dirty_ = false;

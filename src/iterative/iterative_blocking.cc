@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "matching/signatures.h"
 #include "model/ground_truth.h"
 #include "util/union_find.h"
 
@@ -32,7 +35,7 @@ void Finalize(const model::EntityCollection& collection,
 
 IterativeBlockingResult IterativeBlocking(
     const blocking::BlockCollection& blocks,
-    const matching::ThresholdMatcher& matcher) {
+    const matching::ThresholdMatcher& matcher, bool use_signatures) {
   IterativeBlockingResult result;
   const model::EntityCollection* collection = blocks.collection();
   if (collection == nullptr || collection->empty()) return result;
@@ -41,8 +44,31 @@ IterativeBlockingResult IterativeBlocking(
   util::UnionFind forest(n);
   // Current merged description of each root.
   std::unordered_map<uint32_t, model::EntityDescription> merged;
+  // Signature slot of each root (original ids until the first merge);
+  // merged descriptions for the fallback provider, keyed by slot.
+  std::unordered_map<uint32_t, model::EntityId> sig_of;
+  std::unordered_map<model::EntityId, const model::EntityDescription*>
+      desc_of_sig;
   for (model::EntityId id = 0; id < n; ++id) {
     merged.emplace(id, (*collection)[id]);
+    sig_of.emplace(id, id);
+  }
+
+  // Signature engine: roots are compared over interned token ids; each
+  // merge derives a slot by sorted union instead of re-tokenising.
+  std::optional<matching::SignatureStore> store;
+  std::unique_ptr<matching::PreparedMatcher> prepared;
+  if (use_signatures && matching::Preparable(matcher.matcher())) {
+    store.emplace(matching::SignatureStore::Build(
+        *collection, matching::OptionsFor(matcher.matcher())));
+    store->SetDescriptionProvider(
+        [collection, n,
+         &desc_of_sig](model::EntityId id) -> const model::EntityDescription* {
+          if (id < n) return &(*collection)[id];
+          auto it = desc_of_sig.find(id);
+          return it == desc_of_sig.end() ? nullptr : it->second;
+        });
+    prepared = matching::Prepare(matcher.matcher(), *store);
   }
   // Version of each root: bumped on merge; lets the comparison cache
   // detect that a previously-failed pair must be retried because one side
@@ -103,7 +129,12 @@ IterativeBlockingResult IterativeBlocking(
             continue;  // Already failed at this information state.
           }
           ++result.comparisons;
-          if (!matcher.Matches(merged.at(root_a), merged.at(root_b))) {
+          bool is_match =
+              prepared != nullptr
+                  ? prepared->Matches(sig_of.at(root_a), sig_of.at(root_b),
+                                      matcher.threshold())
+                  : matcher.Matches(merged.at(root_a), merged.at(root_b));
+          if (!is_match) {
             failed_at[pair] = {version[pair.low], version[pair.high]};
             continue;
           }
@@ -115,6 +146,21 @@ IterativeBlockingResult IterativeBlocking(
           merged.at(survivor).MergeFrom(merged.at(absorbed));
           merged.erase(absorbed);
           ++version[survivor];
+          if (prepared != nullptr) {
+            // Survivor-first union mirrors the MergeFrom order above;
+            // retire the constituents' slots.
+            model::EntityId sig = store->AppendMerged(sig_of.at(survivor),
+                                                      sig_of.at(absorbed));
+            store->Release(sig_of.at(survivor));
+            store->Release(sig_of.at(absorbed));
+            desc_of_sig.erase(sig_of.at(survivor));
+            desc_of_sig.erase(sig_of.at(absorbed));
+            sig_of.erase(absorbed);
+            sig_of[survivor] = sig;
+            // unordered_map values are node-stable, so the address of the
+            // survivor's merged description outlives future rehashes.
+            desc_of_sig[sig] = &merged.at(survivor);
+          }
           // Merge block sets and re-enqueue all affected blocks: the
           // merged record replaced the originals everywhere.
           std::set<uint32_t>& survivor_blocks = blocks_of_root[survivor];
@@ -146,10 +192,20 @@ IterativeBlockingResult IterativeBlocking(
 
 IterativeBlockingResult IndependentBlockER(
     const blocking::BlockCollection& blocks,
-    const matching::ThresholdMatcher& matcher) {
+    const matching::ThresholdMatcher& matcher, bool use_signatures) {
   IterativeBlockingResult result;
   const model::EntityCollection* collection = blocks.collection();
   if (collection == nullptr || collection->empty()) return result;
+
+  // Only original descriptions are compared here, so the store never
+  // needs a fallback provider beyond the collection itself.
+  std::optional<matching::SignatureStore> store;
+  std::unique_ptr<matching::PreparedMatcher> prepared;
+  if (use_signatures && matching::Preparable(matcher.matcher())) {
+    store.emplace(matching::SignatureStore::Build(
+        *collection, matching::OptionsFor(matcher.matcher())));
+    prepared = matching::Prepare(matcher.matcher(), *store);
+  }
 
   util::UnionFind forest(collection->size());
   for (const blocking::Block& block : blocks.blocks()) {
@@ -160,7 +216,11 @@ IterativeBlockingResult IndependentBlockER(
         model::EntityId b = block.entities[j];
         if (!collection->Comparable(a, b)) continue;
         ++result.comparisons;  // Redundant cross-block comparisons paid.
-        if (matcher.Matches((*collection)[a], (*collection)[b])) {
+        bool is_match =
+            prepared != nullptr
+                ? prepared->Matches(a, b, matcher.threshold())
+                : matcher.Matches((*collection)[a], (*collection)[b]);
+        if (is_match) {
           if (forest.Union(a, b)) ++result.merges;
         }
       }

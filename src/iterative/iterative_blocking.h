@@ -33,9 +33,13 @@ struct IterativeBlockingResult {
 /// records is never compared twice at the same information state (a
 /// version-stamped comparison cache replaces the paper's hash of processed
 /// pairs). Terminates when no block changes.
+///
+/// With `use_signatures` (the default) root comparisons run over interned
+/// signatures; merges derive their signature by sorted union, bit-equal to
+/// scoring the merged descriptions from strings.
 IterativeBlockingResult IterativeBlocking(
     const blocking::BlockCollection& blocks,
-    const matching::ThresholdMatcher& matcher);
+    const matching::ThresholdMatcher& matcher, bool use_signatures = true);
 
 /// Baseline: each block is resolved independently on the original
 /// descriptions (no merge propagation across blocks, a single pass).
@@ -44,7 +48,7 @@ IterativeBlockingResult IterativeBlocking(
 /// and redundant cross-block comparisons are paid in full.
 IterativeBlockingResult IndependentBlockER(
     const blocking::BlockCollection& blocks,
-    const matching::ThresholdMatcher& matcher);
+    const matching::ThresholdMatcher& matcher, bool use_signatures = true);
 
 }  // namespace weber::iterative
 

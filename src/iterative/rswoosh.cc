@@ -2,25 +2,55 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "matching/signatures.h"
 #include "util/union_find.h"
 
 namespace weber::iterative {
 
 SwooshResult RSwoosh(const model::EntityCollection& collection,
-                     const matching::ThresholdMatcher& matcher) {
+                     const matching::ThresholdMatcher& matcher,
+                     bool use_signatures) {
   SwooshResult result;
 
-  // Work items carry the merged description plus the source ids it covers.
+  // Work items reference their (possibly merged) description plus the
+  // source ids it covers; merged descriptions live in a deque so their
+  // addresses stay stable for the signature fallback provider.
   struct Item {
-    model::EntityDescription description;
+    const model::EntityDescription* description = nullptr;
     std::vector<model::EntityId> sources;
+    model::EntityId sig = 0;  // Slot in the signature store.
   };
+  std::deque<model::EntityDescription> merged_arena;
+  std::unordered_map<model::EntityId, const model::EntityDescription*>
+      merged_of_sig;
+
+  // Signature engine: originals are interned once; merges derive their
+  // slots by sorted union. String fallbacks (e.g. TF-IDF on merged slots)
+  // resolve descriptions through the provider below.
+  std::optional<matching::SignatureStore> store;
+  std::unique_ptr<matching::PreparedMatcher> prepared;
+  if (use_signatures && matching::Preparable(matcher.matcher())) {
+    store.emplace(matching::SignatureStore::Build(
+        collection, matching::OptionsFor(matcher.matcher())));
+    store->SetDescriptionProvider(
+        [&collection, &merged_of_sig](
+            model::EntityId id) -> const model::EntityDescription* {
+          if (id < collection.size()) return &collection.descriptions()[id];
+          auto it = merged_of_sig.find(id);
+          return it == merged_of_sig.end() ? nullptr : it->second;
+        });
+    prepared = matching::Prepare(matcher.matcher(), *store);
+  }
+
   std::deque<Item> input;
   for (model::EntityId id = 0; id < collection.size(); ++id) {
-    input.push_back({collection[id], {id}});
+    input.push_back({&collection.descriptions()[id], {id}, id});
   }
 
   std::vector<Item> resolved;  // I'.
@@ -30,13 +60,32 @@ SwooshResult RSwoosh(const model::EntityCollection& collection,
     bool merged = false;
     for (size_t i = 0; i < resolved.size(); ++i) {
       ++result.comparisons;
-      if (matcher.Matches(item.description, resolved[i].description)) {
+      bool is_match =
+          prepared != nullptr
+              ? prepared->Matches(item.sig, resolved[i].sig,
+                                  matcher.threshold())
+              : matcher.Matches(*item.description, *resolved[i].description);
+      if (is_match) {
         // Merge and recycle through the input queue: the merged record may
         // now match records that neither part matched alone.
-        item.description.MergeFrom(resolved[i].description);
+        merged_arena.push_back(*item.description);
+        merged_arena.back().MergeFrom(*resolved[i].description);
+        item.description = &merged_arena.back();
         item.sources.insert(item.sources.end(),
                             resolved[i].sources.begin(),
                             resolved[i].sources.end());
+        if (prepared != nullptr) {
+          // Sorted-union signature for the merge — no re-tokenisation —
+          // then retire the constituents' slots.
+          model::EntityId sig =
+              store->AppendMerged(item.sig, resolved[i].sig);
+          store->Release(item.sig);
+          store->Release(resolved[i].sig);
+          merged_of_sig.erase(item.sig);
+          merged_of_sig.erase(resolved[i].sig);
+          merged_of_sig.emplace(sig, item.description);
+          item.sig = sig;
+        }
         resolved.erase(resolved.begin() + static_cast<int64_t>(i));
         input.push_back(std::move(item));
         ++result.merges;
@@ -53,7 +102,7 @@ SwooshResult RSwoosh(const model::EntityCollection& collection,
   result.clusters.reserve(resolved.size());
   for (Item& item : resolved) {
     std::sort(item.sources.begin(), item.sources.end());
-    result.resolved.push_back(std::move(item.description));
+    result.resolved.push_back(*item.description);
     result.clusters.push_back(std::move(item.sources));
   }
   return result;
@@ -159,14 +208,26 @@ SwooshResult GSwoosh(const model::EntityCollection& collection,
 }
 
 SwooshResult NaivePairwiseResolve(const model::EntityCollection& collection,
-                                  const matching::ThresholdMatcher& matcher) {
+                                  const matching::ThresholdMatcher& matcher,
+                                  bool use_signatures) {
   SwooshResult result;
+  // Only original pairs are scored, so no fallback provider is needed.
+  std::optional<matching::SignatureStore> store;
+  std::unique_ptr<matching::PreparedMatcher> prepared;
+  if (use_signatures && matching::Preparable(matcher.matcher())) {
+    store.emplace(matching::SignatureStore::Build(
+        collection, matching::OptionsFor(matcher.matcher())));
+    prepared = matching::Prepare(matcher.matcher(), *store);
+  }
   util::UnionFind forest(collection.size());
   for (model::EntityId a = 0; a < collection.size(); ++a) {
     for (model::EntityId b = a + 1; b < collection.size(); ++b) {
       if (!collection.Comparable(a, b)) continue;
       ++result.comparisons;
-      if (matcher.Matches(collection[a], collection[b])) {
+      bool is_match = prepared != nullptr
+                          ? prepared->Matches(a, b, matcher.threshold())
+                          : matcher.Matches(collection[a], collection[b]);
+      if (is_match) {
         if (forest.Union(a, b)) ++result.merges;
       }
     }

@@ -32,14 +32,23 @@ struct SwooshResult {
 /// match decisions. This finds matches that a single pass over the
 /// original pairs misses whenever the match function needs the combined
 /// evidence of several partial descriptions.
+///
+/// With `use_signatures` (the default) comparisons run over interned
+/// signatures: the collection is interned once and every merge derives its
+/// signature by sorted union of the constituents' token sets — no
+/// re-tokenisation. Bit-equal to the string path (matchers the engine
+/// cannot prepare, or signature parts it cannot derive for merged records,
+/// fall back to string scoring per pair).
 SwooshResult RSwoosh(const model::EntityCollection& collection,
-                     const matching::ThresholdMatcher& matcher);
+                     const matching::ThresholdMatcher& matcher,
+                     bool use_signatures = true);
 
 /// Baseline for the Swoosh experiments: one pass over all original pairs
 /// (no merging), matches fed into transitive closure. Same output type;
 /// `resolved` holds merged descriptions built after the fact.
 SwooshResult NaivePairwiseResolve(const model::EntityCollection& collection,
-                                  const matching::ThresholdMatcher& matcher);
+                                  const matching::ThresholdMatcher& matcher,
+                                  bool use_signatures = true);
 
 /// Options bounding G-Swoosh's exponential worst case.
 struct GSwooshOptions {

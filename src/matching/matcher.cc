@@ -87,17 +87,28 @@ OracleMatcher::OracleMatcher(const model::EntityCollection& collection,
     : collection_(collection),
       truth_(truth),
       error_rate_(error_rate),
-      seed_(seed) {}
+      seed_(seed) {
+  uri_to_id_.reserve(collection.size());
+  for (size_t i = 0; i < collection.size(); ++i) {
+    uri_to_id_.emplace(collection.descriptions()[i].uri(),
+                       static_cast<model::EntityId>(i));
+  }
+}
 
 double OracleMatcher::Similarity(const model::EntityDescription& a,
                                  const model::EntityDescription& b) const {
-  auto id_a = collection_.FindByUri(a.uri());
-  auto id_b = collection_.FindByUri(b.uri());
-  if (!id_a.has_value() || !id_b.has_value()) return 0.0;
-  bool is_match = truth_.IsMatch(*id_a, *id_b);
+  auto id_a = uri_to_id_.find(std::string_view(a.uri()));
+  auto id_b = uri_to_id_.find(std::string_view(b.uri()));
+  if (id_a == uri_to_id_.end() || id_b == uri_to_id_.end()) return 0.0;
+  return SimilarityById(id_a->second, id_b->second);
+}
+
+double OracleMatcher::SimilarityById(model::EntityId a,
+                                     model::EntityId b) const {
+  bool is_match = truth_.IsMatch(a, b);
   if (error_rate_ > 0.0) {
     // Deterministic per-pair noise: seed an Rng from the pair identity.
-    model::IdPair pair = model::IdPair::Of(*id_a, *id_b);
+    model::IdPair pair = model::IdPair::Of(a, b);
     util::Rng rng(seed_ ^ model::IdPairHash{}(pair));
     if (rng.NextBool(error_rate_)) is_match = !is_match;
   }

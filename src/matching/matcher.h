@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "model/entity.h"
@@ -100,6 +102,8 @@ class WeightedAttributeMatcher : public Matcher {
                     const model::EntityDescription& b) const override;
   std::string name() const override { return "WeightedAttribute"; }
 
+  const std::vector<AttributeRule>& rules() const { return rules_; }
+
  private:
   std::vector<AttributeRule> rules_;
 };
@@ -115,6 +119,8 @@ class TfIdfCosineMatcher : public Matcher {
   double Similarity(const model::EntityDescription& a,
                     const model::EntityDescription& b) const override;
   std::string name() const override { return "TfIdfCosine"; }
+
+  const text::TfIdfModel& model() const { return model_; }
 
  private:
   text::TfIdfModel model_;
@@ -147,6 +153,10 @@ class CompositeMatcher : public Matcher {
                     const model::EntityDescription& b) const override;
   std::string name() const override { return "Composite"; }
 
+  const std::vector<const Matcher*>& components() const { return components_; }
+  const std::vector<double>& weights() const { return weights_; }
+  Combine combine() const { return combine_; }
+
  private:
   std::vector<const Matcher*> components_;
   std::vector<double> weights_;
@@ -170,11 +180,21 @@ class OracleMatcher : public Matcher {
                     const model::EntityDescription& b) const override;
   std::string name() const override { return "Oracle"; }
 
+  /// Oracle verdict for two already-resolved collection ids: the id-level
+  /// core of Similarity, which resolves URIs to ids first.
+  double SimilarityById(model::EntityId a, model::EntityId b) const;
+
+  const model::EntityCollection& collection() const { return collection_; }
+
  private:
   const model::EntityCollection& collection_;
   const model::GroundTruth& truth_;
   double error_rate_;
   uint64_t seed_;
+  /// URI -> id, built once at construction (first id wins on duplicate
+  /// URIs, like EntityCollection::FindByUri). Keys view the collection's
+  /// own uri strings, so no per-lookup allocation either.
+  std::unordered_map<std::string_view, model::EntityId> uri_to_id_;
 };
 
 }  // namespace weber::matching

@@ -1,0 +1,856 @@
+#include "matching/signatures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/executor.h"
+#include "obs/metrics.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "util/intersect.h"
+
+namespace weber::matching {
+
+namespace {
+
+constexpr size_t kNoIndex = static_cast<size_t>(-1);
+
+void Bump(obs::Counter* counter) {
+  if (counter != nullptr) counter->Add(1);
+}
+
+// ---------------------------------------------------------------------------
+// Required-overlap filters.
+//
+// Early exit must never change a verdict, so the threshold comparison is
+// moved into the integer domain: the smallest intersection count r whose
+// similarity clears the threshold under the *exact* double division the
+// string path performs. The closed-form guess only seeds the search; the
+// fix-up loops below re-check the real double expression, so r is correct
+// even when the guess is off by an ulp. Similarity is monotone in the
+// intersection count (for fixed set sizes), hence verdict == (|A∩B| >= r).
+// ---------------------------------------------------------------------------
+
+/// Smallest o with double(o) / double(size_a + size_b - o) >= t, or
+/// min(size_a, size_b) + 1 when no feasible o qualifies. Caller handles
+/// size_a == size_b == 0 (similarity 1 by convention).
+size_t RequiredOverlapJaccard(size_t size_a, size_t size_b, double t) {
+  size_t total = size_a + size_b;
+  size_t cap = std::min(size_a, size_b);
+  auto sim = [total](size_t o) {
+    return static_cast<double>(o) / static_cast<double>(total - o);
+  };
+  if (std::isnan(t)) return cap + 1;  // sim >= NaN is false for every o.
+  if (!(t > 0.0)) return 0;           // sim(0) == 0.0 >= t already.
+  double guess = std::ceil(t * static_cast<double>(total) / (1.0 + t));
+  size_t r = guess >= static_cast<double>(cap + 1)
+                 ? cap + 1
+                 : static_cast<size_t>(std::max(guess, 0.0));
+  while (r > 0 && sim(r - 1) >= t) --r;
+  while (r <= cap && !(sim(r) >= t)) ++r;
+  return r;
+}
+
+/// Smallest o with double(o) / double(smaller) >= t, or smaller + 1 when
+/// none qualifies. Caller handles smaller == 0.
+size_t RequiredOverlapCoefficient(size_t smaller, double t) {
+  auto sim = [smaller](size_t o) {
+    return static_cast<double>(o) / static_cast<double>(smaller);
+  };
+  if (std::isnan(t)) return smaller + 1;
+  if (!(t > 0.0)) return 0;
+  double guess = std::ceil(t * static_cast<double>(smaller));
+  size_t r = guess >= static_cast<double>(smaller + 1)
+                 ? smaller + 1
+                 : static_cast<size_t>(std::max(guess, 0.0));
+  while (r > 0 && sim(r - 1) >= t) --r;
+  while (r <= smaller && !(sim(r) >= t)) ++r;
+  return r;
+}
+
+/// First index in [from, data.size()) whose token id is >= key; the pair
+/// analogue of util::GallopLowerBound for sparse TF-IDF entries.
+size_t GallopLowerBoundPairs(std::span<const std::pair<uint32_t, double>> data,
+                             size_t from, uint32_t key) {
+  size_t n = data.size();
+  if (from >= n || data[from].first >= key) return from;
+  size_t lo = from;
+  size_t step = 1;
+  while (lo + step < n && data[lo + step].first < key) {
+    lo += step;
+    step <<= 1;
+  }
+  size_t hi = lo + step < n ? lo + step : n;
+  ++lo;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (data[mid].first < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Dot product of two sparse unit vectors. Both strategies accumulate the
+/// matched products in ascending token-id order — the order TfIdfModel::
+/// Cosine uses — so the sum is bit-equal no matter which one runs.
+double SparseDot(std::span<const std::pair<uint32_t, double>> a,
+                 std::span<const std::pair<uint32_t, double>> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  double dot = 0.0;
+  if (!a.empty() && a.size() * util::kGallopRatio < b.size()) {
+    size_t at = 0;
+    for (const auto& [id, weight] : a) {
+      at = GallopLowerBoundPairs(b, at, id);
+      if (at == b.size()) break;
+      if (b[at].first == id) {
+        dot += weight * b[at].second;
+        ++at;
+      }
+    }
+    return dot;
+  }
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first == b[j].first) {
+      dot += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    } else if (a[i].first < b[j].first) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return dot;
+}
+
+/// Scores a pair via the string twin on provider-resolved descriptions;
+/// the shared fallback of every prepared matcher. An unresolvable id
+/// scores 0.0 — wired consumers always install a provider that covers
+/// every id they compare.
+double StringFallback(const Matcher& twin, const SignatureStore& store,
+                      const PreparedCounters& counters, model::EntityId a,
+                      model::EntityId b) {
+  Bump(counters.fallbacks);
+  const model::EntityDescription* desc_a = store.description(a);
+  const model::EntityDescription* desc_b = store.description(b);
+  if (desc_a == nullptr || desc_b == nullptr) return 0.0;
+  return twin.Similarity(*desc_a, *desc_b);
+}
+
+// ---------------------------------------------------------------------------
+// Prepared matchers.
+// ---------------------------------------------------------------------------
+
+class PreparedTokenJaccard final : public PreparedMatcher {
+ public:
+  PreparedTokenJaccard(const TokenJaccardMatcher& twin,
+                       const SignatureStore& store)
+      : twin_(twin), store_(store), counters_(PreparedCounters::Ambient()) {}
+
+  double Similarity(model::EntityId a, model::EntityId b) const override {
+    if (!store_.contains(a) || !store_.contains(b)) {
+      return StringFallback(twin_, store_, counters_, a, b);
+    }
+    Bump(counters_.comparisons);
+    auto ta = store_.tokens(a);
+    auto tb = store_.tokens(b);
+    size_t inter = util::SortedIntersectSize(ta, tb);
+    size_t union_size = ta.size() + tb.size() - inter;
+    if (union_size == 0) return 1.0;
+    return static_cast<double>(inter) / static_cast<double>(union_size);
+  }
+
+  bool Matches(model::EntityId a, model::EntityId b,
+               double threshold) const override {
+    if (!store_.contains(a) || !store_.contains(b)) {
+      return StringFallback(twin_, store_, counters_, a, b) >= threshold;
+    }
+    Bump(counters_.comparisons);
+    auto ta = store_.tokens(a);
+    auto tb = store_.tokens(b);
+    if (ta.empty() && tb.empty()) return 1.0 >= threshold;
+    size_t required = RequiredOverlapJaccard(ta.size(), tb.size(), threshold);
+    if (required > std::min(ta.size(), tb.size())) {
+      Bump(counters_.filter_hits);
+      return false;
+    }
+    if (required == 0) {
+      Bump(counters_.filter_hits);
+      return true;
+    }
+    return util::SortedIntersectAtLeast(ta, tb, required);
+  }
+
+  std::string name() const override { return "Prepared(TokenJaccard)"; }
+
+ private:
+  const TokenJaccardMatcher& twin_;
+  const SignatureStore& store_;
+  PreparedCounters counters_;
+};
+
+class PreparedTokenOverlap final : public PreparedMatcher {
+ public:
+  PreparedTokenOverlap(const TokenOverlapMatcher& twin,
+                       const SignatureStore& store)
+      : twin_(twin), store_(store), counters_(PreparedCounters::Ambient()) {}
+
+  double Similarity(model::EntityId a, model::EntityId b) const override {
+    if (!store_.contains(a) || !store_.contains(b)) {
+      return StringFallback(twin_, store_, counters_, a, b);
+    }
+    Bump(counters_.comparisons);
+    auto ta = store_.tokens(a);
+    auto tb = store_.tokens(b);
+    size_t smaller = std::min(ta.size(), tb.size());
+    if (smaller == 0) return ta.size() == tb.size() ? 1.0 : 0.0;
+    size_t inter = util::SortedIntersectSize(ta, tb);
+    return static_cast<double>(inter) / static_cast<double>(smaller);
+  }
+
+  bool Matches(model::EntityId a, model::EntityId b,
+               double threshold) const override {
+    if (!store_.contains(a) || !store_.contains(b)) {
+      return StringFallback(twin_, store_, counters_, a, b) >= threshold;
+    }
+    Bump(counters_.comparisons);
+    auto ta = store_.tokens(a);
+    auto tb = store_.tokens(b);
+    size_t smaller = std::min(ta.size(), tb.size());
+    if (smaller == 0) {
+      return (ta.size() == tb.size() ? 1.0 : 0.0) >= threshold;
+    }
+    size_t required = RequiredOverlapCoefficient(smaller, threshold);
+    if (required > smaller) {
+      Bump(counters_.filter_hits);
+      return false;
+    }
+    if (required == 0) {
+      Bump(counters_.filter_hits);
+      return true;
+    }
+    return util::SortedIntersectAtLeast(ta, tb, required);
+  }
+
+  std::string name() const override { return "Prepared(TokenOverlap)"; }
+
+ private:
+  const TokenOverlapMatcher& twin_;
+  const SignatureStore& store_;
+  PreparedCounters counters_;
+};
+
+class PreparedTfIdfCosine final : public PreparedMatcher {
+ public:
+  PreparedTfIdfCosine(const TfIdfCosineMatcher& twin,
+                      const SignatureStore& store)
+      : twin_(twin), store_(store), counters_(PreparedCounters::Ambient()) {}
+
+  // No Matches override: a partial dot product admits no sound bound
+  // against the threshold (remaining weights are unknown), so the decision
+  // always computes the full similarity.
+  double Similarity(model::EntityId a, model::EntityId b) const override {
+    if (!store_.has_tfidf(a) || !store_.has_tfidf(b)) {
+      return StringFallback(twin_, store_, counters_, a, b);
+    }
+    Bump(counters_.comparisons);
+    return SparseDot(store_.tfidf(a), store_.tfidf(b));
+  }
+
+  std::string name() const override { return "Prepared(TfIdfCosine)"; }
+
+ private:
+  const TfIdfCosineMatcher& twin_;
+  const SignatureStore& store_;
+  PreparedCounters counters_;
+};
+
+class PreparedWeightedAttribute final : public PreparedMatcher {
+ public:
+  PreparedWeightedAttribute(const WeightedAttributeMatcher& twin,
+                            const SignatureStore& store,
+                            std::vector<size_t> rule_slots)
+      : twin_(twin),
+        store_(store),
+        rule_slots_(std::move(rule_slots)),
+        counters_(PreparedCounters::Ambient()) {}
+
+  double Similarity(model::EntityId a, model::EntityId b) const override {
+    if (!store_.has_attributes(a) || !store_.has_attributes(b)) {
+      return StringFallback(twin_, store_, counters_, a, b);
+    }
+    Bump(counters_.comparisons);
+    auto slots_a = store_.attribute_slots(a);
+    auto slots_b = store_.attribute_slots(b);
+    double total_weight = 0.0;
+    double score = 0.0;
+    const std::vector<AttributeRule>& rules = twin_.rules();
+    for (size_t k = 0; k < rules.size(); ++k) {
+      const AttributeRule& rule = rules[k];
+      total_weight += rule.weight;
+      const SignatureStore::AttributeSlot& slot_a = slots_a[rule_slots_[k]];
+      const SignatureStore::AttributeSlot& slot_b = slots_b[rule_slots_[k]];
+      if (slot_a.value_index == SignatureStore::kNoValue ||
+          slot_b.value_index == SignatureStore::kNoValue) {
+        continue;
+      }
+      double sim;
+      if (rule.use_jaro_winkler) {
+        sim = text::JaroWinklerSimilarity(store_.value(slot_a.value_index),
+                                          store_.value(slot_b.value_index));
+      } else {
+        auto ta = store_.slot_tokens(slot_a);
+        auto tb = store_.slot_tokens(slot_b);
+        size_t inter = util::SortedIntersectSize(ta, tb);
+        size_t union_size = ta.size() + tb.size() - inter;
+        sim = union_size == 0 ? 1.0
+                              : static_cast<double>(inter) /
+                                    static_cast<double>(union_size);
+      }
+      score += rule.weight * sim;
+    }
+    if (total_weight <= 0.0) return 0.0;
+    return score / total_weight;
+  }
+
+  std::string name() const override { return "Prepared(WeightedAttribute)"; }
+
+ private:
+  const WeightedAttributeMatcher& twin_;
+  const SignatureStore& store_;
+  std::vector<size_t> rule_slots_;  // rules()[k] -> attribute slot index.
+  PreparedCounters counters_;
+};
+
+/// Prepared wrapper for a composite component the engine cannot intern:
+/// always scores via the string twin, so a Composite can still prepare the
+/// components it does understand.
+class PreparedStringBridge final : public PreparedMatcher {
+ public:
+  PreparedStringBridge(const Matcher& twin, const SignatureStore& store)
+      : twin_(twin), store_(store), counters_(PreparedCounters::Ambient()) {}
+
+  double Similarity(model::EntityId a, model::EntityId b) const override {
+    return StringFallback(twin_, store_, counters_, a, b);
+  }
+
+  std::string name() const override {
+    return "PreparedBridge(" + twin_.name() + ")";
+  }
+
+ private:
+  const Matcher& twin_;
+  const SignatureStore& store_;
+  PreparedCounters counters_;
+};
+
+class PreparedComposite final : public PreparedMatcher {
+ public:
+  PreparedComposite(const CompositeMatcher& twin,
+                    std::vector<std::unique_ptr<PreparedMatcher>> components)
+      : twin_(twin), components_(std::move(components)) {}
+
+  double Similarity(model::EntityId a, model::EntityId b) const override {
+    if (components_.empty()) return 0.0;
+    switch (twin_.combine()) {
+      case CompositeMatcher::Combine::kWeightedAverage: {
+        const std::vector<double>& weights = twin_.weights();
+        double total_weight = 0.0;
+        double score = 0.0;
+        for (size_t i = 0; i < components_.size(); ++i) {
+          double weight = i < weights.size() ? weights[i] : 1.0;
+          total_weight += weight;
+          score += weight * components_[i]->Similarity(a, b);
+        }
+        return total_weight > 0.0 ? score / total_weight : 0.0;
+      }
+      case CompositeMatcher::Combine::kMax: {
+        double best = 0.0;
+        for (const auto& component : components_) {
+          best = std::max(best, component->Similarity(a, b));
+        }
+        return best;
+      }
+      case CompositeMatcher::Combine::kMin: {
+        double worst = 1.0;
+        for (const auto& component : components_) {
+          worst = std::min(worst, component->Similarity(a, b));
+        }
+        return worst;
+      }
+    }
+    return 0.0;
+  }
+
+  bool Matches(model::EntityId a, model::EntityId b,
+               double threshold) const override {
+    if (components_.empty()) return 0.0 >= threshold;
+    switch (twin_.combine()) {
+      case CompositeMatcher::Combine::kMax:
+        // max(0.0, sims) >= t  <=>  some sim >= t, or 0.0 >= t.
+        for (const auto& component : components_) {
+          if (component->Matches(a, b, threshold)) return true;
+        }
+        return 0.0 >= threshold;
+      case CompositeMatcher::Combine::kMin:
+        // min(1.0, sims) >= t  <=>  every sim >= t and 1.0 >= t.
+        for (const auto& component : components_) {
+          if (!component->Matches(a, b, threshold)) return false;
+        }
+        return 1.0 >= threshold;
+      case CompositeMatcher::Combine::kWeightedAverage:
+        break;  // No per-component shortcut is sound for an average.
+    }
+    return Similarity(a, b) >= threshold;
+  }
+
+  std::string name() const override { return "Prepared(Composite)"; }
+
+ private:
+  const CompositeMatcher& twin_;
+  std::vector<std::unique_ptr<PreparedMatcher>> components_;
+};
+
+class PreparedOracle final : public PreparedMatcher {
+ public:
+  PreparedOracle(const OracleMatcher& twin, const SignatureStore& store)
+      : twin_(twin), store_(store), counters_(PreparedCounters::Ambient()) {
+    // The string path resolves each description's URI through the
+    // collection per pair; on duplicate URIs the first id wins. Resolving
+    // every id once here reproduces that canonicalisation exactly.
+    const model::EntityCollection& collection = *store.collection();
+    canonical_.reserve(collection.size());
+    for (const model::EntityDescription& description :
+         collection.descriptions()) {
+      canonical_.push_back(
+          collection.FindByUri(description.uri()).value_or(0));
+    }
+  }
+
+  double Similarity(model::EntityId a, model::EntityId b) const override {
+    if (a >= canonical_.size() || b >= canonical_.size()) {
+      return StringFallback(twin_, store_, counters_, a, b);
+    }
+    Bump(counters_.comparisons);
+    return twin_.SimilarityById(canonical_[a], canonical_[b]);
+  }
+
+  std::string name() const override { return "Prepared(Oracle)"; }
+
+ private:
+  const OracleMatcher& twin_;
+  const SignatureStore& store_;
+  std::vector<model::EntityId> canonical_;
+  PreparedCounters counters_;
+};
+
+void CollectOptions(const Matcher& matcher, SignatureOptions& options) {
+  if (const auto* tfidf = dynamic_cast<const TfIdfCosineMatcher*>(&matcher)) {
+    options.tfidf_model = &tfidf->model();
+    return;
+  }
+  if (const auto* weighted =
+          dynamic_cast<const WeightedAttributeMatcher*>(&matcher)) {
+    for (const AttributeRule& rule : weighted->rules()) {
+      if (std::find(options.attributes.begin(), options.attributes.end(),
+                    rule.attribute) == options.attributes.end()) {
+        options.attributes.push_back(rule.attribute);
+      }
+    }
+    return;
+  }
+  if (const auto* composite = dynamic_cast<const CompositeMatcher*>(&matcher)) {
+    for (const Matcher* component : composite->components()) {
+      CollectOptions(*component, options);
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SignatureStore
+// ---------------------------------------------------------------------------
+
+SignatureStore::SignatureStore(SignatureOptions options)
+    : options_(std::move(options)) {}
+
+SignatureStore SignatureStore::Build(const model::EntityCollection& collection,
+                                     SignatureOptions options) {
+  SignatureStore store(std::move(options));
+  store.collection_ = &collection;
+  store.provider_ =
+      [&collection](model::EntityId id) -> const model::EntityDescription* {
+    return id < collection.size() ? &collection.descriptions()[id] : nullptr;
+  };
+  size_t n = collection.size();
+  if (n == 0) return store;
+
+  // Pass 1 (parallel): tokenise every entity; each chunk records its local
+  // vocabulary in first-occurrence order.
+  struct ChunkVocab {
+    std::unordered_set<std::string> seen;
+    std::vector<std::string> order;
+  };
+  size_t chunks = std::min(n, core::EffectiveParallelism());
+  std::vector<ChunkVocab> partial(chunks);
+  std::vector<std::vector<std::string>> entity_tokens(n);
+  core::Executor::Shared().ParallelChunks(
+      n, chunks, [&](size_t chunk, size_t begin, size_t end) {
+        ChunkVocab& local = partial[chunk];
+        for (size_t i = begin; i < end; ++i) {
+          entity_tokens[i] = text::ValueTokens(collection.descriptions()[i],
+                                               store.options_.normalize);
+          for (const std::string& token : entity_tokens[i]) {
+            if (local.seen.insert(token).second) local.order.push_back(token);
+          }
+        }
+      });
+  // Chunks are contiguous in entity order, so merging their vocabularies
+  // serially in chunk order assigns ids by global first occurrence — the
+  // same vocabulary for any chunk count.
+  for (ChunkVocab& local : partial) {
+    for (std::string& token : local.order) {
+      store.vocabulary_.try_emplace(
+          std::move(token), static_cast<uint32_t>(store.vocabulary_.size()));
+    }
+  }
+
+  // Pass 2 (parallel): translate each entity into its signature parts.
+  struct BuiltAttribute {
+    bool present = false;
+    std::string value;
+    std::vector<uint32_t> tokens;
+  };
+  struct BuiltEntity {
+    std::vector<uint32_t> tokens;
+    text::TfIdfVector tfidf;
+    std::vector<BuiltAttribute> attributes;
+  };
+  std::vector<BuiltEntity> built(n);
+  const text::TfIdfModel* model = store.options_.tfidf_model;
+  const std::vector<std::string>& attributes = store.options_.attributes;
+  core::Executor::Shared().ParallelFor(n, [&](size_t i) {
+    const model::EntityDescription& description = collection.descriptions()[i];
+    BuiltEntity& out = built[i];
+    out.tokens.reserve(entity_tokens[i].size());
+    for (const std::string& token : entity_tokens[i]) {
+      out.tokens.push_back(store.vocabulary_.find(token)->second);
+    }
+    std::sort(out.tokens.begin(), out.tokens.end());
+    if (model != nullptr) out.tfidf = model->Vectorize(description);
+    out.attributes.resize(attributes.size());
+    for (size_t k = 0; k < attributes.size(); ++k) {
+      auto value = description.FirstValueOf(attributes[k]);
+      if (!value.has_value()) continue;
+      BuiltAttribute& attr = out.attributes[k];
+      attr.present = true;
+      attr.value = std::string(*value);
+      // Every token of any value is already in the vocabulary (ValueTokens
+      // covers all attribute values with the same normalisation).
+      for (const std::string& token :
+           text::NormalizeAndTokenize(*value, store.options_.normalize)) {
+        attr.tokens.push_back(store.vocabulary_.find(token)->second);
+      }
+      std::sort(attr.tokens.begin(), attr.tokens.end());
+      attr.tokens.erase(std::unique(attr.tokens.begin(), attr.tokens.end()),
+                        attr.tokens.end());
+    }
+  });
+
+  // Serial append into the arenas, in entity order.
+  size_t total_tokens = 0;
+  size_t total_tfidf = 0;
+  for (const BuiltEntity& be : built) {
+    total_tokens += be.tokens.size();
+    total_tfidf += be.tfidf.entries.size();
+    for (const BuiltAttribute& attr : be.attributes) {
+      total_tokens += attr.tokens.size();
+    }
+  }
+  store.tokens_.reserve(total_tokens);
+  store.tfidf_.reserve(total_tfidf);
+  store.entries_.reserve(n);
+  store.attribute_slots_.reserve(n * attributes.size());
+  for (BuiltEntity& be : built) {
+    Entry entry;
+    entry.token_offset = static_cast<uint32_t>(store.tokens_.size());
+    entry.token_count = static_cast<uint32_t>(be.tokens.size());
+    store.tokens_.insert(store.tokens_.end(), be.tokens.begin(),
+                         be.tokens.end());
+    if (model != nullptr) {
+      entry.has_tfidf = true;
+      entry.tfidf_offset = static_cast<uint32_t>(store.tfidf_.size());
+      entry.tfidf_count = static_cast<uint32_t>(be.tfidf.entries.size());
+      store.tfidf_.insert(store.tfidf_.end(), be.tfidf.entries.begin(),
+                          be.tfidf.entries.end());
+    }
+    if (!attributes.empty()) {
+      entry.has_attributes = true;
+      entry.attribute_offset =
+          static_cast<uint32_t>(store.attribute_slots_.size());
+      for (BuiltAttribute& attr : be.attributes) {
+        AttributeSlot slot;
+        if (attr.present) {
+          slot.value_index = static_cast<uint32_t>(store.values_.size());
+          store.values_.push_back(std::move(attr.value));
+          slot.token_offset = static_cast<uint32_t>(store.tokens_.size());
+          slot.token_count = static_cast<uint32_t>(attr.tokens.size());
+          store.tokens_.insert(store.tokens_.end(), attr.tokens.begin(),
+                               attr.tokens.end());
+        }
+        store.attribute_slots_.push_back(slot);
+      }
+    }
+    entry.present = true;
+    store.entries_.push_back(entry);
+  }
+  return store;
+}
+
+void SignatureStore::Absorb(model::EntityId id,
+                            const model::EntityDescription& description) {
+  Entry& entry = EnsureSlot(id);
+  if (entry.present) Release(id);  // Re-absorbing abandons the old bytes.
+  auto [offset, count] =
+      InternSortedSet(text::ValueTokens(description, options_.normalize));
+  entry.token_offset = offset;
+  entry.token_count = count;
+  if (options_.tfidf_model != nullptr) FillTfIdf(entry, description);
+  if (!options_.attributes.empty()) FillAttributes(entry, description);
+  entry.present = true;
+}
+
+model::EntityId SignatureStore::AppendMerged(model::EntityId a,
+                                             model::EntityId b) {
+  Entry merged;
+  // Reserve before taking the spans: set_union appends into the same
+  // arena the spans view.
+  tokens_.reserve(tokens_.size() + entries_[a].token_count +
+                  entries_[b].token_count);
+  {
+    auto ta = tokens(a);
+    auto tb = tokens(b);
+    merged.token_offset = static_cast<uint32_t>(tokens_.size());
+    std::set_union(ta.begin(), ta.end(), tb.begin(), tb.end(),
+                   std::back_inserter(tokens_));
+    merged.token_count =
+        static_cast<uint32_t>(tokens_.size()) - merged.token_offset;
+  }
+  // merged.has_tfidf stays false: TF-IDF weighs raw occurrence counts,
+  // which the constituents' distinct-token signatures do not retain.
+  if (entries_[a].has_attributes && entries_[b].has_attributes) {
+    attribute_slots_.reserve(attribute_slots_.size() +
+                             options_.attributes.size());
+    auto slots_a = attribute_slots(a);
+    auto slots_b = attribute_slots(b);
+    merged.has_attributes = true;
+    merged.attribute_offset = static_cast<uint32_t>(attribute_slots_.size());
+    for (size_t k = 0; k < options_.attributes.size(); ++k) {
+      // FirstValueOf on the merged description sees a's pairs first.
+      attribute_slots_.push_back(
+          slots_a[k].value_index != kNoValue ? slots_a[k] : slots_b[k]);
+    }
+  }
+  merged.present = true;
+  auto id = static_cast<model::EntityId>(entries_.size());
+  entries_.push_back(merged);
+  return id;
+}
+
+void SignatureStore::Release(model::EntityId id) {
+  if (!contains(id)) return;
+  Entry& entry = entries_[id];
+  uint64_t bytes = uint64_t{entry.token_count} * sizeof(uint32_t);
+  if (entry.has_tfidf) {
+    bytes += uint64_t{entry.tfidf_count} * sizeof(std::pair<uint32_t, double>);
+  }
+  if (entry.has_attributes) {
+    for (const AttributeSlot& slot : attribute_slots(id)) {
+      bytes += sizeof(AttributeSlot) +
+               uint64_t{slot.token_count} * sizeof(uint32_t);
+      if (slot.value_index != kNoValue) bytes += values_[slot.value_index].size();
+    }
+  }
+  released_bytes_ += bytes;
+  entry = Entry{};
+}
+
+size_t SignatureStore::AttributeIndex(std::string_view attribute) const {
+  for (size_t i = 0; i < options_.attributes.size(); ++i) {
+    if (options_.attributes[i] == attribute) return i;
+  }
+  return kNoIndex;
+}
+
+size_t SignatureStore::ArenaBytes() const {
+  size_t bytes = tokens_.size() * sizeof(uint32_t) +
+                 tfidf_.size() * sizeof(std::pair<uint32_t, double>) +
+                 attribute_slots_.size() * sizeof(AttributeSlot) +
+                 entries_.size() * sizeof(Entry);
+  for (const std::string& value : values_) bytes += value.size();
+  return bytes;
+}
+
+void SignatureStore::PublishMetrics(double build_seconds) const {
+  obs::MetricsRegistry* registry = obs::Current();
+  if (registry == nullptr) return;
+  registry->GetHistogram("weber.matching.signature.build_seconds")
+      .Record(build_seconds);
+  registry->GetGauge("weber.matching.signature.entities")
+      .Set(static_cast<double>(entries_.size()));
+  registry->GetGauge("weber.matching.signature.vocabulary")
+      .Set(static_cast<double>(vocabulary_.size()));
+  registry->GetGauge("weber.matching.signature.arena_bytes")
+      .Set(static_cast<double>(ArenaBytes()));
+  registry->GetGauge("weber.matching.signature.released_bytes")
+      .Set(static_cast<double>(released_bytes_));
+}
+
+SignatureStore::Entry& SignatureStore::EnsureSlot(model::EntityId id) {
+  if (id >= entries_.size()) entries_.resize(size_t{id} + 1);
+  return entries_[id];
+}
+
+uint32_t SignatureStore::InternToken(const std::string& token) {
+  auto [it, inserted] =
+      vocabulary_.try_emplace(token, static_cast<uint32_t>(vocabulary_.size()));
+  return it->second;
+}
+
+std::pair<uint32_t, uint32_t> SignatureStore::InternSortedSet(
+    const std::vector<std::string>& tokens) {
+  std::vector<uint32_t> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& token : tokens) ids.push_back(InternToken(token));
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  auto offset = static_cast<uint32_t>(tokens_.size());
+  tokens_.insert(tokens_.end(), ids.begin(), ids.end());
+  return {offset, static_cast<uint32_t>(ids.size())};
+}
+
+void SignatureStore::FillAttributes(
+    Entry& entry, const model::EntityDescription& description) {
+  entry.has_attributes = true;
+  entry.attribute_offset = static_cast<uint32_t>(attribute_slots_.size());
+  // Slots for this entry must be contiguous: build them first, then append
+  // (InternSortedSet grows the token arena in between).
+  std::vector<AttributeSlot> slots(options_.attributes.size());
+  for (size_t k = 0; k < options_.attributes.size(); ++k) {
+    auto value = description.FirstValueOf(options_.attributes[k]);
+    if (!value.has_value()) continue;
+    AttributeSlot& slot = slots[k];
+    slot.value_index = static_cast<uint32_t>(values_.size());
+    values_.emplace_back(*value);
+    auto [offset, count] =
+        InternSortedSet(text::NormalizeAndTokenize(*value, options_.normalize));
+    slot.token_offset = offset;
+    slot.token_count = count;
+  }
+  attribute_slots_.insert(attribute_slots_.end(), slots.begin(), slots.end());
+}
+
+void SignatureStore::FillTfIdf(Entry& entry,
+                               const model::EntityDescription& description) {
+  text::TfIdfVector vec = options_.tfidf_model->Vectorize(description);
+  entry.has_tfidf = true;
+  entry.tfidf_offset = static_cast<uint32_t>(tfidf_.size());
+  entry.tfidf_count = static_cast<uint32_t>(vec.entries.size());
+  tfidf_.insert(tfidf_.end(), vec.entries.begin(), vec.entries.end());
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+PreparedCounters PreparedCounters::Ambient() {
+  PreparedCounters counters;
+  obs::MetricsRegistry* registry = obs::Current();
+  if (registry == nullptr) return counters;
+  counters.comparisons =
+      &registry->GetCounter("weber.matching.signature.comparisons");
+  counters.filter_hits =
+      &registry->GetCounter("weber.matching.signature.filter_hits");
+  counters.fallbacks =
+      &registry->GetCounter("weber.matching.signature.fallbacks");
+  return counters;
+}
+
+SignatureOptions OptionsFor(const Matcher& matcher) {
+  SignatureOptions options;
+  CollectOptions(matcher, options);
+  return options;
+}
+
+bool Preparable(const Matcher& matcher) {
+  if (dynamic_cast<const TokenJaccardMatcher*>(&matcher) != nullptr ||
+      dynamic_cast<const TokenOverlapMatcher*>(&matcher) != nullptr ||
+      dynamic_cast<const TfIdfCosineMatcher*>(&matcher) != nullptr ||
+      dynamic_cast<const WeightedAttributeMatcher*>(&matcher) != nullptr ||
+      dynamic_cast<const OracleMatcher*>(&matcher) != nullptr) {
+    return true;
+  }
+  return dynamic_cast<const CompositeMatcher*>(&matcher) != nullptr;
+}
+
+std::unique_ptr<PreparedMatcher> Prepare(const Matcher& matcher,
+                                         const SignatureStore& store) {
+  if (const auto* jaccard = dynamic_cast<const TokenJaccardMatcher*>(&matcher)) {
+    return std::make_unique<PreparedTokenJaccard>(*jaccard, store);
+  }
+  if (const auto* overlap = dynamic_cast<const TokenOverlapMatcher*>(&matcher)) {
+    return std::make_unique<PreparedTokenOverlap>(*overlap, store);
+  }
+  if (const auto* tfidf = dynamic_cast<const TfIdfCosineMatcher*>(&matcher)) {
+    // Vectors from a different model would not be bit-equal.
+    if (store.options().tfidf_model != &tfidf->model()) return nullptr;
+    return std::make_unique<PreparedTfIdfCosine>(*tfidf, store);
+  }
+  if (const auto* weighted =
+          dynamic_cast<const WeightedAttributeMatcher*>(&matcher)) {
+    std::vector<size_t> rule_slots;
+    rule_slots.reserve(weighted->rules().size());
+    for (const AttributeRule& rule : weighted->rules()) {
+      size_t slot = store.AttributeIndex(rule.attribute);
+      if (slot == kNoIndex) return nullptr;
+      rule_slots.push_back(slot);
+    }
+    return std::make_unique<PreparedWeightedAttribute>(*weighted, store,
+                                                       std::move(rule_slots));
+  }
+  if (const auto* composite = dynamic_cast<const CompositeMatcher*>(&matcher)) {
+    std::vector<std::unique_ptr<PreparedMatcher>> components;
+    components.reserve(composite->components().size());
+    for (const Matcher* component : composite->components()) {
+      std::unique_ptr<PreparedMatcher> prepared = Prepare(*component, store);
+      if (prepared == nullptr) {
+        prepared = std::make_unique<PreparedStringBridge>(*component, store);
+      }
+      components.push_back(std::move(prepared));
+    }
+    return std::make_unique<PreparedComposite>(*composite,
+                                               std::move(components));
+  }
+  if (const auto* oracle = dynamic_cast<const OracleMatcher*>(&matcher)) {
+    // The canonical-id table only reproduces the string path when the
+    // store interned the very collection the oracle resolves against.
+    if (store.collection() != &oracle->collection()) return nullptr;
+    return std::make_unique<PreparedOracle>(*oracle, store);
+  }
+  return nullptr;
+}
+
+}  // namespace weber::matching

@@ -12,7 +12,8 @@ ProgressiveRunResult RunProgressive(const model::EntityCollection& collection,
                                     PairScheduler& scheduler,
                                     const matching::ThresholdMatcher& matcher,
                                     uint64_t budget,
-                                    const model::GroundTruth& truth) {
+                                    const model::GroundTruth& truth,
+                                    const matching::PreparedMatcher* prepared) {
   ProgressiveRunResult result(truth.NumMatches());
   model::IdPairSet executed;
   // Aggregated locally and published once at the end: the loop body is
@@ -55,18 +56,19 @@ ProgressiveRunResult RunProgressive(const model::EntityCollection& collection,
     }
     if (batch.empty()) continue;
     verdicts.assign(batch.size(), 0);
+    auto score = [&](size_t i) {
+      const model::IdPair& pair = batch[i];
+      bool matched = prepared != nullptr
+                         ? prepared->Matches(pair.low, pair.high,
+                                             matcher.threshold())
+                         : matcher.Matches(collection[pair.low],
+                                           collection[pair.high]);
+      verdicts[i] = matched ? 1 : 0;
+    };
     if (batch.size() == 1) {
-      verdicts[0] = matcher.Matches(collection[batch[0].low],
-                                    collection[batch[0].high])
-                        ? 1
-                        : 0;
+      score(0);
     } else {
-      core::Executor::Shared().ParallelFor(batch.size(), [&](size_t i) {
-        verdicts[i] = matcher.Matches(collection[batch[i].low],
-                                      collection[batch[i].high])
-                          ? 1
-                          : 0;
-      });
+      core::Executor::Shared().ParallelFor(batch.size(), score);
     }
     for (size_t i = 0; i < batch.size(); ++i) {
       const model::IdPair& pair = batch[i];

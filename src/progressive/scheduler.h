@@ -9,6 +9,7 @@
 #include "eval/progressive_curve.h"
 #include "matching/match_graph.h"
 #include "matching/matcher.h"
+#include "matching/signatures.h"
 #include "model/entity.h"
 #include "model/ground_truth.h"
 
@@ -86,11 +87,15 @@ struct ProgressiveRunResult {
 /// twice is only evaluated once). The curve records *true* matches (per
 /// `truth`) so that recall-vs-budget is directly comparable across
 /// schedulers.
-ProgressiveRunResult RunProgressive(const model::EntityCollection& collection,
-                                    PairScheduler& scheduler,
-                                    const matching::ThresholdMatcher& matcher,
-                                    uint64_t budget,
-                                    const model::GroundTruth& truth);
+/// `prepared`, when non-null, scores pairs over interned signatures
+/// instead of re-tokenising descriptions; it must be the prepared twin of
+/// `matcher` over a store covering the collection's ids, so verdicts stay
+/// bit-equal to the string path.
+ProgressiveRunResult RunProgressive(
+    const model::EntityCollection& collection, PairScheduler& scheduler,
+    const matching::ThresholdMatcher& matcher, uint64_t budget,
+    const model::GroundTruth& truth,
+    const matching::PreparedMatcher* prepared = nullptr);
 
 }  // namespace weber::progressive
 

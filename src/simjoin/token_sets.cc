@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "text/tokenizer.h"
+#include "util/intersect.h"
 
 namespace weber::simjoin {
 
@@ -57,21 +58,11 @@ TokenSetCollection TokenSetCollection::Build(
 
 size_t SortedOverlap(const std::vector<uint32_t>& a,
                      const std::vector<uint32_t>& b) {
-  size_t overlap = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) {
-      ++overlap;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return overlap;
+  // Adaptive: linear merge for comparable sizes, galloping search over the
+  // longer vector when skewed. One kernel, shared with the matching
+  // signature engine (util/intersect.h).
+  return util::SortedIntersectSize({a.data(), a.size()},
+                                   {b.data(), b.size()});
 }
 
 double SortedJaccard(const std::vector<uint32_t>& a,

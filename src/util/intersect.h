@@ -1,0 +1,138 @@
+#ifndef WEBER_UTIL_INTERSECT_H_
+#define WEBER_UTIL_INTERSECT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace weber::util {
+
+/// Sorted-id intersection kernels shared by the simjoin verifiers and the
+/// matching signature engine. All inputs are strictly increasing uint32
+/// sequences; every function returns exact counts, so callers that derive
+/// similarities from them are bit-equal regardless of which strategy the
+/// adaptive dispatch picks.
+
+/// Size ratio above which the adaptive kernels switch from the linear
+/// merge to galloping search over the longer sequence. Galloping costs
+/// O(small * log(big)); the merge costs O(small + big).
+inline constexpr size_t kGallopRatio = 16;
+
+/// First index in [from, data.size()) with data[index] >= key, found by
+/// doubling probes followed by a binary search of the last gallop window.
+inline size_t GallopLowerBound(std::span<const uint32_t> data, size_t from,
+                               uint32_t key) {
+  size_t n = data.size();
+  if (from >= n || data[from] >= key) return from;
+  // Invariant: data[lo] < key.
+  size_t lo = from;
+  size_t step = 1;
+  while (lo + step < n && data[lo + step] < key) {
+    lo += step;
+    step <<= 1;
+  }
+  size_t hi = lo + step < n ? lo + step : n;  // data[hi] >= key or hi == n.
+  ++lo;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (data[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// |a ∩ b| by galloping: walk the smaller sequence, gallop in the larger.
+inline size_t GallopIntersectSize(std::span<const uint32_t> small,
+                                  std::span<const uint32_t> big) {
+  size_t count = 0;
+  size_t at = 0;
+  for (uint32_t key : small) {
+    at = GallopLowerBound(big, at, key);
+    if (at == big.size()) break;
+    if (big[at] == key) {
+      ++count;
+      ++at;
+    }
+  }
+  return count;
+}
+
+/// |a ∩ b| by the classic linear merge.
+inline size_t MergeIntersectSize(std::span<const uint32_t> a,
+                                 std::span<const uint32_t> b) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// |a ∩ b|, adaptively choosing merge or galloping by the size skew.
+inline size_t SortedIntersectSize(std::span<const uint32_t> a,
+                                  std::span<const uint32_t> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  if (a.size() * kGallopRatio < b.size()) return GallopIntersectSize(a, b);
+  return MergeIntersectSize(a, b);
+}
+
+/// Decision kernel: true iff |a ∩ b| >= required. Abandons as soon as the
+/// remaining elements cannot reach `required` (overlap upper-bound filter)
+/// and succeeds as soon as they must (the verdict — never the exact count —
+/// is what the caller needs). required == 0 is trivially true.
+inline bool SortedIntersectAtLeast(std::span<const uint32_t> a,
+                                   std::span<const uint32_t> b,
+                                   size_t required) {
+  if (required == 0) return true;
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.size() < required) return false;  // Length filter.
+  size_t count = 0;
+  if (a.size() * kGallopRatio < b.size()) {
+    size_t at = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (count + (a.size() - i) < required) return false;
+      at = GallopLowerBound(b, at, a[i]);
+      if (at == b.size()) return count >= required;
+      if (b[at] == a[i]) {
+        if (++count >= required) return true;
+        ++at;
+      }
+    }
+    return false;
+  }
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    size_t possible = count + std::min(a.size() - i, b.size() - j);
+    if (possible < required) return false;
+    if (a[i] == b[j]) {
+      if (++count >= required) return true;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace weber::util
+
+#endif  // WEBER_UTIL_INTERSECT_H_
