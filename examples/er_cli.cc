@@ -41,10 +41,31 @@
 #include "model/io.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "util/check.h"
 
 namespace {
 
 using namespace weber;
+
+/// Snapshot of the active run's configuration, for check-failure
+/// diagnostics. The handler below is a capture-less function pointer, so
+/// the state lives at namespace scope; it is written once before
+/// RunPipeline and only read again if a contract trips.
+std::string g_run_summary;
+
+/// Appended to every WEBER_CHECK failure message: which Fig. 1 phase was
+/// executing and what configuration drove the run, so a crash report from
+/// the field pins down the failing stage without a debugger.
+std::string CheckFailureContext() {
+  const char* phase = core::ActivePipelinePhase();
+  std::string context = "phase=";
+  context += phase != nullptr ? phase : "none";
+  if (!g_run_summary.empty()) {
+    context += ' ';
+    context += g_run_summary;
+  }
+  return context;
+}
 
 std::unique_ptr<blocking::Blocker> MakeBlocker(const std::string& name) {
   if (name == "token") return std::make_unique<blocking::TokenBlocking>();
@@ -258,6 +279,20 @@ int main(int argc, char** argv) {
     mode.batch_size = static_cast<size_t>(stream_batch);
     config.incremental = mode;
   }
+  {
+    std::ostringstream summary;
+    summary << "blocker=" << blocker_name << " threshold=" << threshold;
+    if (meta.has_value()) {
+      summary << " meta=" << metablocking::ToString(meta->first) << '/'
+              << metablocking::ToString(meta->second);
+    }
+    if (budget > 0) summary << " budget=" << budget;
+    if (threads > 0) summary << " threads=" << threads;
+    if (stream) summary << " stream=" << stream_batch;
+    summary << " entities=" << collection.size();
+    g_run_summary = summary.str();
+  }
+  util::SetCheckContextHandler(&CheckFailureContext);
   core::PipelineResult result = core::RunPipeline(collection, truth, config);
 
   std::fprintf(stderr,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace weber::blocking {
@@ -28,6 +29,14 @@ void BlockCollection::AddBlock(Block block) {
       std::unique(block.entities.begin(), block.entities.end()),
       block.entities.end());
   if (block.entities.size() < 2) return;
+  // Every id a blocker emits must resolve in the collection: an out-of-
+  // range id here would index out of bounds in EntityToBlocks and every
+  // downstream consumer. entities is sorted, so checking back() covers all.
+  if (collection_ != nullptr) {
+    WEBER_CHECK_LT(block.entities.back(), collection_->size())
+        << "block '" << block.key << "' names an entity outside the "
+        << "collection";
+  }
   if (collection_ != nullptr && block.NumComparisons(*collection_) == 0) {
     return;  // e.g., clean-clean block with entities from one source only.
   }
@@ -82,6 +91,7 @@ std::vector<std::vector<uint32_t>> BlockCollection::EntityToBlocks() const {
   std::vector<std::vector<uint32_t>> index(n);
   for (uint32_t b = 0; b < blocks_.size(); ++b) {
     for (model::EntityId id : blocks_[b].entities) {
+      WEBER_DCHECK_LT(id, index.size()) << "block entity outside the index";
       index[id].push_back(b);
     }
   }
@@ -113,10 +123,19 @@ void BlockCollection::SortBlocksBySize() {
 BlockCollection Blocker::Build(
     const model::EntityCollection& collection) const {
   obs::MetricsRegistry* registry = obs::Current();
-  if (registry == nullptr) return BuildBlocks(collection);
+  if (registry == nullptr) {
+    BlockCollection blocks = BuildBlocks(collection);
+    WEBER_DCHECK(blocks.collection() == nullptr ||
+                 blocks.collection() == &collection)
+        << name() << " returned blocks over a different collection";
+    return blocks;
+  }
 
   util::Timer timer;
   BlockCollection blocks = BuildBlocks(collection);
+  WEBER_DCHECK(blocks.collection() == nullptr ||
+               blocks.collection() == &collection)
+      << name() << " returned blocks over a different collection";
   registry->GetHistogram("weber.blocking.build_seconds")
       .Record(timer.ElapsedSeconds());
   registry->GetCounter("weber.blocking.builds").Increment();

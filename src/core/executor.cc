@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace weber::core {
@@ -48,7 +49,13 @@ struct Executor::GroupState {
   }
 
   void Finish() {
-    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    uint64_t before = remaining.fetch_sub(1, std::memory_order_acq_rel);
+    // Task-group balance: every Finish must pair with one Run. A zero
+    // here means a task completed twice (or Finish ran without Run) and
+    // the counter wrapped — Wait() would block forever or return early.
+    WEBER_CHECK_GE(before, uint64_t{1})
+        << "task group finished more tasks than were submitted";
+    if (before == 1) {
       std::lock_guard<std::mutex> lock(mu);
       cv.notify_all();
     }
@@ -84,6 +91,9 @@ void Executor::TaskGroup::Wait() {
       return state_->remaining.load(std::memory_order_acquire) == 0;
     });
   }
+  WEBER_DCHECK_EQ(state_->remaining.load(std::memory_order_acquire),
+                  uint64_t{0})
+      << "Wait returned with tasks outstanding";
   std::exception_ptr error;
   {
     std::lock_guard<std::mutex> lock(state_->error_mu);
@@ -97,6 +107,8 @@ void Executor::TaskGroup::Wait() {
 
 Executor::Executor(size_t num_workers) {
   if (num_workers == 0) num_workers = DefaultWorkerCount();
+  WEBER_CHECK_GE(num_workers, size_t{1})
+      << "executor needs at least one worker slot";
   queues_.reserve(num_workers);
   worker_busy_.reserve(num_workers);
   for (size_t w = 0; w < num_workers; ++w) {
@@ -156,6 +168,7 @@ void Executor::Enqueue(Task task) {
 }
 
 bool Executor::PopOwn(size_t w, Task* task) {
+  WEBER_DCHECK_LT(w, queues_.size()) << "worker index out of range";
   WorkerQueue& queue = *queues_[w];
   std::lock_guard<std::mutex> lock(queue.mu);
   if (queue.tasks.empty()) return false;
@@ -258,6 +271,7 @@ void Executor::ParallelChunks(
   for (size_t c = 0; c < live; ++c) {
     size_t begin = c * chunk_size;
     size_t end = std::min(n, begin + chunk_size);
+    WEBER_DCHECK_LT(begin, end) << "empty chunk dispatched";
     group.Run([&fn, chunk_cpu, c, begin, end] {
       double cpu_start = util::ThreadCpuSeconds();
       fn(c, begin, end);

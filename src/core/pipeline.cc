@@ -1,6 +1,6 @@
 #include "core/pipeline.h"
 
-#include <cassert>
+#include <atomic>
 #include <limits>
 
 #include "blocking/block_filtering.h"
@@ -9,11 +9,31 @@
 #include "incremental/serving.h"
 #include "matching/signatures.h"
 #include "obs/metrics.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace weber::core {
 
 namespace {
+
+/// Phase the driving thread is currently executing, for check-failure
+/// diagnostics (see ActivePipelinePhase). Stored as a pointer to a string
+/// literal so readers in a crashing process never chase freed memory.
+std::atomic<const char*> g_active_phase{nullptr};
+
+/// Marks the enclosing scope as a named pipeline phase. Nests: leaving a
+/// scope restores the phase that was active when it was entered.
+class PhaseScope {
+ public:
+  explicit PhaseScope(const char* phase)
+      : previous_(g_active_phase.exchange(phase, std::memory_order_relaxed)) {}
+  ~PhaseScope() { g_active_phase.store(previous_, std::memory_order_relaxed); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  const char* previous_;
+};
 
 /// The resolve-on-ingest execution: replays the collection through a
 /// ResolveService in batches, then reads quality, clusters and counters
@@ -22,9 +42,9 @@ namespace {
 PipelineResult RunIncrementalPipeline(const model::EntityCollection& collection,
                                       const model::GroundTruth& truth,
                                       const PipelineConfig& config) {
-  assert(config.matcher != nullptr && "pipeline needs a matcher");
-  assert(collection.setting() == model::ErSetting::kDirty &&
-         "incremental mode resolves dirty collections");
+  WEBER_CHECK(config.matcher != nullptr) << "pipeline needs a matcher";
+  WEBER_CHECK(collection.setting() == model::ErSetting::kDirty)
+      << "incremental mode resolves dirty collections";
   PipelineResult result;
   util::Timer timer;
 
@@ -54,6 +74,7 @@ PipelineResult RunIncrementalPipeline(const model::EntityCollection& collection,
   // ---- Ingest: blocking + matching + update, interleaved per batch. ----
   {
     obs::Span span(registry, "ingest");
+    PhaseScope phase("ingest");
     std::vector<model::EntityDescription> batch;
     batch.reserve(service_options.max_batch);
     for (model::EntityId id = 0; id < collection.size(); ++id) {
@@ -74,6 +95,7 @@ PipelineResult RunIncrementalPipeline(const model::EntityCollection& collection,
   // ---- Blocking quality, from the delta index's exported blocks. ----
   {
     obs::Span span(registry, "blocking");
+    PhaseScope phase("blocking");
     blocking::BlockCollection blocks =
         resolver.IndexBlocks(&resolver.store().collection());
     result.blocking_quality = eval::EvaluateBlocks(blocks, truth);
@@ -86,6 +108,7 @@ PipelineResult RunIncrementalPipeline(const model::EntityCollection& collection,
   // ---- Clustering: the union-find components the resolver maintained. --
   {
     obs::Span span(registry, "clustering");
+    PhaseScope phase("clustering");
     result.clusters = resolver.Clusters();
   }
 
@@ -108,14 +131,20 @@ PipelineResult RunIncrementalPipeline(const model::EntityCollection& collection,
 
 }  // namespace
 
+const char* ActivePipelinePhase() {
+  return g_active_phase.load(std::memory_order_relaxed);
+}
+
 PipelineResult RunPipeline(const model::EntityCollection& collection,
                            const model::GroundTruth& truth,
                            const PipelineConfig& config) {
   if (config.incremental.has_value()) {
     return RunIncrementalPipeline(collection, truth, config);
   }
-  assert(config.blocker != nullptr && "pipeline needs a blocker");
-  assert(config.matcher != nullptr && "pipeline needs a matcher");
+  WEBER_CHECK(config.blocker != nullptr) << "pipeline needs a blocker";
+  WEBER_CHECK(config.matcher != nullptr) << "pipeline needs a matcher";
+  WEBER_CHECK_GT(config.filter_ratio, 0.0)
+      << "filter_ratio must be positive (1.0 keeps every block)";
   PipelineResult result;
   util::Timer timer;
 
@@ -132,6 +161,7 @@ PipelineResult RunPipeline(const model::EntityCollection& collection,
   blocking::BlockCollection blocks;
   {
     obs::Span span(registry, "blocking");
+    PhaseScope phase("blocking");
     blocks = config.blocker->Build(collection);
     size_t blocks_before_cleaning = blocks.NumBlocks();
     if (config.auto_purge) {
@@ -157,6 +187,7 @@ PipelineResult RunPipeline(const model::EntityCollection& collection,
   std::unique_ptr<progressive::PairScheduler> scheduler;
   {
     obs::Span span(registry, "scheduling");
+    PhaseScope phase("scheduling");
     if (config.meta_blocking.has_value()) {
       candidates = metablocking::MetaBlock(blocks,
                                            config.meta_blocking->first,
@@ -179,6 +210,9 @@ PipelineResult RunPipeline(const model::EntityCollection& collection,
       scheduler = std::make_unique<progressive::StaticListScheduler>(
           std::move(candidates));
     }
+    WEBER_CHECK(scheduler != nullptr)
+        << "make_scheduler returned null; the matching phase needs a "
+        << "schedule";
   }
   result.scheduling_seconds = timer.ElapsedSeconds();
   timer.Restart();
@@ -186,6 +220,7 @@ PipelineResult RunPipeline(const model::EntityCollection& collection,
   // ---- Matching + update phases under the budget. ----
   {
     obs::Span span(registry, "matching");
+    PhaseScope phase("matching");
     matching::ThresholdMatcher threshold_matcher(config.matcher,
                                                  config.match_threshold);
     // Intern the collection once and score over signatures; bit-equal to
@@ -194,6 +229,7 @@ PipelineResult RunPipeline(const model::EntityCollection& collection,
     std::unique_ptr<matching::PreparedMatcher> prepared;
     if (config.prepared_matching && matching::Preparable(*config.matcher)) {
       obs::Span prepare_span(registry, "prepare");
+      PhaseScope prepare_phase("prepare");
       util::Timer prepare_timer;
       signatures.emplace(matching::SignatureStore::Build(
           collection, matching::OptionsFor(*config.matcher)));
@@ -217,6 +253,7 @@ PipelineResult RunPipeline(const model::EntityCollection& collection,
   // ---- Clustering. ----
   {
     obs::Span span(registry, "clustering");
+    PhaseScope phase("clustering");
     matching::MatchGraph graph(collection.size());
     for (const model::IdPair& pair : result.matches) {
       graph.AddMatch(pair.low, pair.high);

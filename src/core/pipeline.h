@@ -154,6 +154,14 @@ PipelineResult RunPipeline(const model::EntityCollection& collection,
                            const model::GroundTruth& truth,
                            const PipelineConfig& config);
 
+/// Name of the Fig. 1 phase a pipeline run is currently executing
+/// ("ingest", "blocking", "scheduling", "prepare", "matching",
+/// "clustering"), or nullptr outside any run. Written by the driving
+/// thread only; intended for crash/check-failure context handlers (see
+/// util::SetCheckContextHandler), where a slightly stale answer from a
+/// worker thread is acceptable.
+const char* ActivePipelinePhase();
+
 }  // namespace weber::core
 
 #endif  // WEBER_CORE_PIPELINE_H_

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "text/tokenizer.h"
+#include "util/check.h"
 
 namespace weber::incremental {
 
@@ -36,6 +37,9 @@ void IncrementalTokenIndex::Absorb(model::EntityId id,
     }
     if (new_pairs != nullptr) {
       for (model::EntityId other : posting.entities) {
+        WEBER_DCHECK_NE(other, id)
+            << "entity absorbed twice without Remove; would emit a "
+            << "self-pair";
         if (paired.insert(other).second) {
           new_pairs->push_back(model::IdPair::Of(other, id));
         }

@@ -1,5 +1,7 @@
 #include "incremental/entity_store.h"
 
+#include "util/check.h"
+
 namespace weber::incremental {
 
 model::EntityId EntityStore::Append(model::EntityDescription description) {
@@ -11,6 +13,14 @@ model::EntityId EntityStore::Append(model::EntityDescription description) {
   alive_.push_back(1);
   versions_.push_back(0);
   ++live_;
+  // Ids are promised dense and stable for the store's lifetime: every
+  // delta index and union-find downstream keys on them positionally.
+  WEBER_CHECK_EQ(size_t{id} + 1, collection_.size())
+      << "EntityStore issued a non-dense id";
+  WEBER_DCHECK_EQ(alive_.size(), collection_.size())
+      << "alive bitmap diverged from the collection";
+  WEBER_DCHECK_EQ(versions_.size(), collection_.size())
+      << "version array diverged from the collection";
   return id;
 }
 
@@ -32,6 +42,7 @@ bool EntityStore::Update(model::EntityId id,
 bool EntityStore::Tombstone(model::EntityId id) {
   if (!alive(id)) return false;
   alive_[id] = 0;
+  WEBER_DCHECK_GE(live_, size_t{1}) << "live count underflow on tombstone";
   --live_;
   auto it = uri_index_.find(collection_.at(id).uri());
   if (it != uri_index_.end() && it->second == id) uri_index_.erase(it);
@@ -41,6 +52,8 @@ bool EntityStore::Tombstone(model::EntityId id) {
 StoreStats EntityStore::Stats() const {
   StoreStats stats;
   stats.total = collection_.size();
+  WEBER_DCHECK_LE(live_, collection_.size())
+      << "more live entities than the store ever appended";
   stats.live = live_;
   stats.tombstoned = collection_.size() - live_;
   stats.updates = updates_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/executor.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace weber::mapreduce {
@@ -117,6 +118,9 @@ class MapReduceJob {
                                               size_t end) {
           Emit emit = [&buffers, w, partitions](K key, V value) {
             size_t p = MixFingerprint(std::hash<K>{}(key)) % partitions;
+            WEBER_DCHECK_LT(p, buffers[w].size())
+                << "partition function routed a key outside the partition "
+                << "space";
             buffers[w][p].emplace_back(std::move(key), std::move(value));
           };
           for (size_t i = begin; i < end; ++i) {
@@ -147,6 +151,16 @@ class MapReduceJob {
             }
           });
       for (uint64_t c : per_partition_pairs) intermediate += c;
+    }
+    if (WEBER_DCHECK_IS_ON()) {
+      // Every mapped pair must reach exactly one reducer: a non-empty
+      // buffer here means the shuffle dropped work on the floor.
+      for (const auto& worker_buffers : buffers) {
+        for (const auto& bucket : worker_buffers) {
+          WEBER_DCHECK(bucket.empty())
+              << "shuffle left intermediate pairs behind";
+        }
+      }
     }
     double shuffle_seconds = timer.ElapsedSeconds();
     timer.Restart();

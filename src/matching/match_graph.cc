@@ -1,11 +1,16 @@
 #include "matching/match_graph.h"
 
+#include "util/check.h"
+
 namespace weber::matching {
 
 bool MatchGraph::AddMatch(model::EntityId a, model::EntityId b,
                           double score) {
   if (a == b) return false;
   model::IdPair pair = model::IdPair::Of(a, b);
+  WEBER_DCHECK_LT(pair.low, pair.high)
+      << "IdPair::Of stopped normalising; the match set would hold "
+      << "duplicate undirected edges";
   if (!members_.insert(pair).second) return false;
   matches_.push_back({pair.low, pair.high, score});
   return true;

@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "text/similarity.h"
 #include "text/tokenizer.h"
+#include "util/check.h"
 #include "util/intersect.h"
 
 namespace weber::matching {
@@ -550,6 +551,11 @@ SignatureStore SignatureStore::Build(const model::EntityCollection& collection,
       out.tokens.push_back(store.vocabulary_.find(token)->second);
     }
     std::sort(out.tokens.begin(), out.tokens.end());
+    // ValueTokens returns distinct strings and the vocabulary is a
+    // bijection, so the sorted ids must already form a set — the contract
+    // every intersection kernel downstream relies on.
+    WEBER_DCHECK_UNIQUE(out.tokens.begin(), out.tokens.end())
+        << "entity " << i << " interned a non-set token signature";
     if (model != nullptr) out.tfidf = model->Vectorize(description);
     out.attributes.resize(attributes.size());
     for (size_t k = 0; k < attributes.size(); ++k) {
@@ -635,6 +641,12 @@ void SignatureStore::Absorb(model::EntityId id,
 
 model::EntityId SignatureStore::AppendMerged(model::EntityId a,
                                              model::EntityId b) {
+  // Merging reads both constituents' arena spans; an absent entry would
+  // alias whatever bytes sit at offset 0 and silently corrupt the merge.
+  WEBER_CHECK(contains(a)) << "AppendMerged: constituent " << a
+                           << " has no signature";
+  WEBER_CHECK(contains(b)) << "AppendMerged: constituent " << b
+                           << " has no signature";
   Entry merged;
   // Reserve before taking the spans: set_union appends into the same
   // arena the spans view.
@@ -648,6 +660,9 @@ model::EntityId SignatureStore::AppendMerged(model::EntityId a,
                    std::back_inserter(tokens_));
     merged.token_count =
         static_cast<uint32_t>(tokens_.size()) - merged.token_offset;
+    WEBER_DCHECK_UNIQUE(tokens_.begin() + merged.token_offset, tokens_.end())
+        << "set_union of the constituents' sorted sets is not a set; "
+        << "constituent spans were not sorted unique";
   }
   // merged.has_tfidf stays false: TF-IDF weighs raw occurrence counts,
   // which the constituents' distinct-token signatures do not retain.

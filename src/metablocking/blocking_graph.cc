@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/executor.h"
+#include "util/check.h"
 
 namespace weber::metablocking {
 
@@ -62,6 +63,14 @@ BlockingGraph BlockingGraph::Build(const blocking::BlockCollection& blocks,
 
   std::vector<std::vector<uint32_t>> entity_blocks = blocks.EntityToBlocks();
   graph.num_nodes_ = entity_blocks.size();
+  if (WEBER_DCHECK_IS_ON()) {
+    // ScanCommonBlocks is a linear merge: it silently undercounts common
+    // blocks if any entity's block list is not ascending.
+    for (size_t i = 0; i < entity_blocks.size(); ++i) {
+      WEBER_DCHECK_SORTED(entity_blocks[i].begin(), entity_blocks[i].end())
+          << "entity " << i << " has an unsorted block list";
+    }
+  }
 
   std::vector<uint64_t> cardinality(blocks.NumBlocks());
   for (uint32_t b = 0; b < blocks.NumBlocks(); ++b) {
@@ -94,6 +103,10 @@ BlockingGraph BlockingGraph::Build(const blocking::BlockCollection& blocks,
   graph.edges_.resize(pairs.size());
   core::Executor::Shared().ParallelFor(pairs.size(), [&](size_t e) {
     const model::IdPair& pair = pairs[e];
+    WEBER_DCHECK_LT(pair.low, pair.high)
+        << "blocking graph edge is a self-loop or unnormalised pair";
+    WEBER_DCHECK_LT(pair.high, entity_blocks.size())
+        << "edge endpoint outside the node range";
     PairBlockStats stats = ScanCommonBlocks(
         entity_blocks[pair.low], entity_blocks[pair.high], cardinality);
     double weight = 0.0;
@@ -148,6 +161,8 @@ double BlockingGraph::MeanWeight() const {
 std::vector<std::vector<uint32_t>> BlockingGraph::NodeEdges() const {
   std::vector<std::vector<uint32_t>> index(num_nodes_);
   for (uint32_t e = 0; e < edges_.size(); ++e) {
+    WEBER_DCHECK_LT(edges_[e].b, index.size())
+        << "edge " << e << " names a node the graph does not have";
     index[edges_[e].a].push_back(e);
     index[edges_[e].b].push_back(e);
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace weber::model {
 
 void EntityDescription::AddPair(std::string attribute, std::string value) {
@@ -92,6 +94,8 @@ EntityId EntityCollection::Add(EntityDescription description) {
 uint64_t EntityCollection::TotalComparisons() const {
   uint64_t n = descriptions_.size();
   if (setting_ == ErSetting::kDirty) return n * (n - 1) / 2;
+  WEBER_DCHECK_LE(split_, descriptions_.size())
+      << "clean-clean split beyond the collection";
   uint64_t n1 = split_;
   uint64_t n2 = n - split_;
   return n1 * n2;

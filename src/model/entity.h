@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/check.h"
+
 namespace weber::model {
 
 /// Identifier of an entity description inside an EntityCollection. Ids are
@@ -131,9 +133,19 @@ class EntityCollection {
   /// Appends a description and returns its id.
   EntityId Add(EntityDescription description);
 
-  const EntityDescription& at(EntityId id) const { return descriptions_[id]; }
-  EntityDescription& at(EntityId id) { return descriptions_[id]; }
+  const EntityDescription& at(EntityId id) const {
+    WEBER_DCHECK_LT(size_t{id}, descriptions_.size())
+        << "entity id outside the collection";
+    return descriptions_[id];
+  }
+  EntityDescription& at(EntityId id) {
+    WEBER_DCHECK_LT(size_t{id}, descriptions_.size())
+        << "entity id outside the collection";
+    return descriptions_[id];
+  }
   const EntityDescription& operator[](EntityId id) const {
+    WEBER_DCHECK_LT(size_t{id}, descriptions_.size())
+        << "entity id outside the collection";
     return descriptions_[id];
   }
 

@@ -5,6 +5,7 @@
 
 #include "core/executor.h"
 #include "obs/metrics.h"
+#include "util/check.h"
 
 namespace weber::progressive {
 
@@ -52,6 +53,8 @@ ProgressiveRunResult RunProgressive(const model::EntityCollection& collection,
         ++skipped;  // Self-pair, incomparable, or already evaluated.
         continue;
       }
+      WEBER_DCHECK_LT(pair->low, pair->high)
+          << "scheduler emitted an unnormalised pair";
       batch.push_back(*pair);
     }
     if (batch.empty()) continue;
@@ -79,6 +82,11 @@ ProgressiveRunResult RunProgressive(const model::EntityCollection& collection,
       scheduler.OnResult(pair, matched);
     }
   }
+  WEBER_DCHECK_LE(result.comparisons, budget)
+      << "progressive run overspent its comparison budget";
+  WEBER_DCHECK_EQ(scheduled, skipped + result.comparisons)
+      << "progressive accounting leak: a scheduled pair was neither "
+      << "skipped nor scored";
 
   if (obs::MetricsRegistry* registry = obs::Current()) {
     registry->GetCounter("weber.progressive.scheduled_pairs").Add(scheduled);

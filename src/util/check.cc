@@ -1,0 +1,48 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace weber::util {
+
+namespace {
+
+std::atomic<CheckContextHandler> g_context_handler{nullptr};
+
+}  // namespace
+
+CheckContextHandler SetCheckContextHandler(CheckContextHandler handler) {
+  return g_context_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+namespace internal {
+
+CheckFailureStream::CheckFailureStream(const char* file, int line,
+                                       const char* expr,
+                                       const char* values) {
+  stream_ << "weber: " << file << ":" << line << ": " << expr << " failed";
+  if (values != nullptr) stream_ << ": " << values;
+  stream_ << ": ";
+}
+
+CheckFailureStream::~CheckFailureStream() {
+  std::string message = stream_.str();
+  if (CheckContextHandler handler =
+          g_context_handler.load(std::memory_order_acquire)) {
+    // The handler must not fail a check itself; swallow anything it throws
+    // so the original failure still reaches the log.
+    try {
+      message += " [context: " + handler() + "]";
+    } catch (...) {
+      message += " [context: <handler threw>]";
+    }
+  }
+  message += '\n';
+  std::fputs(message.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace weber::util

@@ -1,0 +1,210 @@
+#ifndef WEBER_UTIL_CHECK_H_
+#define WEBER_UTIL_CHECK_H_
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <sstream>
+#include <string>
+
+/// Contract macros for the invariants the pipeline's correctness rests on
+/// (sorted token-id arenas, ordered commits, stable entity ids, balanced
+/// task groups). Zero dependencies beyond the standard library.
+///
+///   WEBER_CHECK(cond)            always on; streams a message and aborts
+///   WEBER_CHECK_EQ/NE/LT/LE/GT/GE(a, b)
+///                                always on; prints both operand values
+///   WEBER_CHECK_SORTED(first, last)
+///                                range is non-decreasing
+///   WEBER_CHECK_UNIQUE(first, last)
+///                                range is strictly increasing (sorted and
+///                                duplicate-free)
+///   WEBER_DCHECK* twins         compiled out in plain Release builds;
+///                                active in Debug (NDEBUG unset) and in any
+///                                build configured with -DWEBER_HARDENED=ON
+///
+/// Every macro evaluates its arguments exactly once when active and not at
+/// all when compiled out (so conditions must be side-effect free). All of
+/// them accept trailing streamed context:
+///
+///   WEBER_CHECK_LT(id, store.size()) << "stale id from " << source;
+///
+/// On failure the process writes one line to stderr —
+///
+///   weber: <file>:<line>: WEBER_CHECK_EQ(a, b) failed: <a> vs <b>: <extra>
+///   [context: <handler output>]
+///
+/// — and aborts. The optional context handler (SetCheckContextHandler) lets
+/// binaries append run state (active pipeline phase, config) to that line,
+/// so field failures are diagnosable from a single log entry.
+
+namespace weber::util {
+
+/// Returns a one-line description of the current run state, appended to
+/// every check-failure message. Must be async-signal tolerant in the sense
+/// of not failing checks itself.
+using CheckContextHandler = std::string (*)();
+
+/// Installs `handler` (nullptr clears). Returns the previous handler.
+CheckContextHandler SetCheckContextHandler(CheckContextHandler handler);
+
+namespace internal {
+
+/// Failure sink: collects the prefix plus any streamed extras, then prints
+/// and aborts in the destructor (end of the failing full-expression).
+class CheckFailureStream {
+ public:
+  /// `values` is the pre-rendered operand text ("3 vs 5") or nullptr.
+  CheckFailureStream(const char* file, int line, const char* expr,
+                     const char* values);
+  ~CheckFailureStream();  // Prints to stderr and aborts; never returns.
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+template <typename T>
+void StreamValue(std::ostream& os, const T& value) {
+  if constexpr (requires(std::ostream& o, const T& v) { o << v; }) {
+    os << value;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+/// Compares with `cmp`; on failure renders "lhs vs rhs" for the message.
+/// Returns nullptr (no allocation) on the success path.
+template <typename A, typename B, typename Cmp>
+std::unique_ptr<std::string> CheckOp(const A& a, const B& b, Cmp cmp) {
+  if (cmp(a, b)) [[likely]] {
+    return nullptr;
+  }
+  std::ostringstream os;
+  StreamValue(os, a);
+  os << " vs ";
+  StreamValue(os, b);
+  return std::make_unique<std::string>(os.str());
+}
+
+template <typename It>
+std::unique_ptr<std::string> CheckSortedRange(It first, It last,
+                                              bool strict) {
+  if (first == last) return nullptr;
+  size_t index = 0;
+  for (It prev = first, it = std::next(first); it != last;
+       ++prev, ++it, ++index) {
+    bool ok = strict ? (*prev < *it) : !(*it < *prev);
+    if (!ok) {
+      std::ostringstream os;
+      os << (strict ? "not strictly increasing" : "not sorted")
+         << " at index " << index + 1 << ": ";
+      StreamValue(os, *prev);
+      os << (strict ? " !< " : " > ");
+      StreamValue(os, *it);
+      return std::make_unique<std::string>(os.str());
+    }
+  }
+  return nullptr;
+}
+
+/// Swallows streamed extras of a compiled-out WEBER_DCHECK*.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Type-checks (but never evaluates) the operands of a compiled-out
+/// contract; always false so the dead branch is eliminated.
+template <typename... T>
+constexpr bool AlwaysFalse(T&&...) {
+  return false;
+}
+
+}  // namespace internal
+}  // namespace weber::util
+
+// The `for` carrier makes each macro a single statement that supports a
+// trailing `<< extra` while evaluating the condition exactly once; the
+// body constructs the failure sink whose destructor aborts, so the loop
+// never iterates.
+#define WEBER_CHECK(cond)                                                   \
+  for (bool weber_check_ok_ = static_cast<bool>(cond); !weber_check_ok_;)   \
+  ::weber::util::internal::CheckFailureStream(                              \
+      __FILE__, __LINE__, "WEBER_CHECK(" #cond ")", nullptr)                \
+      .stream()
+
+#define WEBER_CHECK_OP_(opname, op, a, b)                                   \
+  for (auto weber_check_result_ = ::weber::util::internal::CheckOp(         \
+           (a), (b),                                                        \
+           [](const auto& weber_l_, const auto& weber_r_) {                 \
+             return weber_l_ op weber_r_;                                   \
+           });                                                              \
+       weber_check_result_ != nullptr;)                                     \
+  ::weber::util::internal::CheckFailureStream(                              \
+      __FILE__, __LINE__, "WEBER_CHECK_" opname "(" #a ", " #b ")",         \
+      weber_check_result_->c_str())                                         \
+      .stream()
+
+#define WEBER_CHECK_EQ(a, b) WEBER_CHECK_OP_("EQ", ==, a, b)
+#define WEBER_CHECK_NE(a, b) WEBER_CHECK_OP_("NE", !=, a, b)
+#define WEBER_CHECK_LT(a, b) WEBER_CHECK_OP_("LT", <, a, b)
+#define WEBER_CHECK_LE(a, b) WEBER_CHECK_OP_("LE", <=, a, b)
+#define WEBER_CHECK_GT(a, b) WEBER_CHECK_OP_("GT", >, a, b)
+#define WEBER_CHECK_GE(a, b) WEBER_CHECK_OP_("GE", >=, a, b)
+
+#define WEBER_CHECK_RANGE_(opname, strict, first, last)                     \
+  for (auto weber_check_result_ =                                           \
+           ::weber::util::internal::CheckSortedRange((first), (last),       \
+                                                     (strict));             \
+       weber_check_result_ != nullptr;)                                     \
+  ::weber::util::internal::CheckFailureStream(                              \
+      __FILE__, __LINE__,                                                   \
+      "WEBER_CHECK_" opname "(" #first ", " #last ")",                      \
+      weber_check_result_->c_str())                                         \
+      .stream()
+
+#define WEBER_CHECK_SORTED(first, last) \
+  WEBER_CHECK_RANGE_("SORTED", false, first, last)
+#define WEBER_CHECK_UNIQUE(first, last) \
+  WEBER_CHECK_RANGE_("UNIQUE", true, first, last)
+
+// WEBER_DCHECK* gate: on when asserts are (Debug) or when the build opted
+// into hardened mode; a plain Release/RelWithDebInfo build compiles them
+// out entirely (conditions are type-checked but never evaluated).
+#if !defined(NDEBUG) || defined(WEBER_HARDENED)
+#define WEBER_DCHECK_IS_ON() 1
+#define WEBER_DCHECK(cond) WEBER_CHECK(cond)
+#define WEBER_DCHECK_EQ(a, b) WEBER_CHECK_EQ(a, b)
+#define WEBER_DCHECK_NE(a, b) WEBER_CHECK_NE(a, b)
+#define WEBER_DCHECK_LT(a, b) WEBER_CHECK_LT(a, b)
+#define WEBER_DCHECK_LE(a, b) WEBER_CHECK_LE(a, b)
+#define WEBER_DCHECK_GT(a, b) WEBER_CHECK_GT(a, b)
+#define WEBER_DCHECK_GE(a, b) WEBER_CHECK_GE(a, b)
+#define WEBER_DCHECK_SORTED(first, last) WEBER_CHECK_SORTED(first, last)
+#define WEBER_DCHECK_UNIQUE(first, last) WEBER_CHECK_UNIQUE(first, last)
+#else
+#define WEBER_DCHECK_IS_ON() 0
+#define WEBER_DCHECK_DISABLED_(...)                                  \
+  while (false && ::weber::util::internal::AlwaysFalse(__VA_ARGS__)) \
+  ::weber::util::internal::NullStream()
+#define WEBER_DCHECK(cond) WEBER_DCHECK_DISABLED_(cond)
+#define WEBER_DCHECK_EQ(a, b) WEBER_DCHECK_DISABLED_((a) == (b))
+#define WEBER_DCHECK_NE(a, b) WEBER_DCHECK_DISABLED_((a) != (b))
+#define WEBER_DCHECK_LT(a, b) WEBER_DCHECK_DISABLED_((a) < (b))
+#define WEBER_DCHECK_LE(a, b) WEBER_DCHECK_DISABLED_((a) <= (b))
+#define WEBER_DCHECK_GT(a, b) WEBER_DCHECK_DISABLED_((a) > (b))
+#define WEBER_DCHECK_GE(a, b) WEBER_DCHECK_DISABLED_((a) >= (b))
+#define WEBER_DCHECK_SORTED(first, last) \
+  WEBER_DCHECK_DISABLED_((first), (last))
+#define WEBER_DCHECK_UNIQUE(first, last) \
+  WEBER_DCHECK_DISABLED_((first), (last))
+#endif
+
+#endif  // WEBER_UTIL_CHECK_H_

@@ -7,6 +7,8 @@
 #include <span>
 #include <utility>
 
+#include "util/check.h"
+
 namespace weber::util {
 
 /// Sorted-id intersection kernels shared by the simjoin verifiers and the
@@ -25,6 +27,7 @@ inline constexpr size_t kGallopRatio = 16;
 inline size_t GallopLowerBound(std::span<const uint32_t> data, size_t from,
                                uint32_t key) {
   size_t n = data.size();
+  WEBER_DCHECK_LE(from, n) << "gallop start beyond the sequence";
   if (from >= n || data[from] >= key) return from;
   // Invariant: data[lo] < key.
   size_t lo = from;
@@ -85,6 +88,8 @@ inline size_t MergeIntersectSize(std::span<const uint32_t> a,
 /// |a ∩ b|, adaptively choosing merge or galloping by the size skew.
 inline size_t SortedIntersectSize(std::span<const uint32_t> a,
                                   std::span<const uint32_t> b) {
+  WEBER_DCHECK_UNIQUE(a.begin(), a.end()) << "kernel input not a sorted set";
+  WEBER_DCHECK_UNIQUE(b.begin(), b.end()) << "kernel input not a sorted set";
   if (a.size() > b.size()) std::swap(a, b);
   if (a.empty()) return 0;
   if (a.size() * kGallopRatio < b.size()) return GallopIntersectSize(a, b);
@@ -98,6 +103,8 @@ inline size_t SortedIntersectSize(std::span<const uint32_t> a,
 inline bool SortedIntersectAtLeast(std::span<const uint32_t> a,
                                    std::span<const uint32_t> b,
                                    size_t required) {
+  WEBER_DCHECK_UNIQUE(a.begin(), a.end()) << "kernel input not a sorted set";
+  WEBER_DCHECK_UNIQUE(b.begin(), b.end()) << "kernel input not a sorted set";
   if (required == 0) return true;
   if (a.size() > b.size()) std::swap(a, b);
   if (a.size() < required) return false;  // Length filter.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/check.h"
+
 namespace weber::util {
 
 uint64_t Rng::Next() {
@@ -24,6 +26,7 @@ uint64_t Rng::NextBounded(uint64_t bound) {
 }
 
 int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  WEBER_DCHECK_LE(lo, hi) << "documented contract: lo <= hi";
   if (lo >= hi) return lo;
   uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
   return lo + static_cast<int64_t>(NextBounded(span));
@@ -44,6 +47,7 @@ size_t Rng::NextZipf(size_t n, double skew) {
   // Inverse-CDF sampling over the truncated harmonic distribution. The
   // normalisation constant is recomputed per call for simplicity; callers
   // that need throughput should cache a ZipfTable instead (see datagen).
+  WEBER_DCHECK_GT(n, size_t{0}) << "documented contract: n > 0";
   if (n <= 1) return 0;
   double norm = 0.0;
   for (size_t i = 0; i < n; ++i) norm += 1.0 / std::pow(i + 1.0, skew);
@@ -57,6 +61,7 @@ size_t Rng::NextZipf(size_t n, double skew) {
 }
 
 size_t Rng::NextGeometric(double p) {
+  WEBER_DCHECK_GT(p, 0.0) << "documented contract: p in (0, 1]";
   if (p >= 1.0) return 0;
   if (p <= 0.0) return 0;
   double u = NextDouble();

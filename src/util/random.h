@@ -22,8 +22,8 @@ class Rng {
   /// Returns the next raw 64-bit value.
   uint64_t Next();
 
-  /// Returns a uniformly distributed integer in [0, bound). Requires
-  /// bound > 0.
+  /// Returns a uniformly distributed integer in [0, bound); bound == 0
+  /// returns 0.
   uint64_t NextBounded(uint64_t bound);
 
   /// Returns a uniformly distributed integer in [lo, hi] inclusive.

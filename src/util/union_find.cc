@@ -3,6 +3,8 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "util/check.h"
+
 namespace weber::util {
 
 UnionFind::UnionFind(size_t n)
@@ -11,6 +13,7 @@ UnionFind::UnionFind(size_t n)
 }
 
 uint32_t UnionFind::Find(uint32_t x) {
+  WEBER_DCHECK_LT(x, parent_.size()) << "Find on an unissued element";
   while (parent_[x] != x) {
     parent_[x] = parent_[parent_[x]];  // Path halving.
     x = parent_[x];
@@ -22,9 +25,13 @@ bool UnionFind::Union(uint32_t a, uint32_t b) {
   uint32_t ra = Find(a);
   uint32_t rb = Find(b);
   if (ra == rb) return false;
+  // Union by size: the surviving root's size must absorb the other's so
+  // SizeOf stays exact and ranks stay balanced.
   if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  WEBER_DCHECK_GE(size_[ra], size_[rb]) << "union-by-size rank inverted";
   parent_[rb] = ra;
   size_[ra] += size_[rb];
+  WEBER_DCHECK_GE(num_sets_, size_t{1}) << "set count underflow";
   --num_sets_;
   return true;
 }
@@ -36,6 +43,8 @@ void UnionFind::Grow(size_t n) {
   size_.resize(n, 1);
   for (size_t i = old; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
   num_sets_ += n - old;
+  WEBER_DCHECK_EQ(parent_.size(), size_.size())
+      << "parallel arrays diverged in Grow";
 }
 
 std::vector<std::vector<uint32_t>> UnionFind::Groups(

@@ -1,0 +1,196 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace weber::util {
+namespace {
+
+// A hardened build's whole point is that contracts stay armed despite
+// NDEBUG; catch a broken gate at compile time.
+#if defined(WEBER_HARDENED)
+static_assert(WEBER_DCHECK_IS_ON() == 1,
+              "hardened builds must keep WEBER_DCHECK contracts active");
+#endif
+
+struct Unprintable {
+  int tag = 0;
+  friend bool operator==(const Unprintable&, const Unprintable&) {
+    return false;
+  }
+};
+
+std::string TestContext() { return "unit-test-context"; }
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  WEBER_CHECK(true);
+  WEBER_CHECK(1 + 1 == 2) << "never rendered";
+  WEBER_CHECK_EQ(4, 4);
+  WEBER_CHECK_NE(4, 5);
+  WEBER_CHECK_LT(4, 5);
+  WEBER_CHECK_LE(5, 5);
+  WEBER_CHECK_GT(5, 4);
+  WEBER_CHECK_GE(5, 5);
+  std::vector<int> sorted = {1, 2, 2, 3};
+  WEBER_CHECK_SORTED(sorted.begin(), sorted.end());
+  std::vector<int> unique = {1, 2, 3};
+  WEBER_CHECK_UNIQUE(unique.begin(), unique.end());
+  std::vector<int> empty;
+  WEBER_CHECK_SORTED(empty.begin(), empty.end());
+  WEBER_CHECK_UNIQUE(empty.begin(), empty.end());
+}
+
+TEST(CheckTest, IsASingleStatement) {
+  // The macros must nest under an unbraced if/else without changing which
+  // branch they bind to (the dangling-else trap); failure here is a
+  // compile error or an abort from the wrong branch being taken.
+  if (true)
+    WEBER_CHECK(true);
+  else
+    WEBER_CHECK(false);
+  if (false)
+    WEBER_CHECK(false) << "dead branch";
+  else
+    WEBER_CHECK(true) << "live branch";
+}
+
+TEST(CheckTest, EvaluatesOperandsExactlyOnce) {
+  int condition_calls = 0;
+  WEBER_CHECK([&] {
+    ++condition_calls;
+    return true;
+  }());
+  EXPECT_EQ(condition_calls, 1);
+
+  int lhs_calls = 0;
+  int rhs_calls = 0;
+  WEBER_CHECK_EQ(
+      [&] {
+        ++lhs_calls;
+        return 7;
+      }(),
+      [&] {
+        ++rhs_calls;
+        return 7;
+      }());
+  EXPECT_EQ(lhs_calls, 1);
+  EXPECT_EQ(rhs_calls, 1);
+}
+
+TEST(CheckTest, SetContextHandlerReturnsPrevious) {
+  CheckContextHandler before = SetCheckContextHandler(&TestContext);
+  EXPECT_EQ(SetCheckContextHandler(nullptr), &TestContext);
+  SetCheckContextHandler(before);
+}
+
+TEST(CheckDeathTest, MessageNamesFileLineAndExpression) {
+  int value = -3;
+  EXPECT_DEATH(WEBER_CHECK(value > 0),
+               "weber: .*check_test\\.cc:[0-9]+: "
+               "WEBER_CHECK\\(value > 0\\) failed");
+}
+
+TEST(CheckDeathTest, StreamsTrailingContext) {
+  EXPECT_DEATH(WEBER_CHECK(false) << "expected " << 42 << " widgets",
+               "WEBER_CHECK\\(false\\) failed: expected 42 widgets");
+}
+
+TEST(CheckDeathTest, EqPrintsBothOperands) {
+  int a = 3;
+  int b = 5;
+  EXPECT_DEATH(WEBER_CHECK_EQ(a, b),
+               "WEBER_CHECK_EQ\\(a, b\\) failed: 3 vs 5");
+}
+
+TEST(CheckDeathTest, NePrintsBothOperands) {
+  int a = 9;
+  EXPECT_DEATH(WEBER_CHECK_NE(a, 9), "WEBER_CHECK_NE\\(a, 9\\) failed: 9 vs 9");
+}
+
+TEST(CheckDeathTest, LtPrintsBothOperands) {
+  size_t id = 12;
+  size_t size = 12;
+  EXPECT_DEATH(WEBER_CHECK_LT(id, size),
+               "WEBER_CHECK_LT\\(id, size\\) failed: 12 vs 12");
+}
+
+TEST(CheckDeathTest, LePrintsBothOperands) {
+  EXPECT_DEATH(WEBER_CHECK_LE(6, 5), "WEBER_CHECK_LE\\(6, 5\\) failed: 6 vs 5");
+}
+
+TEST(CheckDeathTest, GtPrintsBothOperands) {
+  EXPECT_DEATH(WEBER_CHECK_GT(5, 5), "WEBER_CHECK_GT\\(5, 5\\) failed: 5 vs 5");
+}
+
+TEST(CheckDeathTest, GePrintsBothOperands) {
+  EXPECT_DEATH(WEBER_CHECK_GE(4, 5), "WEBER_CHECK_GE\\(4, 5\\) failed: 4 vs 5");
+}
+
+TEST(CheckDeathTest, OpStreamsTrailingContext) {
+  EXPECT_DEATH(WEBER_CHECK_EQ(1, 2) << "ids diverged",
+               "failed: 1 vs 2: ids diverged");
+}
+
+TEST(CheckDeathTest, UnprintableOperandsStillReport) {
+  Unprintable x;
+  Unprintable y;
+  EXPECT_DEATH(WEBER_CHECK_EQ(x, y),
+               "failed: <unprintable> vs <unprintable>");
+}
+
+TEST(CheckDeathTest, SortedReportsFirstInversion) {
+  std::vector<int> broken = {1, 5, 4, 9};
+  EXPECT_DEATH(WEBER_CHECK_SORTED(broken.begin(), broken.end()),
+               "failed: not sorted at index 2: 5 > 4");
+}
+
+TEST(CheckDeathTest, UniqueRejectsDuplicates) {
+  std::vector<int> dup = {1, 2, 2, 3};
+  EXPECT_DEATH(WEBER_CHECK_UNIQUE(dup.begin(), dup.end()),
+               "failed: not strictly increasing at index 2: 2 !< 2");
+}
+
+TEST(CheckDeathTest, AppendsInstalledContext) {
+  EXPECT_DEATH(
+      {
+        SetCheckContextHandler(&TestContext);
+        WEBER_CHECK(false) << "boom";
+      },
+      "WEBER_CHECK\\(false\\) failed: boom \\[context: unit-test-context\\]");
+}
+
+TEST(DCheckTest, GateMatchesBuildConfiguration) {
+  // Compiled-out DCHECKs must type-check but never evaluate operands.
+  int calls = 0;
+  auto count = [&calls] {
+    ++calls;
+    return 1;
+  };
+  WEBER_DCHECK_EQ(count(), 1);
+  EXPECT_EQ(calls, WEBER_DCHECK_IS_ON() ? 1 : 0);
+}
+
+TEST(DCheckTest, DisabledDCheckSwallowsStreamedContext) {
+  // Must compile (and do nothing when the gate is off) even with streamed
+  // extras and range forms.
+  std::vector<int> sorted = {1, 2, 3};
+  WEBER_DCHECK(true) << "never " << 1;
+  WEBER_DCHECK_SORTED(sorted.begin(), sorted.end()) << "sorted";
+  WEBER_DCHECK_UNIQUE(sorted.begin(), sorted.end()) << "unique";
+}
+
+TEST(DCheckDeathTest, FiresExactlyWhenGateIsOn) {
+  if (WEBER_DCHECK_IS_ON()) {
+    EXPECT_DEATH(WEBER_DCHECK(false) << "armed",
+                 "WEBER_CHECK\\(false\\) failed: armed");
+    EXPECT_DEATH(WEBER_DCHECK_LT(2, 1), "failed: 2 vs 1");
+  } else {
+    WEBER_DCHECK(false) << "compiled out";
+    WEBER_DCHECK_LT(2, 1);
+  }
+}
+
+}  // namespace
+}  // namespace weber::util
