@@ -92,6 +92,7 @@ size_t GallopLowerBoundPairs(std::span<const std::pair<uint32_t, double>> data,
   ++lo;
   while (lo < hi) {
     size_t mid = lo + (hi - lo) / 2;
+    WEBER_DCHECK_LT(mid, n) << "gallop window escaped the sequence";
     if (data[mid].first < key) {
       lo = mid + 1;
     } else {
@@ -494,6 +495,7 @@ SignatureStore SignatureStore::Build(const model::EntityCollection& collection,
   store.collection_ = &collection;
   store.provider_ =
       [&collection](model::EntityId id) -> const model::EntityDescription* {
+    // lint: allow(indexed-access) the ternary bounds-checks id itself
     return id < collection.size() ? &collection.descriptions()[id] : nullptr;
   };
   size_t n = collection.size();
@@ -687,6 +689,7 @@ model::EntityId SignatureStore::AppendMerged(model::EntityId a,
 
 void SignatureStore::Release(model::EntityId id) {
   if (!contains(id)) return;
+  // lint: allow(indexed-access) contains(id) above bounds-checks id
   Entry& entry = entries_[id];
   uint64_t bytes = uint64_t{entry.token_count} * sizeof(uint32_t);
   if (entry.has_tfidf) {
@@ -736,6 +739,7 @@ void SignatureStore::PublishMetrics(double build_seconds) const {
 
 SignatureStore::Entry& SignatureStore::EnsureSlot(model::EntityId id) {
   if (id >= entries_.size()) entries_.resize(size_t{id} + 1);
+  // lint: allow(indexed-access) resized above to cover id
   return entries_[id];
 }
 

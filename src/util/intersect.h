@@ -40,6 +40,7 @@ inline size_t GallopLowerBound(std::span<const uint32_t> data, size_t from,
   ++lo;
   while (lo < hi) {
     size_t mid = lo + (hi - lo) / 2;
+    WEBER_DCHECK_LT(mid, n) << "gallop window escaped the sequence";
     if (data[mid] < key) {
       lo = mid + 1;
     } else {
