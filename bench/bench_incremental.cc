@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "incremental/serving.h"
 #include "matching/matcher.h"
 #include "obs/metrics.h"
@@ -114,4 +115,4 @@ BENCHMARK(BM_ResolveLatency)
 }  // namespace
 }  // namespace weber
 
-BENCHMARK_MAIN();
+WEBER_BENCH_MAIN("bench_incremental");

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "core/executor.h"
 #include "matching/matcher.h"
@@ -159,4 +160,4 @@ BENCHMARK(BM_Matching_Prepared)
 }  // namespace
 }  // namespace weber
 
-BENCHMARK_MAIN();
+WEBER_BENCH_MAIN("bench_matching");

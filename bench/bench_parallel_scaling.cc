@@ -25,6 +25,7 @@
 
 #include <functional>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "blocking/block_purging.h"
 #include "blocking/token_blocking.h"
@@ -152,4 +153,4 @@ BENCHMARK(BM_ExecutorBatchedMatching)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 }  // namespace
 }  // namespace weber
 
-BENCHMARK_MAIN();
+WEBER_BENCH_MAIN("bench_parallel_scaling");

@@ -8,12 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "blocking/token_blocking.h"
 #include "core/pipeline.h"
 #include "eval/match_metrics.h"
 #include "matching/matcher.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "progressive/progressive_sn.h"
 
 namespace weber {
@@ -175,6 +177,40 @@ void BM_Pipeline_MetaBlockingThreaded(benchmark::State& state) {
 BENCHMARK(BM_Pipeline_MetaBlockingThreaded)->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// Full flight recorder attached: metrics registry + event log + a 10 ms
+// telemetry sampler, the heaviest observability configuration er_cli can
+// enable. Against BM_Pipeline_PlainBlockingWithMetrics this row bounds
+// the trace+sampler overhead (acceptance target: < 1%).
+void BM_Pipeline_FlightRecorder(benchmark::State& state) {
+  const datagen::Corpus& corpus = Corpus();
+  blocking::TokenBlocking blocker;
+  matching::TokenJaccardMatcher matcher;
+  obs::MetricsRegistry registry;
+  registry.events().Enable();
+  obs::TelemetrySampler::Options opts;
+  opts.registry = &registry;
+  opts.interval_ms = 10;
+  obs::TelemetrySampler sampler(opts);
+  sampler.Start();
+  core::PipelineConfig config;
+  config.blocker = &blocker;
+  config.matcher = &matcher;
+  config.match_threshold = 0.5;
+  config.metrics = &registry;
+  core::PipelineResult result;
+  for (auto _ : state) {
+    result = core::RunPipeline(corpus.collection, corpus.truth, config);
+  }
+  sampler.Stop();
+  ReportQuality(state, result, corpus.truth);
+  obs::RegistrySnapshot snap = registry.TakeSnapshot();
+  state.counters["trace_events"] = static_cast<double>(snap.events.size());
+  state.counters["telemetry_samples"] =
+      static_cast<double>(sampler.total_samples());
+}
+BENCHMARK(BM_Pipeline_FlightRecorder)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 // Budgeted progressive variant: the update phase (scheduler feedback)
 // participates, demonstrating the full Fig. 1 loop.
 void BM_Pipeline_ProgressiveBudgeted(benchmark::State& state) {
@@ -206,4 +242,4 @@ BENCHMARK(BM_Pipeline_ProgressiveBudgeted)->Unit(benchmark::kMillisecond)
 }  // namespace
 }  // namespace weber
 
-BENCHMARK_MAIN();
+WEBER_BENCH_MAIN("bench_pipeline");

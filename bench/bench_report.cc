@@ -1,0 +1,160 @@
+#include "bench/bench_report.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "core/executor.h"
+#include "obs/json_writer.h"
+
+namespace weber::bench {
+
+namespace {
+
+/// Forwards to the normal console output while collecting one BenchSample
+/// per real (non-aggregate, non-errored) benchmark row.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      BenchSample sample;
+      sample.name = run.benchmark_name();
+      sample.iterations = static_cast<uint64_t>(
+          std::max<int64_t>(run.iterations, 0));
+      double iters = run.iterations > 0
+                         ? static_cast<double>(run.iterations)
+                         : 1.0;
+      // Per-iteration milliseconds, independent of the row's display unit.
+      sample.real_time_ms = run.real_accumulated_time / iters * 1e3;
+      sample.cpu_time_ms = run.cpu_accumulated_time / iters * 1e3;
+      for (const auto& [name, counter] : run.counters) {
+        sample.counters[name] = counter.value;
+      }
+      samples_.push_back(std::move(sample));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<BenchSample>& samples() { return samples_; }
+
+ private:
+  std::vector<BenchSample> samples_;
+};
+
+}  // namespace
+
+void BenchReport::DeriveMetrics() {
+  metrics.clear();
+  for (const BenchSample& sample : samples) {
+    metrics[sample.name + ".real_time_ms"] = sample.real_time_ms;
+    for (const auto& [counter, value] : sample.counters) {
+      metrics[sample.name + "." + counter] = value;
+    }
+  }
+}
+
+void BenchReport::WriteJson(std::ostream& out) const {
+  out << "{\"schema\":\"weber-bench-report/1\",\"bench\":"
+      << obs::JsonQuote(bench) << ",\"config\":{";
+  bool first = true;
+  for (const auto& [key, value] : config) {
+    if (!first) out << ',';
+    first = false;
+    out << obs::JsonQuote(key) << ':' << obs::JsonQuote(value);
+  }
+  out << "},\"metrics\":{";
+  first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!first) out << ',';
+    first = false;
+    out << obs::JsonQuote(key) << ':' << obs::JsonNumber(value);
+  }
+  out << "},\"samples\":[";
+  first = true;
+  for (const BenchSample& sample : samples) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":" << obs::JsonQuote(sample.name)
+        << ",\"iterations\":" << sample.iterations
+        << ",\"real_time_ms\":" << obs::JsonNumber(sample.real_time_ms)
+        << ",\"cpu_time_ms\":" << obs::JsonNumber(sample.cpu_time_ms)
+        << ",\"counters\":{";
+    bool first_counter = true;
+    for (const auto& [name, value] : sample.counters) {
+      if (!first_counter) out << ',';
+      first_counter = false;
+      out << obs::JsonQuote(name) << ':' << obs::JsonNumber(value);
+    }
+    out << "}}";
+  }
+  out << "]}";
+}
+
+std::string BenchReport::ToJson() const {
+  std::ostringstream out;
+  WriteJson(out);
+  return out.str();
+}
+
+int ReportMain(int argc, char** argv, const std::string& bench_name) {
+  std::string json_path;
+  std::string echoed_args;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json="));
+      if (json_path.empty()) {
+        std::fprintf(stderr, "%s: --json needs a path\n",
+                     bench_name.c_str());
+        return 2;
+      }
+      continue;
+    }
+    args.push_back(argv[i]);
+    if (i > 0) {
+      if (!echoed_args.empty()) echoed_args += ' ';
+      echoed_args += std::string(arg);
+    }
+  }
+  args.push_back(nullptr);  // benchmark::Initialize expects argv[argc] == 0.
+  int filtered_argc = static_cast<int>(args.size()) - 1;
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (json_path.empty()) return 0;
+
+  BenchReport report;
+  report.bench = bench_name;
+  report.config["argv"] = echoed_args;
+  report.config["workers"] =
+      std::to_string(core::Executor::Shared().num_workers());
+  report.samples = std::move(reporter.samples());
+  report.DeriveMetrics();
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot write %s\n", bench_name.c_str(),
+                 json_path.c_str());
+    return 1;
+  }
+  report.WriteJson(out);
+  out << '\n';
+  std::fprintf(stderr, "%s: wrote %zu samples to %s\n", bench_name.c_str(),
+               report.samples.size(), json_path.c_str());
+  return 0;
+}
+
+}  // namespace weber::bench

@@ -1,0 +1,73 @@
+#ifndef WEBER_BENCH_BENCH_REPORT_H_
+#define WEBER_BENCH_BENCH_REPORT_H_
+
+// Machine-readable bench harness. Every bench that defines its main via
+// WEBER_BENCH_MAIN keeps the normal google-benchmark console output and
+// flag surface, and additionally accepts
+//
+//   --json=PATH
+//
+// writing a stable-schema report consumed by tools/bench/run_benchmarks.py
+// (which merges the per-bench files into one BENCH_report.json — the
+// repo's machine-checkable perf trajectory):
+//
+//   {"schema": "weber-bench-report/1",
+//    "bench": "<binary name>",
+//    "config": {"argv": "...", "workers": "N", ...},
+//    "metrics": {"<row>.real_time_ms": .., "<row>.<counter>": .., ...},
+//    "samples": [{"name": "<row>", "iterations": N, "real_time_ms": ..,
+//                 "cpu_time_ms": .., "counters": {..}}, ...]}
+//
+// `samples` carries one entry per benchmark row (aggregates and errored
+// rows are excluded); `metrics` is the same data flattened to one
+// key->number map so trajectory diffs are a dictionary comparison.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace weber::bench {
+
+/// One benchmark row: times are per-iteration milliseconds.
+struct BenchSample {
+  std::string name;
+  uint64_t iterations = 0;
+  double real_time_ms = 0.0;
+  double cpu_time_ms = 0.0;
+  std::map<std::string, double> counters;
+};
+
+/// The per-binary report the --json flag writes.
+struct BenchReport {
+  std::string bench;
+  std::map<std::string, std::string> config;
+  std::map<std::string, double> metrics;
+  std::vector<BenchSample> samples;
+
+  /// Rebuilds `metrics` by flattening every sample into
+  /// "<name>.real_time_ms" / "<name>.<counter>" entries.
+  void DeriveMetrics();
+
+  void WriteJson(std::ostream& out) const;
+  std::string ToJson() const;
+};
+
+/// Drop-in replacement for benchmark::RunSpecifiedBenchmarks-based mains:
+/// strips --json=PATH from argv, runs the registered benchmarks with the
+/// usual console reporter, and (when --json was given) writes the report.
+/// Returns a process exit code.
+int ReportMain(int argc, char** argv, const std::string& bench_name);
+
+}  // namespace weber::bench
+
+/// Replaces BENCHMARK_MAIN() in benches that emit machine-readable
+/// reports. `bench_name` is the string recorded in the report's `bench`
+/// field (by convention, the binary name).
+#define WEBER_BENCH_MAIN(bench_name)                                 \
+  int main(int argc, char** argv) {                                  \
+    return ::weber::bench::ReportMain(argc, argv, bench_name);       \
+  }
+
+#endif  // WEBER_BENCH_BENCH_REPORT_H_

@@ -4,13 +4,21 @@
 //   er_cli INPUT.nt [--threshold T] [--blocker token|qgrams|sn|pis]
 //          [--meta WEIGHT PRUNING] [--truth TRUTH_FILE] [--budget N]
 //          [--threads N] [--stream[=BATCH]] [--out LINKS_FILE]
-//          [--metrics-json METRICS_FILE] [--verbose]
+//          [--metrics-json METRICS_FILE] [--trace-json TRACE_FILE]
+//          [--telemetry-jsonl FILE[,INTERVAL_MS]] [--verbose]
 //
 // Reads entity descriptions from INPUT.nt, resolves them, and writes the
 // discovered links as owl:sameAs N-Triples to stdout (or --out). With
 // --truth (lines of "<uri1> <uri2>") it also prints quality metrics.
 // --metrics-json writes the full observability snapshot (per-phase spans,
 // counters, histograms) as JSON; --verbose dumps it as text to stderr.
+// --trace-json arms the flight recorder and writes a Chrome trace-event
+// file (open it in ui.perfetto.dev): phase spans on the main track plus
+// per-worker task-run and steal events from the executor.
+// --telemetry-jsonl samples the metrics registry and process stats (RSS,
+// CPU, page faults) every INTERVAL_MS ms (default 100) and writes one
+// JSON object per sample — the time-series twin of --metrics-json.
+// All three observability flags compose with each other and --stream.
 // --threads N pins the parallelism of the run (results are bit-identical
 // for any N; default: the shared executor's worker count).
 // --stream replays the input through the incremental resolver in ingest
@@ -29,6 +37,7 @@
 #include <string>
 
 #include "blocking/block_purging.h"
+#include "core/executor.h"
 #include "blocking/prefix_infix_suffix.h"
 #include "blocking/qgrams_blocking.h"
 #include "blocking/sorted_neighborhood.h"
@@ -41,6 +50,7 @@
 #include "model/io.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "util/check.h"
 
 namespace {
@@ -92,7 +102,8 @@ constexpr const char kUsage[] =
     "usage: er_cli [INPUT.nt] [--threshold T] [--blocker "
     "token|qgrams|sn|pis] [--meta WEIGHT PRUNING] [--truth FILE] "
     "[--budget N] [--threads N] [--stream[=BATCH]] [--out FILE] "
-    "[--metrics-json FILE] [--verbose]";
+    "[--metrics-json FILE] [--trace-json FILE] "
+    "[--telemetry-jsonl FILE[,INTERVAL_MS]] [--verbose]";
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "er_cli: %s\n", message.c_str());
@@ -134,6 +145,27 @@ bool ParseDouble(const std::string& value, double* out) {
   return true;
 }
 
+/// Splits a "PATH[,INTERVAL_MS]" telemetry spec. The interval, when
+/// present, must be a positive integer number of milliseconds (capped at
+/// one hour); anything else is a usage error.
+bool ParseTelemetrySpec(const std::string& value, std::string* path,
+                        int* interval_ms) {
+  std::string spec = value;
+  size_t comma = spec.rfind(',');
+  if (comma != std::string::npos) {
+    uint64_t parsed = 0;
+    if (!ParseUnsigned(spec.substr(comma + 1), &parsed) || parsed == 0 ||
+        parsed > 3600000) {
+      return false;
+    }
+    *interval_ms = static_cast<int>(parsed);
+    spec.resize(comma);
+  }
+  if (spec.empty()) return false;
+  *path = spec;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,6 +173,9 @@ int main(int argc, char** argv) {
   std::string truth_path;
   std::string out_path;
   std::string metrics_path;
+  std::string trace_path;
+  std::string telemetry_path;
+  int telemetry_interval_ms = 100;
   std::string blocker_name = "token";
   bool verbose = false;
   double threshold = 0.5;
@@ -204,6 +239,26 @@ int main(int argc, char** argv) {
       metrics_path = *v;
     } else if (arg.rfind("--metrics-json=", 0) == 0) {
       metrics_path = arg.substr(std::strlen("--metrics-json="));
+    } else if (arg == "--trace-json") {
+      auto v = next("--trace-json");
+      if (!v) return 2;
+      trace_path = *v;
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace-json="));
+      if (trace_path.empty()) return UsageFail("bad --trace-json value");
+    } else if (arg == "--telemetry-jsonl") {
+      auto v = next("--telemetry-jsonl");
+      if (!v) return 2;
+      if (!ParseTelemetrySpec(*v, &telemetry_path, &telemetry_interval_ms)) {
+        return UsageFail("bad --telemetry-jsonl " + *v +
+                         " (want PATH[,INTERVAL_MS])");
+      }
+    } else if (arg.rfind("--telemetry-jsonl=", 0) == 0) {
+      std::string v = arg.substr(std::strlen("--telemetry-jsonl="));
+      if (!ParseTelemetrySpec(v, &telemetry_path, &telemetry_interval_ms)) {
+        return UsageFail("bad --telemetry-jsonl " + v +
+                         " (want PATH[,INTERVAL_MS])");
+      }
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--meta") {
@@ -292,8 +347,28 @@ int main(int argc, char** argv) {
     summary << " entities=" << collection.size();
     g_run_summary = summary.str();
   }
+  // Flight recorder: arm the registry's event log so executor workers
+  // report task-run/steal events alongside the main thread's phase spans.
+  if (!trace_path.empty()) {
+    registry.events().Enable();
+    registry.events().NameThread("main");
+  }
+  // Telemetry sampler: runs for the whole resolve, republishing executor
+  // stats each tick so queue-depth/utilization gauges form a time series.
+  std::unique_ptr<obs::TelemetrySampler> sampler;
+  if (!telemetry_path.empty()) {
+    obs::TelemetrySampler::Options sampler_options;
+    sampler_options.interval_ms = telemetry_interval_ms;
+    sampler_options.registry = &registry;
+    sampler_options.tick_hook = [] {
+      core::Executor::Shared().PublishMetrics();
+    };
+    sampler = std::make_unique<obs::TelemetrySampler>(sampler_options);
+    sampler->Start();
+  }
   util::SetCheckContextHandler(&CheckFailureContext);
   core::PipelineResult result = core::RunPipeline(collection, truth, config);
+  if (sampler != nullptr) sampler->Stop();
 
   std::fprintf(stderr,
                "er_cli: %zu descriptions, %llu candidates, %llu "
@@ -356,6 +431,28 @@ int main(int argc, char** argv) {
     metrics_out << '\n';
     std::fprintf(stderr, "er_cli: wrote metrics to %s\n",
                  metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream trace_out(trace_path);
+    if (!trace_out) return Fail("cannot write " + trace_path);
+    obs::RegistrySnapshot snapshot = registry.TakeSnapshot();
+    obs::TraceEventExporter().Export(snapshot, trace_out);
+    trace_out << '\n';
+    std::fprintf(stderr,
+                 "er_cli: wrote trace to %s (%zu events, %zu tracks; open "
+                 "in ui.perfetto.dev)\n",
+                 trace_path.c_str(), snapshot.events.size(),
+                 snapshot.thread_names.size());
+  }
+  if (sampler != nullptr) {
+    std::ofstream telemetry_out(telemetry_path);
+    if (!telemetry_out) return Fail("cannot write " + telemetry_path);
+    sampler->ExportJsonl(telemetry_out);
+    std::fprintf(stderr,
+                 "er_cli: wrote telemetry to %s (%llu samples at %dms)\n",
+                 telemetry_path.c_str(),
+                 static_cast<unsigned long long>(sampler->total_samples()),
+                 telemetry_interval_ms);
   }
   return 0;
 }

@@ -16,6 +16,31 @@ namespace {
 thread_local Executor* tl_executor = nullptr;
 thread_local int tl_worker = -1;
 
+// The ambient registry's flight recorder when armed, else nullptr. One
+// relaxed atomic load + one branch on the cold (disabled) path.
+obs::EventLog* ActiveEventLog() {
+  obs::MetricsRegistry* registry = obs::Current();
+  if (registry == nullptr) return nullptr;
+  obs::EventLog& log = registry->events();
+  return log.enabled() ? &log : nullptr;
+}
+
+// Last event log this thread named its track in, so the (idempotent)
+// NameThread call runs once per thread per recorder, not once per task.
+thread_local const obs::EventLog* tl_named_log = nullptr;
+
+// Set by a successful StealFrom, consumed by the RunTask that follows on
+// the same thread: the steal event is recorded there, stamped with the
+// task's begin time, so stealing itself takes no clock read and no
+// flight-recorder lock while holding a victim queue's mutex.
+thread_local bool tl_stole_last = false;
+
+void NameTrackOnce(obs::EventLog* log, int self) {
+  if (tl_named_log == log) return;
+  log->NameThread(self >= 0 ? "worker " + std::to_string(self) : "helper");
+  tl_named_log = log;
+}
+
 // Innermost ScopedParallelism override; 0 = unset.
 thread_local size_t tl_parallelism = 0;
 
@@ -193,17 +218,30 @@ bool Executor::StealFrom(int self, Task* task) {
     queue.tasks.pop_front();
     pending_.fetch_sub(1, std::memory_order_relaxed);
     steals_.fetch_add(1, std::memory_order_relaxed);
+    tl_stole_last = true;
     return true;
   }
   return false;
 }
 
 void Executor::RunTask(int self, Task& task) {
+  obs::EventLog* log = ActiveEventLog();
+  bool stolen = tl_stole_last;
+  tl_stole_last = false;
+  double trace_begin = log != nullptr ? obs::TraceClockNow() : 0.0;
   double cpu_start = util::ThreadCpuSeconds();
   try {
     task.fn();
   } catch (...) {
     task.group->SetError(std::current_exception());
+  }
+  if (log != nullptr) {
+    NameTrackOnce(log, self);
+    if (stolen) {
+      log->RecordComplete("steal", trace_begin, trace_begin, "executor");
+    }
+    log->RecordComplete("task", trace_begin, obs::TraceClockNow(),
+                        "executor");
   }
   double busy = util::ThreadCpuSeconds() - cpu_start;
   if (self >= 0) {
@@ -319,6 +357,7 @@ ExecutorStats Executor::Snapshot() const {
   stats.tasks_run = tasks_run_.load(std::memory_order_relaxed);
   stats.steals = steals_.load(std::memory_order_relaxed);
   stats.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  stats.queue_depth = pending_.load(std::memory_order_relaxed);
   stats.worker_busy_seconds.reserve(worker_busy_.size());
   for (const auto& busy : worker_busy_) {
     stats.worker_busy_seconds.push_back(
@@ -348,6 +387,12 @@ void Executor::PublishMetrics() {
       .Set(static_cast<double>(now.workers));
   registry->GetGauge("weber.executor.max_queue_depth")
       .Set(static_cast<double>(now.max_queue_depth));
+  registry->GetGauge("weber.executor.queue_depth")
+      .Set(static_cast<double>(now.queue_depth));
+  registry->GetGauge("weber.executor.helper_busy_seconds")
+      .Set(now.helper_busy_seconds);
+  registry->GetGauge("weber.executor.uptime_seconds")
+      .Set(now.uptime_seconds);
   double wall = now.uptime_seconds - prev.uptime_seconds;
   if (wall > 0.0 && now.workers > 0) {
     double busy = now.helper_busy_seconds - prev.helper_busy_seconds;

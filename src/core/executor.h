@@ -25,6 +25,9 @@ struct ExecutorStats {
   uint64_t steals = 0;
   /// High-water mark of tasks queued and not yet started.
   uint64_t max_queue_depth = 0;
+  /// Tasks queued and not yet started at snapshot time (the instantaneous
+  /// backlog the telemetry sampler turns into a queue-depth curve).
+  uint64_t queue_depth = 0;
   /// Per-worker CPU seconds spent inside tasks (index == worker).
   std::vector<double> worker_busy_seconds;
   /// CPU seconds spent inside tasks by non-pool threads helping in Wait().

@@ -1,58 +1,21 @@
 #include "obs/export.h"
 
-#include <cmath>
-#include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <string>
+
+#include "obs/json_writer.h"
 
 namespace weber::obs {
 
 namespace {
 
-// Shortest round-trippable representation; non-finite values (never
-// produced by healthy instrumentation) degrade to null to keep the
-// document parseable.
-std::string JsonNumber(double value) {
-  if (!std::isfinite(value)) return "null";
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
-
-std::string JsonString(const std::string& text) {
-  std::string out = "\"";
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
 void WriteSpanJson(const SpanSnapshot& span, std::ostream& out) {
-  out << "{\"name\":" << JsonString(span.name)
+  out << "{\"name\":" << JsonQuote(span.name)
       << ",\"wall_seconds\":" << JsonNumber(span.wall_seconds)
-      << ",\"cpu_seconds\":" << JsonNumber(span.cpu_seconds);
+      << ",\"cpu_seconds\":" << JsonNumber(span.cpu_seconds)
+      << ",\"tid\":" << span.tid
+      << ",\"begin_seconds\":" << JsonNumber(span.begin_seconds);
   if (span.open) out << ",\"open\":true";
   out << ",\"children\":[";
   for (size_t i = 0; i < span.children.size(); ++i) {
@@ -70,6 +33,38 @@ void WriteSpanText(const SpanSnapshot& span, int depth, std::ostream& out) {
   out << "\n";
   for (const SpanSnapshot& child : span.children) {
     WriteSpanText(child, depth + 1, out);
+  }
+}
+
+// One Chrome trace-event object. Durations are clamped at zero so clock
+// jitter can never emit the negative dur Perfetto rejects. `count > 1`
+// (a coalesced micro-event run, see EventLog) is surfaced as args.count.
+void WriteTraceEvent(const std::string& name, const std::string& category,
+                     uint32_t tid, double begin_seconds, double end_seconds,
+                     uint64_t count, std::ostream& out) {
+  double dur_us = (end_seconds - begin_seconds) * 1e6;
+  if (dur_us > 0.0) {
+    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+        << ",\"ts\":" << JsonNumber(begin_seconds * 1e6)
+        << ",\"dur\":" << JsonNumber(dur_us);
+  } else {
+    out << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << tid
+        << ",\"ts\":" << JsonNumber(begin_seconds * 1e6) << ",\"s\":\"t\"";
+  }
+  out << ",\"name\":" << JsonQuote(name)
+      << ",\"cat\":" << JsonQuote(category);
+  if (count > 1) out << ",\"args\":{\"count\":" << count << '}';
+  out << '}';
+}
+
+void WriteSpanTraceEvents(const SpanSnapshot& span, bool* first,
+                          std::ostream& out) {
+  if (!*first) out << ',';
+  *first = false;
+  WriteTraceEvent(span.name, "phase", span.tid, span.begin_seconds,
+                  span.end_seconds, /*count=*/1, out);
+  for (const SpanSnapshot& child : span.children) {
+    WriteSpanTraceEvents(child, first, out);
   }
 }
 
@@ -100,9 +95,18 @@ void TextExporter::Export(const RegistrySnapshot& snapshot,
     for (const auto& [name, h] : snapshot.histograms) {
       out << name << ": count=" << h.count << " mean=" << h.Mean()
           << " p50=" << h.Quantile(0.50) << " p95=" << h.Quantile(0.95)
-          << " p99=" << h.Quantile(0.99) << " min=" << h.min
-          << " max=" << h.max << "\n";
+          << " p99=" << h.Quantile(0.99) << " p999=" << h.Quantile(0.999)
+          << " min=" << h.min << " max=" << h.max << "\n";
     }
+  }
+  if (!snapshot.events.empty()) {
+    out << "== trace events ==\n";
+    out << snapshot.events.size() << " events on "
+        << snapshot.thread_names.size() << " named tracks";
+    if (snapshot.dropped_events > 0) {
+      out << " (" << snapshot.dropped_events << " dropped)";
+    }
+    out << "\n";
   }
 }
 
@@ -118,28 +122,29 @@ void JsonExporter::Export(const RegistrySnapshot& snapshot,
   for (const auto& [name, value] : snapshot.counters) {
     if (!first) out << ',';
     first = false;
-    out << JsonString(name) << ':' << value;
+    out << JsonQuote(name) << ':' << value;
   }
   out << "},\"gauges\":{";
   first = true;
   for (const auto& [name, value] : snapshot.gauges) {
     if (!first) out << ',';
     first = false;
-    out << JsonString(name) << ':' << JsonNumber(value);
+    out << JsonQuote(name) << ':' << JsonNumber(value);
   }
   out << "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : snapshot.histograms) {
     if (!first) out << ',';
     first = false;
-    out << JsonString(name) << ":{\"count\":" << h.count
+    out << JsonQuote(name) << ":{\"count\":" << h.count
         << ",\"sum\":" << JsonNumber(h.sum)
         << ",\"min\":" << JsonNumber(h.min)
         << ",\"max\":" << JsonNumber(h.max)
         << ",\"mean\":" << JsonNumber(h.Mean())
         << ",\"p50\":" << JsonNumber(h.Quantile(0.50))
         << ",\"p95\":" << JsonNumber(h.Quantile(0.95))
-        << ",\"p99\":" << JsonNumber(h.Quantile(0.99)) << '}';
+        << ",\"p99\":" << JsonNumber(h.Quantile(0.99))
+        << ",\"p999\":" << JsonNumber(h.Quantile(0.999)) << '}';
   }
   out << "},\"trace\":[";
   for (size_t i = 0; i < snapshot.trace.size(); ++i) {
@@ -154,7 +159,57 @@ void JsonExporter::Export(const MetricsRegistry& registry,
   Export(registry.TakeSnapshot(), out);
 }
 
+std::string JsonExporter::ToString(const RegistrySnapshot& snapshot) const {
+  std::ostringstream out;
+  Export(snapshot, out);
+  return out.str();
+}
+
 std::string JsonExporter::ToString(const MetricsRegistry& registry) const {
+  std::ostringstream out;
+  Export(registry, out);
+  return out.str();
+}
+
+void TraceEventExporter::Export(const RegistrySnapshot& snapshot,
+                                std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : snapshot.thread_names) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":" << JsonQuote(name)
+        << "}}";
+  }
+  for (const SpanSnapshot& root : snapshot.trace) {
+    WriteSpanTraceEvents(root, &first, out);
+  }
+  for (const TraceEvent& event : snapshot.events) {
+    if (!first) out << ',';
+    first = false;
+    WriteTraceEvent(event.name, event.category, event.tid,
+                    event.begin_seconds, event.end_seconds, event.count,
+                    out);
+  }
+  out << "],\"otherData\":{\"dropped_events\":" << snapshot.dropped_events
+      << "}}";
+}
+
+void TraceEventExporter::Export(const MetricsRegistry& registry,
+                                std::ostream& out) const {
+  Export(registry.TakeSnapshot(), out);
+}
+
+std::string TraceEventExporter::ToString(
+    const RegistrySnapshot& snapshot) const {
+  std::ostringstream out;
+  Export(snapshot, out);
+  return out.str();
+}
+
+std::string TraceEventExporter::ToString(
+    const MetricsRegistry& registry) const {
   std::ostringstream out;
   Export(registry, out);
   return out.str();

@@ -19,13 +19,29 @@ class TextExporter {
 
 /// JSON serialization of a registry snapshot with stable key names:
 ///   {"counters": {...}, "gauges": {...},
-///    "histograms": {name: {count,sum,min,max,mean,p50,p95,p99}},
+///    "histograms": {name: {count,sum,min,max,mean,p50,p95,p99,p999}},
 ///    "trace": [{name,wall_seconds,cpu_seconds,children:[...]}]}
 /// The shape is flat enough to drop into a BENCH_*.json trajectory point.
 class JsonExporter {
  public:
   void Export(const RegistrySnapshot& snapshot, std::ostream& out) const;
   void Export(const MetricsRegistry& registry, std::ostream& out) const;
+  std::string ToString(const RegistrySnapshot& snapshot) const;
+  std::string ToString(const MetricsRegistry& registry) const;
+};
+
+/// Chrome trace-event ("Perfetto") serialization of a registry snapshot:
+/// a {"traceEvents": [...]} document loadable by ui.perfetto.dev or
+/// chrome://tracing. The span tree becomes complete ('X') events on the
+/// opening thread's track; flight-recorder events (executor task runs and
+/// steals, see EventLog) become 'X' events — instants degrade to 'i' —
+/// on their own per-thread tracks; thread names are emitted as 'M'
+/// metadata records. Timestamps are trace-clock microseconds.
+class TraceEventExporter {
+ public:
+  void Export(const RegistrySnapshot& snapshot, std::ostream& out) const;
+  void Export(const MetricsRegistry& registry, std::ostream& out) const;
+  std::string ToString(const RegistrySnapshot& snapshot) const;
   std::string ToString(const MetricsRegistry& registry) const;
 };
 

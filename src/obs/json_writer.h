@@ -1,0 +1,58 @@
+#ifndef WEBER_OBS_JSON_WRITER_H_
+#define WEBER_OBS_JSON_WRITER_H_
+
+// Tiny JSON formatting helpers shared by the observability exporters
+// (export.cc, sampler.cc) and the bench report emitter. Writing only —
+// parsing lives in the tests' JsonChecker.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace weber::obs {
+
+/// Shortest round-trippable representation; non-finite values (never
+/// produced by healthy instrumentation) degrade to null to keep the
+/// document parseable.
+inline std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Quotes and escapes `text` as a JSON string literal.
+inline std::string JsonQuote(std::string_view text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace weber::obs
+
+#endif  // WEBER_OBS_JSON_WRITER_H_

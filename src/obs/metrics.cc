@@ -68,9 +68,16 @@ void Gauge::Add(double delta) { AtomicDoubleAdd(value_, delta); }
 const std::vector<double>& Histogram::DefaultBounds() {
   static const std::vector<double>& bounds = *new std::vector<double>([] {
     std::vector<double> b;
-    // 1e-9 .. 1e9 at ratio 10^0.05: 361 bounds, ~12% max quantile error.
-    for (int k = 0; k <= 360; ++k) {
+    // Two-resolution geometric grid. Below 1e-3 (sub-millisecond values,
+    // where only p50-ish mass lives) ratio 10^0.05 keeps the table small;
+    // from 1e-3 up — the serving-latency tail where p999 claims are made —
+    // the ratio tightens to 10^0.025 so worst-case quantile error drops
+    // from ~12% to ~6% (interpolation typically halves that again).
+    for (int k = 0; k < 120; ++k) {
       b.push_back(std::pow(10.0, -9.0 + 0.05 * k));
+    }
+    for (int k = 0; k <= 480; ++k) {
+      b.push_back(std::pow(10.0, -3.0 + 0.025 * k));
     }
     return b;
   }());
@@ -171,7 +178,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
   return *it->second;
 }
 
-RegistrySnapshot MetricsRegistry::TakeSnapshot() const {
+RegistrySnapshot MetricsRegistry::TakeSnapshot(bool include_events) const {
   RegistrySnapshot snap;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -186,6 +193,12 @@ RegistrySnapshot MetricsRegistry::TakeSnapshot() const {
     }
   }
   snap.trace = trace_.Snapshot();
+  if (include_events && events_.enabled()) {
+    EventLog::LogSnapshot events = events_.Snapshot();
+    snap.events = std::move(events.events);
+    snap.thread_names = std::move(events.thread_names);
+    snap.dropped_events = events.dropped;
+  }
   return snap;
 }
 

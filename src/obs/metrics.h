@@ -59,7 +59,8 @@ struct HistogramSnapshot {
   /// Streaming quantile estimate (q in [0,1]) by linear interpolation
   /// inside the bucket holding the q-th value, clamped to [min, max].
   /// Accuracy is bounded by the bucket width (default bounds: ~12%
-  /// relative error worst case).
+  /// relative error worst case below 1e-3, ~6% in the >= 1e-3 tail where
+  /// latency p999 claims are read off).
   double Quantile(double q) const;
 };
 
@@ -68,8 +69,10 @@ struct HistogramSnapshot {
 /// concurrent use.
 class Histogram {
  public:
-  /// Geometric bounds covering 1e-9..1e9 with ratio 10^0.05 (~1.122):
-  /// fine enough for p50/p95/p99 of both durations (seconds) and sizes.
+  /// Geometric bounds covering 1e-9..1e9: ratio 10^0.05 (~1.122) below
+  /// 1e-3 and a finer 10^0.025 (~1.059) tail above it, so duration
+  /// histograms resolve p999 of millisecond-and-up latencies to ~6%
+  /// worst-case instead of ~12%.
   static const std::vector<double>& DefaultBounds();
 
   explicit Histogram(std::vector<double> bounds);
@@ -91,6 +94,10 @@ struct RegistrySnapshot {
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
   std::vector<SpanSnapshot> trace;
+  /// Flat flight-recorder events (empty unless the EventLog was enabled).
+  std::vector<TraceEvent> events;
+  std::map<uint32_t, std::string> thread_names;
+  uint64_t dropped_events = 0;
 };
 
 /// Thread-safe registry of named counters, gauges, histograms and a phase
@@ -112,7 +119,15 @@ class MetricsRegistry {
   Trace& trace() { return trace_; }
   const Trace& trace() const { return trace_; }
 
-  RegistrySnapshot TakeSnapshot() const;
+  /// The registry's flight recorder. Disabled by default; er_cli's
+  /// --trace-json (or any embedder) arms it with events().Enable().
+  EventLog& events() { return events_; }
+  const EventLog& events() const { return events_; }
+
+  /// `include_events = false` skips copying the flight-recorder buffer —
+  /// the TelemetrySampler uses it so periodic sampling stays O(metrics)
+  /// instead of O(recorded events).
+  RegistrySnapshot TakeSnapshot(bool include_events = true) const;
 
  private:
   mutable std::mutex mu_;
@@ -120,6 +135,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   Trace trace_;
+  EventLog events_;
 };
 
 /// The ambient registry instrumentation sites report to, or nullptr when

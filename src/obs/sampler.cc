@@ -1,0 +1,181 @@
+#include "obs/sampler.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+#include "obs/json_writer.h"
+#include "util/check.h"
+
+namespace weber::obs {
+
+ProcessStats ReadProcessStats() {
+  ProcessStats stats;
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    stats.user_cpu_seconds =
+        static_cast<double>(usage.ru_utime.tv_sec) +
+        static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+    stats.system_cpu_seconds =
+        static_cast<double>(usage.ru_stime.tv_sec) +
+        static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+    stats.minor_faults = static_cast<uint64_t>(usage.ru_minflt);
+    stats.major_faults = static_cast<uint64_t>(usage.ru_majflt);
+    // Fallback RSS: getrusage reports the peak in kilobytes.
+    stats.rss_bytes = static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+  }
+  // Current (not peak) RSS: /proc/self/statm field 2, in pages.
+  if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+    unsigned long long size_pages = 0;
+    unsigned long long rss_pages = 0;
+    if (std::fscanf(statm, "%llu %llu", &size_pages, &rss_pages) == 2) {
+      long page = sysconf(_SC_PAGESIZE);
+      if (page > 0) {
+        stats.rss_bytes = static_cast<uint64_t>(rss_pages) *
+                          static_cast<uint64_t>(page);
+      }
+    }
+    std::fclose(statm);
+  }
+  return stats;
+}
+
+TelemetrySampler::TelemetrySampler(Options options)
+    : options_(std::move(options)) {
+  WEBER_CHECK(options_.registry != nullptr)
+      << "TelemetrySampler needs a registry";
+  WEBER_CHECK_GE(options_.interval_ms, 1) << "sample interval must be >= 1ms";
+  WEBER_CHECK_GE(options_.capacity, size_t{2})
+      << "ring must hold at least the first and final sample";
+  ring_.reserve(options_.capacity);
+}
+
+TelemetrySampler::~TelemetrySampler() { Stop(); }
+
+void TelemetrySampler::SampleOnce() {
+  if (options_.tick_hook) options_.tick_hook();
+  TelemetrySample sample;
+  sample.t_seconds = TraceClockNow();
+  sample.process = ReadProcessStats();
+  // The sampler leaves a heartbeat in the registry it samples, so the
+  // exported series always carries at least one weber.* counter curve.
+  options_.registry->GetCounter("weber.obs.telemetry_samples").Increment();
+  RegistrySnapshot snapshot =
+      options_.registry->TakeSnapshot(/*include_events=*/false);
+  sample.counters = std::move(snapshot.counters);
+  sample.gauges = std::move(snapshot.gauges);
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    HistogramPoint point;
+    point.count = histogram.count;
+    point.p50 = histogram.Quantile(0.50);
+    point.p99 = histogram.Quantile(0.99);
+    point.p999 = histogram.Quantile(0.999);
+    sample.histograms.emplace(name, point);
+  }
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(std::move(sample));
+  } else {
+    ring_[next_slot_] = std::move(sample);
+    next_slot_ = (next_slot_ + 1) % options_.capacity;
+  }
+  total_samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TelemetrySampler::Start() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  SampleOnce();
+  // Not a parallelism escape hatch: the sampler is a mostly-sleeping
+  // observer and must keep ticking while executor workers are saturated.
+  // lint: allow(threads)
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void TelemetrySampler::Loop() {
+  std::chrono::milliseconds interval(options_.interval_ms);
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_requested_) {
+    if (stop_cv_.wait_for(lock, interval, [&] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+}
+
+void TelemetrySampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  SampleOnce();  // Final sample: the end-of-run state always lands.
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  running_ = false;
+}
+
+std::vector<TelemetrySample> TelemetrySampler::Samples() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  std::vector<TelemetrySample> out;
+  out.reserve(ring_.size());
+  // next_slot_ is the oldest entry once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    size_t idx = ring_.size() < options_.capacity
+                     ? i
+                     : (next_slot_ + i) % options_.capacity;
+    out.push_back(ring_[idx]);
+  }
+  return out;
+}
+
+void TelemetrySampler::ExportJsonl(std::ostream& out) const {
+  for (const TelemetrySample& sample : Samples()) {
+    out << "{\"t\":" << JsonNumber(sample.t_seconds)
+        << ",\"rss_bytes\":" << sample.process.rss_bytes
+        << ",\"user_cpu_seconds\":"
+        << JsonNumber(sample.process.user_cpu_seconds)
+        << ",\"system_cpu_seconds\":"
+        << JsonNumber(sample.process.system_cpu_seconds)
+        << ",\"minor_faults\":" << sample.process.minor_faults
+        << ",\"major_faults\":" << sample.process.major_faults
+        << ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : sample.counters) {
+      if (!first) out << ',';
+      first = false;
+      out << JsonQuote(name) << ':' << value;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : sample.gauges) {
+      if (!first) out << ',';
+      first = false;
+      out << JsonQuote(name) << ':' << JsonNumber(value);
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, point] : sample.histograms) {
+      if (!first) out << ',';
+      first = false;
+      out << JsonQuote(name) << ":{\"count\":" << point.count
+          << ",\"p50\":" << JsonNumber(point.p50)
+          << ",\"p99\":" << JsonNumber(point.p99)
+          << ",\"p999\":" << JsonNumber(point.p999) << '}';
+    }
+    out << "}}\n";
+  }
+}
+
+}  // namespace weber::obs

@@ -1,0 +1,123 @@
+#ifndef WEBER_OBS_SAMPLER_H_
+#define WEBER_OBS_SAMPLER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace weber::obs {
+
+/// Point-in-time process resource usage, read from getrusage(2) and
+/// /proc/self/statm. On systems without /proc the RSS falls back to the
+/// getrusage peak; fields that cannot be read stay zero.
+struct ProcessStats {
+  uint64_t rss_bytes = 0;
+  double user_cpu_seconds = 0.0;
+  double system_cpu_seconds = 0.0;
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
+};
+
+ProcessStats ReadProcessStats();
+
+/// Compressed histogram view carried per telemetry sample: enough to plot
+/// latency curves (count + tail quantiles) without shipping every bucket.
+struct HistogramPoint {
+  uint64_t count = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+/// One tick of the telemetry sampler: everything the registry and the
+/// process knew at that instant, stamped on the shared trace clock.
+struct TelemetrySample {
+  double t_seconds = 0.0;
+  ProcessStats process;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramPoint> histograms;
+};
+
+/// Background thread that snapshots a MetricsRegistry plus process stats
+/// every interval into a bounded ring buffer, turning the point-in-time
+/// `--metrics-json` snapshot into time series: queue-depth, ingest-rate,
+/// RSS and arena-byte curves over a run. Start() records an immediate
+/// first sample and Stop() a final one, so even a run shorter than one
+/// interval yields a two-point series. The ring keeps the newest
+/// `capacity` samples; total_samples() keeps counting past the wrap.
+class TelemetrySampler {
+ public:
+  struct Options {
+    /// Milliseconds between samples. Must be >= 1.
+    int interval_ms = 100;
+    /// Ring-buffer capacity in samples.
+    size_t capacity = 4096;
+    /// The registry to snapshot. Must outlive the sampler.
+    MetricsRegistry* registry = nullptr;
+    /// Optional hook run before every sample, e.g. to re-publish executor
+    /// stats so queue-depth gauges are fresh each tick.
+    std::function<void()> tick_hook;
+  };
+
+  explicit TelemetrySampler(Options options);
+  /// Stops the sampling thread if still running.
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Takes one sample now and launches the periodic thread. Idempotent.
+  void Start();
+
+  /// Joins the sampling thread and records one final sample. Idempotent;
+  /// safe to call concurrently with a running sampler from one thread.
+  void Stop();
+
+  /// Takes a single sample synchronously on the calling thread.
+  void SampleOnce();
+
+  /// The retained samples, oldest first.
+  std::vector<TelemetrySample> Samples() const;
+
+  /// Samples taken over the sampler's lifetime, including overwritten ones.
+  uint64_t total_samples() const {
+    return total_samples_.load(std::memory_order_relaxed);
+  }
+
+  /// Writes the retained samples as JSON Lines, one object per sample:
+  ///   {"t":..,"rss_bytes":..,"user_cpu_seconds":..,"system_cpu_seconds":..,
+  ///    "minor_faults":..,"major_faults":..,"counters":{..},"gauges":{..},
+  ///    "histograms":{name:{"count":..,"p50":..,"p99":..,"p999":..}}}
+  void ExportJsonl(std::ostream& out) const;
+
+ private:
+  void Loop();
+
+  Options options_;
+
+  mutable std::mutex ring_mu_;
+  std::vector<TelemetrySample> ring_;  // Size options_.capacity once full.
+  size_t next_slot_ = 0;
+  std::atomic<uint64_t> total_samples_{0};
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;  // Guarded by stop_mu_.
+  bool running_ = false;
+  // lint: allow(threads) — dedicated observer thread, see Start().
+  std::thread thread_;
+};
+
+}  // namespace weber::obs
+
+#endif  // WEBER_OBS_SAMPLER_H_

@@ -1,5 +1,8 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "obs/metrics.h"
 
 namespace weber::obs {
@@ -11,6 +14,9 @@ SpanSnapshot CopyNode(const Trace::Node& node) {
   snap.name = node.name;
   snap.wall_seconds = node.wall_seconds;
   snap.cpu_seconds = node.cpu_seconds;
+  snap.tid = node.tid;
+  snap.begin_seconds = node.begin_seconds;
+  snap.end_seconds = node.end_seconds;
   snap.open = node.open;
   snap.children.reserve(node.children.size());
   for (const auto& child : node.children) {
@@ -21,10 +27,131 @@ SpanSnapshot CopyNode(const Trace::Node& node) {
 
 }  // namespace
 
+double TraceClockNow() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+uint32_t TraceThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// ---------------------------------------------------------------- EventLog
+
+void EventLog::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(names_mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    capacity_ = std::max<size_t>(capacity, 1);
+    size_t per_shard = capacity_ / kShards + 1;
+    for (Shard& shard : shards_) {
+      shard.events.reserve(std::min<size_t>(per_shard, 1024));
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void EventLog::RecordComplete(std::string_view name, double begin_seconds,
+                              double end_seconds,
+                              std::string_view category) {
+  if (!enabled()) return;
+  uint32_t tid = TraceThreadId();
+  Shard& shard = shards_[tid % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (MergeSlot& slot : shard.merge_slots) {
+    if (slot.name_key != name.data() || slot.tid != tid) continue;
+    TraceEvent& prev = shard.events[slot.index];
+    if (prev.name == name && prev.category == category &&
+        begin_seconds >= prev.end_seconds &&
+        begin_seconds - prev.end_seconds <= kMergeGapSeconds &&
+        end_seconds - prev.begin_seconds <= kMaxMergedSpanSeconds) {
+      prev.end_seconds = end_seconds;
+      ++prev.count;
+      return;
+    }
+    // Same track+name but too far apart (or too long merged): start a
+    // fresh event and repoint the slot at it below.
+    if (size_.load(std::memory_order_relaxed) >= capacity_) {
+      ++shard.dropped;
+      return;
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+    slot.index = shard.events.size();
+    TraceEvent& event = shard.events.emplace_back();
+    event.name = std::string(name);
+    event.category = std::string(category);
+    event.tid = tid;
+    event.begin_seconds = begin_seconds;
+    event.end_seconds = end_seconds;
+    return;
+  }
+  if (size_.load(std::memory_order_relaxed) >= capacity_) {
+    ++shard.dropped;
+    return;
+  }
+  size_.fetch_add(1, std::memory_order_relaxed);
+  MergeSlot slot;
+  slot.name_key = name.data();
+  slot.tid = tid;
+  slot.index = shard.events.size();
+  shard.merge_slots.push_back(slot);
+  TraceEvent& event = shard.events.emplace_back();
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.tid = tid;
+  event.begin_seconds = begin_seconds;
+  event.end_seconds = end_seconds;
+}
+
+void EventLog::RecordInstant(std::string_view name,
+                             std::string_view category) {
+  double now = TraceClockNow();
+  RecordComplete(name, now, now, category);
+}
+
+void EventLog::NameThread(std::string_view name) {
+  uint32_t tid = TraceThreadId();
+  std::lock_guard<std::mutex> lock(names_mu_);
+  thread_names_.emplace(tid, std::string(name));
+}
+
+EventLog::LogSnapshot EventLog::Snapshot() const {
+  LogSnapshot snap;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    snap.events.insert(snap.events.end(), shard.events.begin(),
+                       shard.events.end());
+    snap.dropped += shard.dropped;
+  }
+  std::sort(snap.events.begin(), snap.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.begin_seconds != b.begin_seconds
+                         ? a.begin_seconds < b.begin_seconds
+                         : a.tid < b.tid;
+            });
+  {
+    std::lock_guard<std::mutex> lock(names_mu_);
+    snap.thread_names = thread_names_;
+  }
+  return snap;
+}
+
+// ------------------------------------------------------------------- Trace
+
 Trace::Node* Trace::OpenSpan(std::string_view name) {
+  double begin = TraceClockNow();
+  uint32_t tid = TraceThreadId();
   std::lock_guard<std::mutex> lock(mu_);
   auto node = std::make_unique<Node>();
   node->name = std::string(name);
+  node->tid = tid;
+  node->begin_seconds = begin;
+  node->end_seconds = begin;
   node->parent = current_;
   Node* raw = node.get();
   if (current_ != nullptr) {
@@ -40,6 +167,7 @@ void Trace::CloseSpan(Node* node, double wall_seconds, double cpu_seconds) {
   std::lock_guard<std::mutex> lock(mu_);
   node->wall_seconds = wall_seconds;
   node->cpu_seconds = cpu_seconds;
+  node->end_seconds = node->begin_seconds + wall_seconds;
   node->open = false;
   if (current_ == node) {
     current_ = node->parent;

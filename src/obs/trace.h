@@ -1,6 +1,9 @@
 #ifndef WEBER_OBS_TRACE_H_
 #define WEBER_OBS_TRACE_H_
 
+#include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -13,34 +16,152 @@ namespace weber::obs {
 
 class MetricsRegistry;
 
+/// Seconds elapsed on the process-wide monotonic trace clock. The epoch is
+/// the first call in the process, so every span, flight-recorder event and
+/// telemetry sample shares one time axis (the `ts` axis of the exported
+/// Perfetto trace).
+double TraceClockNow();
+
+/// Small dense process-unique id for the calling thread: the trace track
+/// it reports on. Ids are assigned in first-use order starting at 0.
+uint32_t TraceThreadId();
+
 /// One node of a captured trace tree: a named phase with its wall-clock
-/// duration and the CPU time the opening thread spent inside it.
+/// duration and the CPU time the opening thread spent inside it, stamped
+/// with the opening thread's track id and trace-clock begin/end times.
 struct SpanSnapshot {
   std::string name;
   double wall_seconds = 0.0;
   double cpu_seconds = 0.0;
+  /// Track id of the thread that opened the span.
+  uint32_t tid = 0;
+  /// Trace-clock timestamps; end_seconds == begin_seconds while open.
+  double begin_seconds = 0.0;
+  double end_seconds = 0.0;
   /// True when the span had not been closed at snapshot time.
   bool open = false;
   std::vector<SpanSnapshot> children;
 };
 
+/// One flat flight-recorder event: a named interval on a thread track.
+/// Instant events carry end_seconds == begin_seconds. `count > 1` means
+/// the interval stands for that many adjacent same-named occurrences the
+/// log coalesced (exported as Perfetto `args.count`).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint32_t tid = 0;
+  uint64_t count = 1;
+  double begin_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+/// Bounded in-memory log of flat trace events from *any* thread — the
+/// flight recorder behind `--trace-json`. Disabled (the default) it costs
+/// one relaxed atomic load per would-be event; enabled, records go to a
+/// tid-affine shard so concurrent workers do not contend on one mutex.
+///
+/// Micro-events are coalesced: a record whose track already holds a
+/// same-named event ending within kMergeGapSeconds extends that event and
+/// bumps its `count` instead of appending, as long as the merged interval
+/// stays under kMaxMergedSpanSeconds. A work-stealing executor running
+/// microsecond tasks therefore produces hundreds of readable slices, not
+/// hundreds of thousands of unrenderable ones — and recording stays cheap
+/// enough to leave on during benchmarks.
+///
+/// When the capacity is reached further events are dropped and counted,
+/// so a runaway run degrades to a truncated trace instead of unbounded
+/// memory.
+class EventLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 20;
+  static constexpr size_t kShards = 16;
+  /// A new event merges into its track's previous same-named event when
+  /// the gap between them is at most this. Sized to bridge the pauses
+  /// between executor task-group bursts, which are far shorter than any
+  /// humanly visible timeline feature.
+  static constexpr double kMergeGapSeconds = 100e-6;
+  /// Cap on a merged event's total extent: bounds how much timeline
+  /// resolution coalescing can cost.
+  static constexpr double kMaxMergedSpanSeconds = 1e-3;
+
+  struct LogSnapshot {
+    /// All shards' events, sorted by (begin, tid).
+    std::vector<TraceEvent> events;
+    /// First-wins display names per track (worker 0, main, ...).
+    std::map<uint32_t, std::string> thread_names;
+    uint64_t dropped = 0;
+  };
+
+  /// Arms the log. Idempotent; capacity applies from the first call.
+  void Enable(size_t capacity = kDefaultCapacity);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records a completed interval on the calling thread's track (subject
+  /// to coalescing, above). No-op while disabled.
+  void RecordComplete(std::string_view name, double begin_seconds,
+                      double end_seconds,
+                      std::string_view category = "event");
+
+  /// Records a zero-duration marker on the calling thread's track.
+  void RecordInstant(std::string_view name,
+                     std::string_view category = "event");
+
+  /// Names the calling thread's track. First name wins, so an outer
+  /// orchestrator ("main") is not renamed by later helper activity.
+  void NameThread(std::string_view name);
+
+  LogSnapshot Snapshot() const;
+
+ private:
+  /// Remembers where a (track, name) pair's latest event lives so the
+  /// next record can try to merge into it. Keyed by the string_view's
+  /// data pointer (instrumentation passes static literals); a content
+  /// check happens before any merge, so a false miss only costs an
+  /// append.
+  struct MergeSlot {
+    const void* name_key = nullptr;
+    uint32_t tid = 0;
+    size_t index = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+    std::vector<MergeSlot> merge_slots;
+    uint64_t dropped = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<size_t> size_{0};
+  size_t capacity_ = kDefaultCapacity;
+  Shard shards_[kShards];
+  mutable std::mutex names_mu_;
+  std::map<uint32_t, std::string> thread_names_;
+};
+
 /// A hierarchical phase trace: spans nest into the tree in the order they
 /// are opened (phase -> sub-phase -> per-batch events). Spans must be
 /// opened and closed in LIFO order from the orchestration thread — worker
-/// threads report through counters/histograms instead, keeping the tree
-/// linear and cheap.
+/// threads report through counters/histograms and the EventLog instead,
+/// keeping the tree linear and cheap.
 class Trace {
  public:
   struct Node {
     std::string name;
     double wall_seconds = 0.0;
     double cpu_seconds = 0.0;
+    uint32_t tid = 0;
+    double begin_seconds = 0.0;
+    double end_seconds = 0.0;
     bool open = true;
     Node* parent = nullptr;
     std::vector<std::unique_ptr<Node>> children;
   };
 
-  /// Opens a span under the currently open one (or as a new root). The
+  /// Opens a span under the currently open one (or as a new root),
+  /// stamping the opening thread's track id and trace-clock time. The
   /// returned node stays valid for the lifetime of the trace.
   Node* OpenSpan(std::string_view name);
 

@@ -1,0 +1,101 @@
+// BenchReport schema tests: the JSON document behind every bench's
+// --json flag and tools/bench/run_benchmarks.py. The schema is a
+// machine-read contract, so key names are pinned here.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_report.h"
+#include "tests/test_json.h"
+
+namespace weber::bench {
+namespace {
+
+using ::weber::testing::JsonChecker;
+
+BenchReport SampleReport() {
+  BenchReport report;
+  report.bench = "bench_demo";
+  report.config["argv"] = "--benchmark_filter=BM_Fast";
+  report.config["workers"] = "4";
+  BenchSample fast;
+  fast.name = "BM_Fast/64";
+  fast.iterations = 1000;
+  fast.real_time_ms = 0.25;
+  fast.cpu_time_ms = 0.20;
+  fast.counters["pairs"] = 4096.0;
+  report.samples.push_back(fast);
+  BenchSample slow;
+  slow.name = "BM_Slow";
+  slow.iterations = 2;
+  slow.real_time_ms = 830.0;
+  slow.cpu_time_ms = 810.5;
+  report.samples.push_back(slow);
+  report.DeriveMetrics();
+  return report;
+}
+
+TEST(BenchReportTest, DeriveMetricsFlattensSamples) {
+  BenchReport report = SampleReport();
+  EXPECT_DOUBLE_EQ(report.metrics.at("BM_Fast/64.real_time_ms"), 0.25);
+  EXPECT_DOUBLE_EQ(report.metrics.at("BM_Fast/64.pairs"), 4096.0);
+  EXPECT_DOUBLE_EQ(report.metrics.at("BM_Slow.real_time_ms"), 830.0);
+  EXPECT_EQ(report.metrics.size(), 3u);
+  // Re-deriving is idempotent.
+  report.DeriveMetrics();
+  EXPECT_EQ(report.metrics.size(), 3u);
+}
+
+TEST(BenchReportTest, JsonRoundTripsWithStableSchema) {
+  std::string json = SampleReport().ToJson();
+  JsonChecker checker;
+  ASSERT_TRUE(checker.Parse(json)) << json;
+  for (const char* key :
+       {"schema", "bench", "config", "metrics", "samples", "name",
+        "iterations", "real_time_ms", "cpu_time_ms", "counters", "argv",
+        "workers", "pairs"}) {
+    EXPECT_TRUE(checker.HasKey(key)) << key;
+  }
+  EXPECT_NE(json.find("\"schema\":\"weber-bench-report/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"bench_demo\""), std::string::npos);
+}
+
+TEST(BenchReportTest, EmptyReportStillParses) {
+  BenchReport report;
+  report.bench = "bench_empty";
+  std::string json = report.ToJson();
+  JsonChecker checker;
+  ASSERT_TRUE(checker.Parse(json)) << json;
+  EXPECT_TRUE(checker.HasKey("samples"));
+  EXPECT_NE(json.find("\"samples\":[]"), std::string::npos);
+}
+
+TEST(BenchReportTest, QuotesAwkwardNamesAndNonFiniteValues) {
+  BenchReport report;
+  report.bench = "bench \"quoted\"\\slash";
+  BenchSample sample;
+  sample.name = "BM_Weird\nname";
+  sample.real_time_ms = 1.0;
+  sample.counters["nan_counter"] = std::nan("");
+  report.samples.push_back(sample);
+  report.DeriveMetrics();
+  std::string json = report.ToJson();
+  JsonChecker checker;
+  ASSERT_TRUE(checker.Parse(json)) << json;
+  // Non-finite numbers must degrade to null, not invalid JSON.
+  EXPECT_NE(json.find("null"), std::string::npos);
+}
+
+TEST(BenchReportTest, WriteJsonMatchesToJson) {
+  BenchReport report = SampleReport();
+  std::ostringstream out;
+  report.WriteJson(out);
+  EXPECT_EQ(out.str(), report.ToJson());
+}
+
+}  // namespace
+}  // namespace weber::bench

@@ -1,0 +1,194 @@
+// TelemetrySampler tests: process stats plumbing, sampling semantics
+// (first/final samples, ring wrap, counter series), JSONL export schema,
+// and thread-safety of sampling concurrent with metric writes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "tests/test_json.h"
+
+namespace weber::obs {
+namespace {
+
+using ::weber::testing::JsonChecker;
+
+TEST(ProcessStatsTest, ReportsLiveProcessNumbers) {
+  ProcessStats stats = ReadProcessStats();
+  EXPECT_GT(stats.rss_bytes, 0u);
+  EXPECT_GE(stats.user_cpu_seconds, 0.0);
+  EXPECT_GE(stats.system_cpu_seconds, 0.0);
+  // Burn a little CPU; user time must not decrease.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i * 0.5;
+  ProcessStats later = ReadProcessStats();
+  EXPECT_GE(later.user_cpu_seconds, stats.user_cpu_seconds);
+  EXPECT_GE(later.minor_faults, stats.minor_faults);
+}
+
+TEST(TelemetrySamplerTest, SampleOnceCapturesRegistryAndProcess) {
+  MetricsRegistry registry;
+  registry.GetCounter("weber.test.widgets").Add(7);
+  registry.GetGauge("weber.test.level").Set(3.5);
+  registry.GetHistogram("weber.test.lat").Record(0.25);
+  TelemetrySampler::Options options;
+  options.registry = &registry;
+  TelemetrySampler sampler(options);
+  sampler.SampleOnce();
+  std::vector<TelemetrySample> samples = sampler.Samples();
+  ASSERT_EQ(samples.size(), 1u);
+  const TelemetrySample& s = samples[0];
+  EXPECT_GT(s.process.rss_bytes, 0u);
+  EXPECT_EQ(s.counters.at("weber.test.widgets"), 7.0);
+  EXPECT_DOUBLE_EQ(s.gauges.at("weber.test.level"), 3.5);
+  ASSERT_EQ(s.histograms.count("weber.test.lat"), 1u);
+  EXPECT_EQ(s.histograms.at("weber.test.lat").count, 1u);
+  // The sampler counts its own samples as a weber.* counter series.
+  EXPECT_EQ(s.counters.at("weber.obs.telemetry_samples"), 1.0);
+}
+
+TEST(TelemetrySamplerTest, StartStopYieldsAtLeastTwoSamples) {
+  MetricsRegistry registry;
+  TelemetrySampler::Options options;
+  options.registry = &registry;
+  options.interval_ms = 200;  // Longer than the run: only edge samples.
+  TelemetrySampler sampler(options);
+  sampler.Start();
+  sampler.Stop();
+  // One immediate sample at Start, one final sample at Stop — any run,
+  // however short, produces a non-degenerate series.
+  EXPECT_GE(sampler.total_samples(), 2u);
+  EXPECT_GE(sampler.Samples().size(), 2u);
+}
+
+TEST(TelemetrySamplerTest, PeriodicSamplesAccumulate) {
+  MetricsRegistry registry;
+  TelemetrySampler::Options options;
+  options.registry = &registry;
+  options.interval_ms = 5;
+  TelemetrySampler sampler(options);
+  sampler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  sampler.Stop();
+  std::vector<TelemetrySample> samples = sampler.Samples();
+  EXPECT_GE(samples.size(), 3u);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t_seconds, samples[i - 1].t_seconds);
+  }
+}
+
+TEST(TelemetrySamplerTest, RingWrapKeepsNewestSamples) {
+  MetricsRegistry registry;
+  Counter& ticks = registry.GetCounter("weber.test.ticks");
+  TelemetrySampler::Options options;
+  options.registry = &registry;
+  options.capacity = 4;
+  TelemetrySampler sampler(options);
+  for (int i = 0; i < 10; ++i) {
+    ticks.Increment();
+    sampler.SampleOnce();
+  }
+  EXPECT_EQ(sampler.total_samples(), 10u);
+  std::vector<TelemetrySample> samples = sampler.Samples();
+  ASSERT_EQ(samples.size(), 4u);
+  // Oldest-first, and the retained window is the newest 4 (ticks 7..10).
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].counters.at("weber.test.ticks"),
+              static_cast<double>(7 + i));
+  }
+}
+
+TEST(TelemetrySamplerTest, TickHookRunsBeforeEachSample) {
+  MetricsRegistry registry;
+  std::atomic<int> hooks{0};
+  TelemetrySampler::Options options;
+  options.registry = &registry;
+  options.tick_hook = [&hooks] { hooks.fetch_add(1); };
+  TelemetrySampler sampler(options);
+  sampler.SampleOnce();
+  sampler.SampleOnce();
+  EXPECT_EQ(hooks.load(), 2);
+}
+
+TEST(TelemetrySamplerTest, SamplingIsSafeUnderConcurrentWrites) {
+  MetricsRegistry registry;
+  TelemetrySampler::Options options;
+  options.registry = &registry;
+  options.interval_ms = 1;
+  TelemetrySampler sampler(options);
+  sampler.Start();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&registry] {
+      for (int i = 0; i < 5000; ++i) {
+        registry.GetCounter("weber.test.spam").Increment();
+        registry.GetHistogram("weber.test.spam_lat").Record(i * 1e-6);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  sampler.Stop();
+  std::vector<TelemetrySample> samples = sampler.Samples();
+  ASSERT_GE(samples.size(), 2u);
+  const TelemetrySample& last = samples.back();
+  EXPECT_EQ(last.counters.at("weber.test.spam"), kThreads * 5000.0);
+  EXPECT_EQ(last.histograms.at("weber.test.spam_lat").count,
+            static_cast<uint64_t>(kThreads) * 5000u);
+}
+
+TEST(TelemetrySamplerTest, JsonlExportIsOneValidObjectPerLine) {
+  MetricsRegistry registry;
+  registry.GetCounter("weber.test.widgets").Add(3);
+  registry.GetHistogram("weber.test.lat").Record(0.5);
+  TelemetrySampler::Options options;
+  options.registry = &registry;
+  TelemetrySampler sampler(options);
+  sampler.SampleOnce();
+  sampler.SampleOnce();
+  std::ostringstream out;
+  sampler.ExportJsonl(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    JsonChecker checker;
+    ASSERT_TRUE(checker.Parse(line)) << line;
+    for (const char* key :
+         {"t", "rss_bytes", "user_cpu_seconds",
+          "system_cpu_seconds", "minor_faults", "major_faults", "counters",
+          "gauges", "histograms"}) {
+      EXPECT_TRUE(checker.HasKey(key)) << key;
+    }
+    EXPECT_TRUE(checker.HasKey("weber.test.widgets"));
+    for (const char* key : {"count", "p50", "p99", "p999"}) {
+      EXPECT_TRUE(checker.HasKey(key)) << key;
+    }
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 2);
+}
+
+TEST(TelemetrySamplerTest, StopIsIdempotentAndRestartable) {
+  MetricsRegistry registry;
+  TelemetrySampler::Options options;
+  options.registry = &registry;
+  TelemetrySampler sampler(options);
+  sampler.Start();
+  sampler.Stop();
+  sampler.Stop();  // No-op.
+  uint64_t after_first = sampler.total_samples();
+  sampler.Start();
+  sampler.Stop();
+  EXPECT_GT(sampler.total_samples(), after_first);
+}
+
+}  // namespace
+}  // namespace weber::obs

@@ -1,0 +1,310 @@
+// Flight recorder (EventLog) and Chrome/Perfetto trace export tests:
+// recording semantics (coalescing, capacity, thread naming), executor
+// instrumentation, and the structural validity of the emitted trace.json.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/executor.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tests/test_json.h"
+
+namespace weber::obs {
+namespace {
+
+using ::weber::testing::JsonChecker;
+
+TEST(TraceClockTest, IsMonotonicAndSharedAcrossThreads) {
+  double a = TraceClockNow();
+  double b = TraceClockNow();
+  EXPECT_GE(b, a);
+  double worker_time = -1.0;
+  std::thread t([&worker_time] { worker_time = TraceClockNow(); });
+  t.join();
+  // Same epoch: a time taken on another thread after `b` sorts after it.
+  EXPECT_GE(worker_time, b);
+}
+
+TEST(TraceThreadIdTest, StablePerThreadAndDistinctAcrossThreads) {
+  uint32_t self = TraceThreadId();
+  EXPECT_EQ(self, TraceThreadId());
+  uint32_t other = self;
+  std::thread t([&other] { other = TraceThreadId(); });
+  t.join();
+  EXPECT_NE(self, other);
+}
+
+TEST(EventLogTest, DisabledLogRecordsNothing) {
+  EventLog log;
+  EXPECT_FALSE(log.enabled());
+  log.RecordComplete("task", 0.0, 1.0);
+  log.RecordInstant("marker");
+  EventLog::LogSnapshot snap = log.Snapshot();
+  EXPECT_TRUE(snap.events.empty());
+  EXPECT_EQ(snap.dropped, 0u);
+}
+
+TEST(EventLogTest, RecordsIntervalsAndInstants) {
+  EventLog log;
+  log.Enable();
+  log.NameThread("main");
+  log.RecordComplete("phase", 1.0, 2.0, "pipeline");
+  log.RecordInstant("marker");
+  EventLog::LogSnapshot snap = log.Snapshot();
+  ASSERT_EQ(snap.events.size(), 2u);
+  // Snapshot sorts by begin time; the instant's TraceClockNow stamp is
+  // near the epoch, far before the synthetic t=1.0 interval.
+  const TraceEvent& interval = snap.events[1];
+  const TraceEvent& instant = snap.events[0];
+  EXPECT_EQ(interval.name, "phase");
+  EXPECT_EQ(interval.category, "pipeline");
+  EXPECT_DOUBLE_EQ(interval.begin_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(interval.end_seconds, 2.0);
+  EXPECT_EQ(interval.count, 1u);
+  EXPECT_EQ(instant.name, "marker");
+  EXPECT_DOUBLE_EQ(instant.begin_seconds, instant.end_seconds);
+  ASSERT_EQ(snap.thread_names.count(TraceThreadId()), 1u);
+  EXPECT_EQ(snap.thread_names.at(TraceThreadId()), "main");
+}
+
+TEST(EventLogTest, CoalescesAdjacentSameNamedEvents) {
+  EventLog log;
+  log.Enable();
+  // Three back-to-back micro-tasks, gaps far below kMergeGapSeconds.
+  log.RecordComplete("task", 1.000000, 1.000002);
+  log.RecordComplete("task", 1.000003, 1.000005);
+  log.RecordComplete("task", 1.000006, 1.000008);
+  // A different name does not merge into the "task" run.
+  log.RecordComplete("steal", 1.000004, 1.000004);
+  // A same-named event past the merge gap starts a new interval.
+  log.RecordComplete("task", 2.0, 2.5);
+  EventLog::LogSnapshot snap = log.Snapshot();
+  ASSERT_EQ(snap.events.size(), 3u);
+  EXPECT_EQ(snap.events[0].name, "task");
+  EXPECT_EQ(snap.events[0].count, 3u);
+  EXPECT_DOUBLE_EQ(snap.events[0].begin_seconds, 1.000000);
+  EXPECT_DOUBLE_EQ(snap.events[0].end_seconds, 1.000008);
+  EXPECT_EQ(snap.events[1].name, "steal");
+  EXPECT_EQ(snap.events[2].name, "task");
+  EXPECT_EQ(snap.events[2].count, 1u);
+  EXPECT_DOUBLE_EQ(snap.events[2].begin_seconds, 2.0);
+}
+
+TEST(EventLogTest, MergedSpanIsBounded) {
+  EventLog log;
+  log.Enable();
+  // Adjacent events whose merged extent would exceed the 1 ms cap split
+  // into several merged intervals instead of one giant slice.
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    log.RecordComplete("task", t, t + 50e-6);
+    t += 55e-6;  // 5 us gap, far below the merge gap.
+  }
+  EventLog::LogSnapshot snap = log.Snapshot();
+  uint64_t total = 0;
+  for (const TraceEvent& event : snap.events) {
+    EXPECT_LE(event.end_seconds - event.begin_seconds,
+              EventLog::kMaxMergedSpanSeconds + 1e-9);
+    total += event.count;
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_GT(snap.events.size(), 1u);
+  EXPECT_LT(snap.events.size(), 100u);
+}
+
+TEST(EventLogTest, CapacityDropsAreCounted) {
+  EventLog log;
+  log.Enable(/*capacity=*/4);
+  // Spread across distinct names so coalescing cannot absorb them.
+  for (int i = 0; i < 10; ++i) {
+    std::string name = "event-" + std::to_string(i);
+    log.RecordComplete(name, i * 1.0, i * 1.0 + 0.5);
+  }
+  EventLog::LogSnapshot snap = log.Snapshot();
+  EXPECT_EQ(snap.events.size(), 4u);
+  EXPECT_EQ(snap.dropped, 6u);
+}
+
+TEST(EventLogTest, FirstThreadNameWins) {
+  EventLog log;
+  log.Enable();
+  log.NameThread("main");
+  log.NameThread("helper");
+  EventLog::LogSnapshot snap = log.Snapshot();
+  EXPECT_EQ(snap.thread_names.at(TraceThreadId()), "main");
+}
+
+TEST(EventLogTest, ConcurrentRecordsAreAllKeptAndSorted) {
+  EventLog log;
+  log.Enable();
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 1000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&log] {
+      for (int i = 0; i < kEvents; ++i) {
+        double now = TraceClockNow();
+        log.RecordComplete("work", now, TraceClockNow());
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EventLog::LogSnapshot snap = log.Snapshot();
+  uint64_t total = 0;
+  for (size_t i = 0; i < snap.events.size(); ++i) {
+    total += snap.events[i].count;
+    if (i > 0) {
+      EXPECT_GE(snap.events[i].begin_seconds,
+                snap.events[i - 1].begin_seconds);
+    }
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kEvents);
+  EXPECT_EQ(snap.dropped, 0u);
+}
+
+TEST(ExecutorInstrumentationTest, WorkersEmitTaskAndStealEvents) {
+  MetricsRegistry registry;
+  registry.events().Enable();
+  registry.events().NameThread("main");
+  {
+    ScopedRegistry ambient(&registry);
+    core::Executor executor(4);
+    std::atomic<int> ran{0};
+    core::Executor::TaskGroup group(executor);
+    for (int i = 0; i < 64; ++i) {
+      // Tasks block briefly so no single thread can drain the queue
+      // alone, even on a one-core machine: several tracks must appear.
+      group.Run([&ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      });
+    }
+    group.Wait();
+    EXPECT_EQ(ran.load(), 64);
+  }
+  RegistrySnapshot snap = registry.TakeSnapshot();
+  uint64_t tasks = 0;
+  std::set<uint32_t> task_tids;
+  for (const TraceEvent& event : snap.events) {
+    EXPECT_EQ(event.category, "executor");
+    if (event.name == "task") {
+      tasks += event.count;
+      task_tids.insert(event.tid);
+    } else {
+      EXPECT_EQ(event.name, "steal");
+    }
+  }
+  EXPECT_EQ(tasks, 64u);
+  // More than one thread actually ran tasks, and each got a track name.
+  EXPECT_GT(task_tids.size(), 1u);
+  for (uint32_t tid : task_tids) {
+    EXPECT_EQ(snap.thread_names.count(tid), 1u) << "unnamed track " << tid;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceEventExporter
+// ---------------------------------------------------------------------------
+
+RegistrySnapshot InstrumentedSnapshot() {
+  MetricsRegistry registry;
+  registry.events().Enable();
+  registry.events().NameThread("main");
+  {
+    Span phase(&registry, "blocking");
+    Span sub(&registry, "purging");
+  }
+  registry.events().RecordComplete("task", 0.5, 0.7, "executor");
+  registry.events().RecordInstant("steal", "executor");
+  return registry.TakeSnapshot();
+}
+
+TEST(TraceEventExporterTest, EmitsStructurallyValidChromeTrace) {
+  std::string json = TraceEventExporter().ToString(InstrumentedSnapshot());
+  JsonChecker checker;
+  ASSERT_TRUE(checker.Parse(json)) << json;
+  // Container keys.
+  EXPECT_TRUE(checker.HasKey("traceEvents"));
+  EXPECT_TRUE(checker.HasKey("displayTimeUnit"));
+  EXPECT_TRUE(checker.HasKey("otherData"));
+  EXPECT_TRUE(checker.HasKey("dropped_events"));
+  // Per-event keys of the Chrome trace-event format.
+  for (const char* key : {"ph", "pid", "tid", "ts", "name", "cat"}) {
+    EXPECT_TRUE(checker.HasKey(key)) << key;
+  }
+  EXPECT_TRUE(checker.HasKey("dur"));    // Complete ('X') events.
+  EXPECT_TRUE(checker.HasKey("args"));   // Thread-name metadata.
+  // Phases actually present: metadata, complete, instant.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"main\""), std::string::npos);
+  // Span tree rides along as "phase"-category slices.
+  EXPECT_NE(json.find("\"blocking\""), std::string::npos);
+  EXPECT_NE(json.find("\"purging\""), std::string::npos);
+}
+
+TEST(TraceEventExporterTest, CoalescedEventsCarryCountArg) {
+  MetricsRegistry registry;
+  registry.events().Enable();
+  registry.events().RecordComplete("task", 1.000000, 1.000002, "executor");
+  registry.events().RecordComplete("task", 1.000003, 1.000005, "executor");
+  std::string json = TraceEventExporter().ToString(registry.TakeSnapshot());
+  JsonChecker checker;
+  ASSERT_TRUE(checker.Parse(json)) << json;
+  EXPECT_TRUE(checker.HasKey("count"));
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+}
+
+TEST(TraceEventExporterTest, EmptyRegistryStillParses) {
+  MetricsRegistry registry;
+  std::string json = TraceEventExporter().ToString(registry);
+  JsonChecker checker;
+  ASSERT_TRUE(checker.Parse(json)) << json;
+  EXPECT_TRUE(checker.HasKey("traceEvents"));
+}
+
+// ---------------------------------------------------------------------------
+// p999 export (histogram tail satellite)
+// ---------------------------------------------------------------------------
+
+TEST(JsonExporterTest, ExportsP999) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("weber.test.tail");
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 0.001);
+  std::string json = JsonExporter().ToString(registry);
+  JsonChecker checker;
+  ASSERT_TRUE(checker.Parse(json)) << json;
+  EXPECT_TRUE(checker.HasKey("p999"));
+  std::ostringstream text;
+  TextExporter().Export(registry, text);
+  EXPECT_NE(text.str().find("p999"), std::string::npos);
+}
+
+TEST(HistogramBoundsTest, TailResolutionIsFinerAboveMillisecond) {
+  const std::vector<double>& bounds = Histogram::DefaultBounds();
+  ASSERT_GT(bounds.size(), 200u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    ASSERT_LT(bounds[i - 1], bounds[i]) << "bounds must increase";
+    double ratio = bounds[i] / bounds[i - 1];
+    if (bounds[i] > 1.1e-3) {
+      // Tail grid: 10^0.025 per bucket (~5.9%), so worst-case quantile
+      // error stays near 3%.
+      EXPECT_LT(ratio, 1.0595) << "coarse bucket at " << bounds[i];
+    }
+    EXPECT_LT(ratio, 1.123) << "coarse bucket at " << bounds[i];
+  }
+}
+
+}  // namespace
+}  // namespace weber::obs
