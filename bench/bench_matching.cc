@@ -9,7 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_report.h"
@@ -18,6 +20,7 @@
 #include "matching/matcher.h"
 #include "matching/signatures.h"
 #include "model/entity.h"
+#include "util/intersect.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -143,6 +146,172 @@ void BM_Matching_Prepared(benchmark::State& state) {
       static_cast<double>(store.ArenaBytes()) / (1024.0 * 1024.0);
 }
 
+// The prepared workload pinned to one dispatch level — the per-kernel
+// rows the bench smoke asserts on. Unsupported levels (or levels masked
+// by WEBER_FORCE_SCALAR_KERNELS) report kernel_available=0 and score on
+// the active kernel so the row still exists on every machine.
+void BM_Matching_PreparedKernel(benchmark::State& state) {
+  const std::vector<model::IdPair>& pairs = Pairs();
+  auto kernel = static_cast<util::IntersectKernel>(state.range(0));
+  std::unique_ptr<matching::Matcher> matcher =
+      MakeMatcher(static_cast<int>(state.range(1)));
+  size_t threads = static_cast<size_t>(state.range(2));
+  core::ScopedParallelism parallelism(threads);
+  const bool available = util::SetIntersectKernel(kernel);
+
+  matching::SignatureStore store = matching::SignatureStore::Build(
+      Corpus().collection, matching::OptionsFor(*matcher));
+  std::unique_ptr<matching::PreparedMatcher> prepared =
+      matching::Prepare(*matcher, store);
+
+  uint64_t matched = 0;
+  for (auto _ : state) {
+    std::vector<uint64_t> partial(core::EffectiveParallelism(), 0);
+    core::Executor::Shared().ParallelChunks(
+        pairs.size(), core::EffectiveParallelism(),
+        [&](size_t chunk, size_t begin, size_t end) {
+          uint64_t local = 0;
+          for (size_t i = begin; i < end; ++i) {
+            const model::IdPair& pair = pairs[i];
+            local += prepared->Matches(pair.low, pair.high, kThreshold);
+          }
+          partial[chunk] = local;
+        });
+    matched = 0;
+    for (uint64_t p : partial) matched += p;
+    benchmark::DoNotOptimize(matched);
+  }
+  util::ResetIntersectKernel();
+  state.counters["pairs_per_sec"] = benchmark::Counter(
+      static_cast<double>(pairs.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["matched"] = static_cast<double>(matched);
+  state.counters["kernel_available"] = available ? 1.0 : 0.0;
+  state.SetLabel(util::KernelName(kernel));
+}
+
+// Merge/gallop/SIMD crossover microbench behind kGallopRatio: intersects
+// a fixed batch of (small, big) set pairs at one size ratio with one
+// strategy forced, so plotting strategy rows against the ratio sweep
+// reads off where each one wins. Ratios are exponentially spaced — the
+// skew profile Zipf-distributed posting lengths produce.
+void BM_Kernel_Crossover(benchmark::State& state) {
+  const int strategy = static_cast<int>(state.range(0));
+  const size_t ratio = static_cast<size_t>(state.range(1));
+  constexpr size_t kSmall = 256;
+  constexpr size_t kPairs = 64;
+  const size_t big_size = kSmall * ratio;
+
+  // ~20% of small's members hit big: enough matches that the counting
+  // work is real, few enough that skipping dominates like in production.
+  util::Rng rng(1234 + ratio);
+  auto make_set = [&](size_t n, uint32_t universe) {
+    std::vector<uint32_t> set;
+    set.reserve(n + n / 4);
+    while (set.size() < n) {
+      size_t need = n - set.size();
+      for (size_t k = 0; k < need + need / 4 + 8; ++k) {
+        set.push_back(static_cast<uint32_t>(rng.NextBounded(universe)));
+      }
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+    }
+    set.resize(n);
+    return set;
+  };
+  const auto universe = static_cast<uint32_t>(big_size * 5);
+  std::vector<std::vector<uint32_t>> smalls;
+  std::vector<std::vector<uint32_t>> bigs;
+  for (size_t p = 0; p < kPairs; ++p) {
+    smalls.push_back(make_set(kSmall, universe));
+    bigs.push_back(make_set(big_size, universe));
+  }
+
+  size_t total = 0;
+  for (auto _ : state) {
+    total = 0;
+    for (size_t p = 0; p < kPairs; ++p) {
+      switch (strategy) {
+        case 0:
+          total += util::MergeIntersectSize(smalls[p], bigs[p]);
+          break;
+        case 1:
+          total += util::GallopIntersectSize(smalls[p], bigs[p]);
+          break;
+        case 2:
+          total += util::detail::BenchBlockMergeIntersect(smalls[p], bigs[p]);
+          break;
+        default:
+          total += util::detail::BenchProbeIntersect(smalls[p], bigs[p]);
+          break;
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["intersects_per_sec"] = benchmark::Counter(
+      static_cast<double>(kPairs * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["hits"] = static_cast<double>(total);
+  static constexpr const char* kStrategies[] = {"merge", "gallop",
+                                                "simd_merge", "simd_probe"};
+  state.SetLabel(kStrategies[strategy < 0 || strategy > 3 ? 0 : strategy]);
+}
+
+// Dense-token scenario for the compressed posting arena: entities whose
+// token sets overflow kPostingArrayMax, so value tokens land in bitset
+// chunks. flat_mb is what the pre-compression flat u32 arena would have
+// spent on the same sets.
+void BM_Signature_DenseArena(benchmark::State& state) {
+  constexpr size_t kEntities = 128;
+  constexpr size_t kTokensPerEntity = 6000;
+  constexpr size_t kVocabulary = 9000;
+  static const model::EntityCollection& collection = [] {
+    auto* c = new model::EntityCollection();
+    util::Rng rng(99);
+    for (size_t e = 0; e < kEntities; ++e) {
+      model::EntityDescription description("dense/" + std::to_string(e));
+      std::vector<bool> taken(kVocabulary, false);
+      std::string value;
+      size_t picked = 0;
+      while (picked < kTokensPerEntity) {
+        size_t t = rng.NextBounded(kVocabulary);
+        if (taken[t]) continue;
+        taken[t] = true;
+        ++picked;
+        if (!value.empty()) value += ' ';
+        value += 'w' + std::to_string(t);
+      }
+      description.AddPair("text", value);
+      c->Add(description);
+    }
+    return *c;
+  }();
+
+  size_t flat_bytes = 0;
+  size_t arena_bytes = 0;
+  uint64_t checksum = 0;
+  for (auto _ : state) {
+    matching::SignatureStore store =
+        matching::SignatureStore::Build(collection);
+    flat_bytes = 0;
+    for (model::EntityId id = 0; id < store.size(); ++id) {
+      flat_bytes += store.token_count(id) * sizeof(uint32_t);
+    }
+    arena_bytes = store.ArenaBytes();
+    checksum = 0;
+    for (model::EntityId id = 1; id < store.size(); ++id) {
+      checksum += matching::PostingIntersectSize(store.posting(id - 1),
+                                                 store.posting(id));
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["arena_mb"] =
+      static_cast<double>(arena_bytes) / (1024.0 * 1024.0);
+  state.counters["flat_mb"] =
+      static_cast<double>(flat_bytes) / (1024.0 * 1024.0);
+  state.counters["checksum"] = static_cast<double>(checksum);
+}
+
 // Args: {matcher (0=Jaccard 1=Overlap 2=TfIdf 3=WeightedAttr), threads}.
 BENCHMARK(BM_Matching_StringPath)
     ->Args({0, 1})->Args({0, 8})
@@ -156,6 +325,21 @@ BENCHMARK(BM_Matching_Prepared)
     ->Args({2, 1})->Args({2, 8})
     ->Args({3, 1})
     ->Unit(benchmark::kMillisecond);
+// Args: {kernel (0=scalar 1=sse4 2=avx2), matcher, threads}. Threads stay
+// last so the rows land in the --quick (CI) filter.
+BENCHMARK(BM_Matching_PreparedKernel)
+    ->Args({0, 0, 1})
+    ->Args({1, 0, 1})
+    ->Args({2, 0, 1})
+    ->Args({2, 0, 8})
+    ->Args({0, 1, 1})
+    ->Args({2, 1, 1})
+    ->Unit(benchmark::kMillisecond);
+// Args: {strategy (0=merge 1=gallop 2=simd_merge 3=simd_probe), ratio}.
+BENCHMARK(BM_Kernel_Crossover)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 2, 4, 8, 16, 32, 64, 128, 256}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Signature_DenseArena)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace weber

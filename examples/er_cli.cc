@@ -52,6 +52,7 @@
 #include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "util/check.h"
+#include "util/intersect.h"
 
 namespace {
 
@@ -101,7 +102,8 @@ std::optional<metablocking::PruningScheme> ParsePruning(
 constexpr const char kUsage[] =
     "usage: er_cli [INPUT.nt] [--threshold T] [--blocker "
     "token|qgrams|sn|pis] [--meta WEIGHT PRUNING] [--truth FILE] "
-    "[--budget N] [--threads N] [--stream[=BATCH]] [--out FILE] "
+    "[--budget N] [--threads N] [--kernel auto|scalar|sse4|avx2] "
+    "[--stream[=BATCH]] [--out FILE] "
     "[--metrics-json FILE] [--trace-json FILE] "
     "[--telemetry-jsonl FILE[,INTERVAL_MS]] [--verbose]";
 
@@ -131,6 +133,37 @@ bool ParseThreads(const std::string& value, size_t* threads) {
   uint64_t parsed = 0;
   if (!ParseUnsigned(value, &parsed)) return false;
   *threads = static_cast<size_t>(parsed);
+  return true;
+}
+
+/// Applies a --kernel choice to the intersection dispatch table. "auto"
+/// restores the CPUID pick; a named level must be supported by this CPU
+/// (and not overridden by WEBER_FORCE_SCALAR_KERNELS) or the flag is a
+/// usage error — silently running a different kernel than requested would
+/// defeat the flag's debugging purpose.
+bool ApplyKernelChoice(const std::string& value, std::string* error) {
+  if (value == "auto") {
+    util::ResetIntersectKernel();
+    return true;
+  }
+  std::optional<util::IntersectKernel> kernel;
+  if (value == "scalar") kernel = util::IntersectKernel::kScalar;
+  if (value == "sse4") kernel = util::IntersectKernel::kSse4;
+  if (value == "avx2") kernel = util::IntersectKernel::kAvx2;
+  if (!kernel.has_value()) {
+    *error = "bad --kernel " + value + " (want auto|scalar|sse4|avx2)";
+    return false;
+  }
+  if (!util::SetIntersectKernel(*kernel)) {
+    *error = "--kernel " + value +
+             (util::KernelForcedScalar()
+                  ? " unavailable: dispatch is pinned scalar by "
+                    "WEBER_FORCE_SCALAR_KERNELS"
+                  : " unsupported by this CPU (best: " +
+                        std::string(util::KernelName(util::CpuBestKernel())) +
+                        ")");
+    return false;
+  }
   return true;
 }
 
@@ -181,6 +214,7 @@ int main(int argc, char** argv) {
   double threshold = 0.5;
   uint64_t budget = 0;
   size_t threads = 0;
+  bool kernel_flag = false;
   bool stream = false;
   uint64_t stream_batch = 64;
   std::optional<std::pair<metablocking::WeightScheme,
@@ -225,6 +259,17 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       std::string v = arg.substr(std::strlen("--threads="));
       if (!ParseThreads(v, &threads)) return UsageFail("bad --threads " + v);
+    } else if (arg == "--kernel") {
+      auto v = next("--kernel");
+      if (!v) return 2;
+      std::string error;
+      if (!ApplyKernelChoice(*v, &error)) return UsageFail(error);
+      kernel_flag = true;
+    } else if (arg.rfind("--kernel=", 0) == 0) {
+      std::string v = arg.substr(std::strlen("--kernel="));
+      std::string error;
+      if (!ApplyKernelChoice(v, &error)) return UsageFail(error);
+      kernel_flag = true;
     } else if (arg == "--stream") {
       stream = true;
     } else if (arg.rfind("--stream=", 0) == 0) {
@@ -343,6 +388,10 @@ int main(int argc, char** argv) {
     }
     if (budget > 0) summary << " budget=" << budget;
     if (threads > 0) summary << " threads=" << threads;
+    if (kernel_flag) {
+      summary << " kernel="
+              << util::KernelName(util::ActiveIntersectKernel());
+    }
     if (stream) summary << " stream=" << stream_batch;
     summary << " entities=" << collection.size();
     g_run_summary = summary.str();

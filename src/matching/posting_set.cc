@@ -1,0 +1,350 @@
+#include "matching/posting_set.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/intersect.h"
+
+namespace weber::matching {
+namespace {
+
+std::span<const uint16_t> ArraySpan(const PostingView& view,
+                                    const PostingChunk& chunk) {
+  return {view.arrays + chunk.offset, chunk.count};
+}
+
+const uint64_t* BitsetWords(const PostingView& view,
+                            const PostingChunk& chunk) {
+  return view.bitsets + chunk.offset;
+}
+
+/// Exact |ca ∩ cb| for one same-key chunk pair, routed to the layout
+/// kernel (all four combinations land on util/intersect.h dispatch).
+size_t ChunkPairSize(const PostingView& a, const PostingChunk& ca,
+                     const PostingView& b, const PostingChunk& cb) {
+  if (ca.bitset == 0 && cb.bitset == 0) {
+    return util::SortedIntersectSizeU16(ArraySpan(a, ca), ArraySpan(b, cb));
+  }
+  if (ca.bitset != 0 && cb.bitset != 0) {
+    return util::BitsetAndPopcount(BitsetWords(a, ca), BitsetWords(b, cb),
+                                   kPostingBitsetWords);
+  }
+  if (ca.bitset != 0) {
+    return util::BitsetContainsCount(ArraySpan(b, cb), BitsetWords(a, ca));
+  }
+  return util::BitsetContainsCount(ArraySpan(a, ca), BitsetWords(b, cb));
+}
+
+/// Decision twin of ChunkPairSize with element-level early exit where the
+/// layout kernel supports it; exact verdict in every case.
+bool ChunkPairAtLeast(const PostingView& a, const PostingChunk& ca,
+                      const PostingView& b, const PostingChunk& cb,
+                      size_t required) {
+  if (ca.bitset == 0 && cb.bitset == 0) {
+    return util::SortedIntersectAtLeastU16(ArraySpan(a, ca), ArraySpan(b, cb),
+                                           required);
+  }
+  if (ca.bitset != 0 && cb.bitset != 0) {
+    return util::BitsetAndPopcount(BitsetWords(a, ca), BitsetWords(b, cb),
+                                   kPostingBitsetWords) >= required;
+  }
+  std::span<const uint16_t> keys =
+      ca.bitset != 0 ? ArraySpan(b, cb) : ArraySpan(a, ca);
+  const uint64_t* bits =
+      ca.bitset != 0 ? BitsetWords(a, ca) : BitsetWords(b, cb);
+  size_t count = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (count + (keys.size() - i) < required) return false;
+    count += (bits[keys[i] >> 6] >> (keys[i] & 63)) & 1u;
+    if (count >= required) return true;
+  }
+  return false;
+}
+
+void SetBit(std::vector<uint64_t>* words, size_t base, uint16_t low) {
+  (*words)[base + (low >> 6)] |= uint64_t{1} << (low & 63);
+}
+
+}  // namespace
+
+PostingRef PostingArena::AppendSorted(std::span<const uint32_t> values) {
+  WEBER_DCHECK_UNIQUE(values.begin(), values.end())
+      << "posting input not a sorted set";
+  PostingRef ref;
+  ref.chunk_offset = static_cast<uint32_t>(chunks_.size());
+  ref.size = static_cast<uint32_t>(values.size());
+  size_t at = 0;
+  while (at < values.size()) {
+    const uint16_t key = static_cast<uint16_t>(values[at] >> 16);
+    size_t end = at + 1;
+    while (end < values.size() &&
+           static_cast<uint16_t>(values[end] >> 16) == key) {
+      ++end;
+    }
+    const size_t count = end - at;
+    PostingChunk chunk;
+    chunk.key = key;
+    chunk.count = static_cast<uint32_t>(count);
+    if (count > kPostingArrayMax) {
+      chunk.bitset = 1;
+      chunk.offset = static_cast<uint32_t>(bitset_words_.size());
+      bitset_words_.resize(bitset_words_.size() + kPostingBitsetWords, 0);
+      for (size_t v = at; v < end; ++v) {
+        SetBit(&bitset_words_, chunk.offset,
+               static_cast<uint16_t>(values[v] & 0xffff));
+      }
+      ++bitset_chunks_;
+    } else {
+      chunk.offset = static_cast<uint32_t>(array_values_.size());
+      for (size_t v = at; v < end; ++v) {
+        array_values_.push_back(static_cast<uint16_t>(values[v] & 0xffff));
+      }
+      ++array_chunks_;
+    }
+    chunks_.push_back(chunk);
+    at = end;
+  }
+  ref.chunk_count = static_cast<uint32_t>(chunks_.size()) - ref.chunk_offset;
+  return ref;
+}
+
+PostingRef PostingArena::AppendUnion(const PostingView& a,
+                                     const PostingView& b) {
+  // Staged in scratch storage: the views may alias this arena, and an
+  // arena append mid-union could reallocate the storage they read.
+  std::vector<PostingChunk> chunks;
+  std::vector<uint16_t> arrays;
+  std::vector<uint64_t> words;
+  size_t total = 0;
+
+  auto copy_chunk = [&](const PostingView& view, const PostingChunk& chunk) {
+    PostingChunk out = chunk;
+    if (chunk.bitset != 0) {
+      out.offset = static_cast<uint32_t>(words.size());
+      const uint64_t* src = BitsetWords(view, chunk);
+      words.insert(words.end(), src, src + kPostingBitsetWords);
+    } else {
+      out.offset = static_cast<uint32_t>(arrays.size());
+      std::span<const uint16_t> src = ArraySpan(view, chunk);
+      arrays.insert(arrays.end(), src.begin(), src.end());
+    }
+    chunks.push_back(out);
+    total += out.count;
+  };
+
+  auto union_pair = [&](const PostingChunk& ca, const PostingChunk& cb) {
+    PostingChunk out;
+    out.key = ca.key;
+    if (ca.bitset != 0 || cb.bitset != 0) {
+      // At least one bitset: the union is at least as dense, so the
+      // result stays a bitset (never downgrades).
+      out.bitset = 1;
+      out.offset = static_cast<uint32_t>(words.size());
+      size_t count = 0;
+      if (ca.bitset != 0 && cb.bitset != 0) {
+        const uint64_t* wa = BitsetWords(a, ca);
+        const uint64_t* wb = BitsetWords(b, cb);
+        for (size_t w = 0; w < kPostingBitsetWords; ++w) {
+          const uint64_t merged = wa[w] | wb[w];
+          words.push_back(merged);
+          count += static_cast<size_t>(__builtin_popcountll(merged));
+        }
+      } else {
+        const PostingView& bit_view = ca.bitset != 0 ? a : b;
+        const PostingChunk& bit_chunk = ca.bitset != 0 ? ca : cb;
+        const PostingView& arr_view = ca.bitset != 0 ? b : a;
+        const PostingChunk& arr_chunk = ca.bitset != 0 ? cb : ca;
+        const uint64_t* src = BitsetWords(bit_view, bit_chunk);
+        words.insert(words.end(), src, src + kPostingBitsetWords);
+        count = bit_chunk.count;
+        for (uint16_t low : ArraySpan(arr_view, arr_chunk)) {
+          const uint64_t bit = uint64_t{1} << (low & 63);
+          uint64_t& word = words[out.offset + (low >> 6)];
+          count += (word & bit) == 0;
+          word |= bit;
+        }
+      }
+      out.count = static_cast<uint32_t>(count);
+    } else {
+      std::vector<uint16_t> merged;
+      merged.reserve(static_cast<size_t>(ca.count) + cb.count);
+      std::span<const uint16_t> sa = ArraySpan(a, ca);
+      std::span<const uint16_t> sb = ArraySpan(b, cb);
+      std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                     std::back_inserter(merged));
+      out.count = static_cast<uint32_t>(merged.size());
+      if (merged.size() > kPostingArrayMax) {
+        out.bitset = 1;
+        out.offset = static_cast<uint32_t>(words.size());
+        words.resize(words.size() + kPostingBitsetWords, 0);
+        for (uint16_t low : merged) SetBit(&words, out.offset, low);
+      } else {
+        out.offset = static_cast<uint32_t>(arrays.size());
+        arrays.insert(arrays.end(), merged.begin(), merged.end());
+      }
+    }
+    chunks.push_back(out);
+    total += out.count;
+  };
+
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia < a.chunks.size() && ib < b.chunks.size()) {
+    const PostingChunk& ca = a.chunks[ia];
+    const PostingChunk& cb = b.chunks[ib];
+    if (ca.key < cb.key) {
+      copy_chunk(a, ca);
+      ++ia;
+    } else if (cb.key < ca.key) {
+      copy_chunk(b, cb);
+      ++ib;
+    } else {
+      union_pair(ca, cb);
+      ++ia;
+      ++ib;
+    }
+  }
+  for (; ia < a.chunks.size(); ++ia) copy_chunk(a, a.chunks[ia]);
+  for (; ib < b.chunks.size(); ++ib) copy_chunk(b, b.chunks[ib]);
+
+  // Commit the staged union: rebase scratch offsets onto the arenas.
+  PostingRef ref;
+  ref.chunk_offset = static_cast<uint32_t>(chunks_.size());
+  ref.chunk_count = static_cast<uint32_t>(chunks.size());
+  ref.size = static_cast<uint32_t>(total);
+  const uint32_t array_base = static_cast<uint32_t>(array_values_.size());
+  const uint32_t bitset_base = static_cast<uint32_t>(bitset_words_.size());
+  array_values_.insert(array_values_.end(), arrays.begin(), arrays.end());
+  bitset_words_.insert(bitset_words_.end(), words.begin(), words.end());
+  for (PostingChunk chunk : chunks) {
+    if (chunk.bitset != 0) {
+      chunk.offset += bitset_base;
+      ++bitset_chunks_;
+    } else {
+      chunk.offset += array_base;
+      ++array_chunks_;
+    }
+    chunks_.push_back(chunk);
+  }
+  return ref;
+}
+
+PostingView PostingArena::View(const PostingRef& ref) const {
+  WEBER_DCHECK_LE(static_cast<size_t>(ref.chunk_offset) + ref.chunk_count,
+                  chunks_.size())
+      << "posting ref outside the arena directory";
+  PostingView view;
+  view.chunks = std::span<const PostingChunk>(chunks_)
+                    .subspan(ref.chunk_offset, ref.chunk_count);
+  view.arrays = array_values_.data();
+  view.bitsets = bitset_words_.data();
+  view.size = ref.size;
+  return view;
+}
+
+void PostingArena::Decompress(const PostingRef& ref,
+                              std::vector<uint32_t>* out) const {
+  const PostingView view = View(ref);
+  out->reserve(out->size() + ref.size);
+  for (const PostingChunk& chunk : view.chunks) {
+    const uint32_t high = static_cast<uint32_t>(chunk.key) << 16;
+    if (chunk.bitset != 0) {
+      const uint64_t* bits = BitsetWords(view, chunk);
+      for (size_t w = 0; w < kPostingBitsetWords; ++w) {
+        uint64_t word = bits[w];
+        while (word != 0) {
+          const unsigned bit =
+              static_cast<unsigned>(__builtin_ctzll(word));
+          out->push_back(high | static_cast<uint32_t>(w * 64 + bit));
+          word &= word - 1;
+        }
+      }
+    } else {
+      for (uint16_t low : ArraySpan(view, chunk)) {
+        out->push_back(high | low);
+      }
+    }
+  }
+}
+
+size_t PostingArena::RefBytes(const PostingRef& ref) const {
+  const PostingView view = View(ref);
+  size_t bytes = view.chunks.size() * sizeof(PostingChunk);
+  for (const PostingChunk& chunk : view.chunks) {
+    bytes += chunk.bitset != 0 ? kPostingBitsetWords * sizeof(uint64_t)
+                               : chunk.count * sizeof(uint16_t);
+  }
+  return bytes;
+}
+
+size_t PostingArena::ByteSize() const {
+  return chunks_.size() * sizeof(PostingChunk) +
+         array_values_.size() * sizeof(uint16_t) +
+         bitset_words_.size() * sizeof(uint64_t);
+}
+
+size_t PostingIntersectSize(const PostingView& a, const PostingView& b) {
+  if (a.empty() || b.empty()) return 0;
+  size_t count = 0;
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia < a.chunks.size() && ib < b.chunks.size()) {
+    const PostingChunk& ca = a.chunks[ia];
+    const PostingChunk& cb = b.chunks[ib];
+    if (ca.key < cb.key) {
+      ++ia;
+    } else if (cb.key < ca.key) {
+      ++ib;
+    } else {
+      count += ChunkPairSize(a, ca, b, cb);
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+bool PostingIntersectAtLeast(const PostingView& a, const PostingView& b,
+                             size_t required) {
+  if (required == 0) return true;
+  if (a.size < required || b.size < required) return false;  // Length filter.
+  if (a.chunks.size() == 1 && b.chunks.size() == 1) {
+    // Single-chunk sets (vocabularies under 65536 tokens) go straight to
+    // the layout kernel, which keeps element-level early exit.
+    const PostingChunk& ca = a.chunks.front();
+    const PostingChunk& cb = b.chunks.front();
+    if (ca.key != cb.key) return false;
+    return ChunkPairAtLeast(a, ca, b, cb, required);
+  }
+  size_t count = 0;
+  size_t rem_a = a.size;
+  size_t rem_b = b.size;
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia < a.chunks.size() && ib < b.chunks.size()) {
+    const PostingChunk& ca = a.chunks[ia];
+    const PostingChunk& cb = b.chunks[ib];
+    if (ca.key < cb.key) {
+      rem_a -= ca.count;
+      ++ia;
+      continue;
+    }
+    if (cb.key < ca.key) {
+      rem_b -= cb.count;
+      ++ib;
+      continue;
+    }
+    // Chunk-level abandon: even a full overlap of everything left on the
+    // sparser side cannot reach the bound.
+    if (count + std::min(rem_a, rem_b) < required) return false;
+    count += ChunkPairSize(a, ca, b, cb);
+    if (count >= required) return true;
+    rem_a -= ca.count;
+    rem_b -= cb.count;
+    ++ia;
+    ++ib;
+  }
+  return false;
+}
+
+}  // namespace weber::matching

@@ -1,0 +1,124 @@
+#ifndef WEBER_MATCHING_POSTING_SET_H_
+#define WEBER_MATCHING_POSTING_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace weber::matching {
+
+/// Roaring-style compressed posting sets for the signature engine.
+///
+/// A posting set is a sorted set of u32 token ids split into chunks keyed
+/// by the high 16 bits. Each chunk stores only the low 16 bits of its
+/// members, in one of two layouts chosen by density:
+///
+///   * array chunk  — sorted distinct u16 values, up to kPostingArrayMax
+///     entries (2 bytes per member);
+///   * bitset chunk — 65536-bit bitmap (kPostingBitsetWords u64 words,
+///     8 KB flat), used once a chunk would exceed kPostingArrayMax.
+///
+/// 8 KB equals 4096 u16 entries, so the switch point is exactly where the
+/// bitmap becomes the smaller layout — the sparse common case costs half
+/// of the flat u32 arena it replaces, and dense runs cost O(1) bits per
+/// member. Intersections pick a kernel per chunk pair (array×array,
+/// array×bitset, bitset×bitset) and route through util/intersect.h, so
+/// the SIMD dispatch level applies transparently and every layout
+/// combination counts exactly — bit-equal with intersecting the
+/// decompressed sets.
+///
+/// All postings live in one shared PostingArena (chunk directory + array
+/// arena + bitset arena) owned by the SignatureStore, mirroring the flat
+/// token arena it replaces: appends never invalidate existing refs, and
+/// released entries are accounted, not reclaimed (tombstone model).
+
+/// Array-chunk capacity bound; beyond this a chunk is stored as a bitset.
+inline constexpr size_t kPostingArrayMax = 4096;
+
+/// 64-bit words per bitset chunk (65536 bits).
+inline constexpr size_t kPostingBitsetWords = 1024;
+
+/// Directory entry for one chunk of a posting set.
+struct PostingChunk {
+  uint16_t key = 0;       ///< High 16 bits shared by every member.
+  uint16_t bitset = 0;    ///< 1 when the payload is a bitset chunk.
+  uint32_t count = 0;     ///< Members in this chunk (1 .. 65536).
+  uint32_t offset = 0;    ///< Array: first u16 in the array arena.
+                          ///< Bitset: first word in the bitset arena.
+};
+
+/// Handle to one posting set inside a PostingArena. Plain indices, so refs
+/// survive arena growth (vectors may reallocate, offsets do not move).
+struct PostingRef {
+  uint32_t chunk_offset = 0;  ///< First chunk in the arena directory.
+  uint32_t chunk_count = 0;   ///< Chunks in this set.
+  uint32_t size = 0;          ///< Total members across chunks.
+};
+
+/// Borrowed, resolved view of one posting set: the chunk directory slice
+/// plus the arena base pointers payload offsets index into. Invalidated
+/// by arena appends (same lifetime rule as the spans it replaces).
+struct PostingView {
+  std::span<const PostingChunk> chunks;
+  const uint16_t* arrays = nullptr;
+  const uint64_t* bitsets = nullptr;
+  uint32_t size = 0;
+
+  bool empty() const { return size == 0; }
+};
+
+/// Shared storage for compressed posting sets.
+class PostingArena {
+ public:
+  /// Compresses a strictly increasing u32 sequence into chunks and
+  /// appends them. Contract-checked for sortedness under WEBER_HARDENED.
+  PostingRef AppendSorted(std::span<const uint32_t> values);
+
+  /// Appends the chunk-wise union of two posting sets (the R-Swoosh merge
+  /// path). Views may alias this arena: the union is staged in scratch
+  /// storage before any arena append, so neither input is invalidated
+  /// mid-read. Array unions overflowing kPostingArrayMax upgrade to
+  /// bitsets; bitset chunks never downgrade.
+  PostingRef AppendUnion(const PostingView& a, const PostingView& b);
+
+  /// Resolves a ref against the current arena bases.
+  PostingView View(const PostingRef& ref) const;
+
+  /// Appends the decompressed (sorted u32) members of `ref` to `out`.
+  void Decompress(const PostingRef& ref, std::vector<uint32_t>* out) const;
+
+  /// Bytes attributable to one posting set: directory + payload. Used for
+  /// tombstone release accounting.
+  size_t RefBytes(const PostingRef& ref) const;
+
+  /// Total arena footprint in bytes (directory + both payload arenas).
+  size_t ByteSize() const;
+
+  /// Lifetime chunk counts by layout (appended, never decremented —
+  /// released sets are tombstoned in place).
+  size_t array_chunks() const { return array_chunks_; }
+  size_t bitset_chunks() const { return bitset_chunks_; }
+
+ private:
+  std::vector<PostingChunk> chunks_;
+  std::vector<uint16_t> array_values_;
+  std::vector<uint64_t> bitset_words_;
+  size_t array_chunks_ = 0;
+  size_t bitset_chunks_ = 0;
+};
+
+/// |a ∩ b| across chunk pairs, exact for every layout combination.
+size_t PostingIntersectSize(const PostingView& a, const PostingView& b);
+
+/// True iff |a ∩ b| >= required. Abandons at chunk granularity as soon as
+/// the remaining members of either side cannot reach `required` (and at
+/// element granularity inside single-chunk sets, the common case for
+/// vocabularies under 65536 tokens). The verdict is exact; required == 0
+/// is trivially true.
+bool PostingIntersectAtLeast(const PostingView& a, const PostingView& b,
+                             size_t required);
+
+}  // namespace weber::matching
+
+#endif  // WEBER_MATCHING_POSTING_SET_H_

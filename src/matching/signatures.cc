@@ -166,10 +166,10 @@ class PreparedTokenJaccard final : public PreparedMatcher {
       return StringFallback(twin_, store_, counters_, a, b);
     }
     Bump(counters_.comparisons);
-    auto ta = store_.tokens(a);
-    auto tb = store_.tokens(b);
-    size_t inter = util::SortedIntersectSize(ta, tb);
-    size_t union_size = ta.size() + tb.size() - inter;
+    const PostingView ta = store_.posting(a);
+    const PostingView tb = store_.posting(b);
+    size_t inter = PostingIntersectSize(ta, tb);
+    size_t union_size = size_t{ta.size} + tb.size - inter;
     if (union_size == 0) return 1.0;
     return static_cast<double>(inter) / static_cast<double>(union_size);
   }
@@ -180,11 +180,11 @@ class PreparedTokenJaccard final : public PreparedMatcher {
       return StringFallback(twin_, store_, counters_, a, b) >= threshold;
     }
     Bump(counters_.comparisons);
-    auto ta = store_.tokens(a);
-    auto tb = store_.tokens(b);
+    const PostingView ta = store_.posting(a);
+    const PostingView tb = store_.posting(b);
     if (ta.empty() && tb.empty()) return 1.0 >= threshold;
-    size_t required = RequiredOverlapJaccard(ta.size(), tb.size(), threshold);
-    if (required > std::min(ta.size(), tb.size())) {
+    size_t required = RequiredOverlapJaccard(ta.size, tb.size, threshold);
+    if (required > std::min<size_t>(ta.size, tb.size)) {
       Bump(counters_.filter_hits);
       return false;
     }
@@ -192,7 +192,7 @@ class PreparedTokenJaccard final : public PreparedMatcher {
       Bump(counters_.filter_hits);
       return true;
     }
-    return util::SortedIntersectAtLeast(ta, tb, required);
+    return PostingIntersectAtLeast(ta, tb, required);
   }
 
   std::string name() const override { return "Prepared(TokenJaccard)"; }
@@ -214,11 +214,11 @@ class PreparedTokenOverlap final : public PreparedMatcher {
       return StringFallback(twin_, store_, counters_, a, b);
     }
     Bump(counters_.comparisons);
-    auto ta = store_.tokens(a);
-    auto tb = store_.tokens(b);
-    size_t smaller = std::min(ta.size(), tb.size());
-    if (smaller == 0) return ta.size() == tb.size() ? 1.0 : 0.0;
-    size_t inter = util::SortedIntersectSize(ta, tb);
+    const PostingView ta = store_.posting(a);
+    const PostingView tb = store_.posting(b);
+    size_t smaller = std::min<size_t>(ta.size, tb.size);
+    if (smaller == 0) return ta.size == tb.size ? 1.0 : 0.0;
+    size_t inter = PostingIntersectSize(ta, tb);
     return static_cast<double>(inter) / static_cast<double>(smaller);
   }
 
@@ -228,11 +228,11 @@ class PreparedTokenOverlap final : public PreparedMatcher {
       return StringFallback(twin_, store_, counters_, a, b) >= threshold;
     }
     Bump(counters_.comparisons);
-    auto ta = store_.tokens(a);
-    auto tb = store_.tokens(b);
-    size_t smaller = std::min(ta.size(), tb.size());
+    const PostingView ta = store_.posting(a);
+    const PostingView tb = store_.posting(b);
+    size_t smaller = std::min<size_t>(ta.size, tb.size);
     if (smaller == 0) {
-      return (ta.size() == tb.size() ? 1.0 : 0.0) >= threshold;
+      return (ta.size == tb.size ? 1.0 : 0.0) >= threshold;
     }
     size_t required = RequiredOverlapCoefficient(smaller, threshold);
     if (required > smaller) {
@@ -243,7 +243,7 @@ class PreparedTokenOverlap final : public PreparedMatcher {
       Bump(counters_.filter_hits);
       return true;
     }
-    return util::SortedIntersectAtLeast(ta, tb, required);
+    return PostingIntersectAtLeast(ta, tb, required);
   }
 
   std::string name() const override { return "Prepared(TokenOverlap)"; }
@@ -582,7 +582,6 @@ SignatureStore SignatureStore::Build(const model::EntityCollection& collection,
   size_t total_tokens = 0;
   size_t total_tfidf = 0;
   for (const BuiltEntity& be : built) {
-    total_tokens += be.tokens.size();
     total_tfidf += be.tfidf.entries.size();
     for (const BuiltAttribute& attr : be.attributes) {
       total_tokens += attr.tokens.size();
@@ -594,10 +593,7 @@ SignatureStore SignatureStore::Build(const model::EntityCollection& collection,
   store.attribute_slots_.reserve(n * attributes.size());
   for (BuiltEntity& be : built) {
     Entry entry;
-    entry.token_offset = static_cast<uint32_t>(store.tokens_.size());
-    entry.token_count = static_cast<uint32_t>(be.tokens.size());
-    store.tokens_.insert(store.tokens_.end(), be.tokens.begin(),
-                         be.tokens.end());
+    entry.posting = store.posting_arena_.AppendSorted(be.tokens);
     if (model != nullptr) {
       entry.has_tfidf = true;
       entry.tfidf_offset = static_cast<uint32_t>(store.tfidf_.size());
@@ -632,10 +628,8 @@ void SignatureStore::Absorb(model::EntityId id,
                             const model::EntityDescription& description) {
   Entry& entry = EnsureSlot(id);
   if (entry.present) Release(id);  // Re-absorbing abandons the old bytes.
-  auto [offset, count] =
-      InternSortedSet(text::ValueTokens(description, options_.normalize));
-  entry.token_offset = offset;
-  entry.token_count = count;
+  entry.posting = posting_arena_.AppendSorted(
+      InternIds(text::ValueTokens(description, options_.normalize)));
   if (options_.tfidf_model != nullptr) FillTfIdf(entry, description);
   if (!options_.attributes.empty()) FillAttributes(entry, description);
   entry.present = true;
@@ -650,22 +644,9 @@ model::EntityId SignatureStore::AppendMerged(model::EntityId a,
   WEBER_CHECK(contains(b)) << "AppendMerged: constituent " << b
                            << " has no signature";
   Entry merged;
-  // Reserve before taking the spans: set_union appends into the same
-  // arena the spans view.
-  tokens_.reserve(tokens_.size() + entries_[a].token_count +
-                  entries_[b].token_count);
-  {
-    auto ta = tokens(a);
-    auto tb = tokens(b);
-    merged.token_offset = static_cast<uint32_t>(tokens_.size());
-    std::set_union(ta.begin(), ta.end(), tb.begin(), tb.end(),
-                   std::back_inserter(tokens_));
-    merged.token_count =
-        static_cast<uint32_t>(tokens_.size()) - merged.token_offset;
-    WEBER_DCHECK_UNIQUE(tokens_.begin() + merged.token_offset, tokens_.end())
-        << "set_union of the constituents' sorted sets is not a set; "
-        << "constituent spans were not sorted unique";
-  }
+  // Chunk-wise union; AppendUnion stages in scratch storage, so the
+  // views staying valid while the arena grows is its contract, not ours.
+  merged.posting = posting_arena_.AppendUnion(posting(a), posting(b));
   // merged.has_tfidf stays false: TF-IDF weighs raw occurrence counts,
   // which the constituents' distinct-token signatures do not retain.
   if (entries_[a].has_attributes && entries_[b].has_attributes) {
@@ -691,7 +672,7 @@ void SignatureStore::Release(model::EntityId id) {
   if (!contains(id)) return;
   // lint: allow(indexed-access) contains(id) above bounds-checks id
   Entry& entry = entries_[id];
-  uint64_t bytes = uint64_t{entry.token_count} * sizeof(uint32_t);
+  uint64_t bytes = posting_arena_.RefBytes(entry.posting);
   if (entry.has_tfidf) {
     bytes += uint64_t{entry.tfidf_count} * sizeof(std::pair<uint32_t, double>);
   }
@@ -714,7 +695,8 @@ size_t SignatureStore::AttributeIndex(std::string_view attribute) const {
 }
 
 size_t SignatureStore::ArenaBytes() const {
-  size_t bytes = tokens_.size() * sizeof(uint32_t) +
+  size_t bytes = posting_arena_.ByteSize() +
+                 tokens_.size() * sizeof(uint32_t) +
                  tfidf_.size() * sizeof(std::pair<uint32_t, double>) +
                  attribute_slots_.size() * sizeof(AttributeSlot) +
                  entries_.size() * sizeof(Entry);
@@ -735,6 +717,20 @@ void SignatureStore::PublishMetrics(double build_seconds) const {
       .Set(static_cast<double>(ArenaBytes()));
   registry->GetGauge("weber.matching.signature.released_bytes")
       .Set(static_cast<double>(released_bytes_));
+  registry->GetGauge("weber.matching.signature.posting_bytes")
+      .Set(static_cast<double>(posting_arena_.ByteSize()));
+  registry->GetGauge("weber.matching.signature.array_chunks")
+      .Set(static_cast<double>(posting_arena_.array_chunks()));
+  registry->GetGauge("weber.matching.signature.bitset_chunks")
+      .Set(static_cast<double>(posting_arena_.bitset_chunks()));
+  // Kernel dispatch state, surfaced alongside the signature gauges so one
+  // metrics snapshot pins which intersection code path produced it.
+  registry->GetGauge("weber.matching.kernel.level")
+      .Set(static_cast<double>(util::ActiveIntersectKernel()));
+  registry->GetGauge("weber.matching.kernel.cpu_level")
+      .Set(static_cast<double>(util::CpuBestKernel()));
+  registry->GetGauge("weber.matching.kernel.forced_scalar")
+      .Set(util::KernelForcedScalar() ? 1.0 : 0.0);
 }
 
 SignatureStore::Entry& SignatureStore::EnsureSlot(model::EntityId id) {
@@ -749,13 +745,19 @@ uint32_t SignatureStore::InternToken(const std::string& token) {
   return it->second;
 }
 
-std::pair<uint32_t, uint32_t> SignatureStore::InternSortedSet(
+std::vector<uint32_t> SignatureStore::InternIds(
     const std::vector<std::string>& tokens) {
   std::vector<uint32_t> ids;
   ids.reserve(tokens.size());
   for (const std::string& token : tokens) ids.push_back(InternToken(token));
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::pair<uint32_t, uint32_t> SignatureStore::InternSortedSet(
+    const std::vector<std::string>& tokens) {
+  std::vector<uint32_t> ids = InternIds(tokens);
   auto offset = static_cast<uint32_t>(tokens_.size());
   tokens_.insert(tokens_.end(), ids.begin(), ids.end());
   return {offset, static_cast<uint32_t>(ids.size())};

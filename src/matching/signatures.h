@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "matching/matcher.h"
+#include "matching/posting_set.h"
 #include "model/entity.h"
 #include "text/normalizer.h"
 #include "text/tfidf.h"
@@ -42,11 +43,13 @@ struct SignatureOptions {
 /// The token vocabulary is interned once — executor-parallel over
 /// contiguous entity chunks, with the chunk vocabularies merged serially
 /// in chunk order, so token ids follow global first-occurrence order for
-/// any thread count — and every entity's signature lives in flat arenas:
-///   - sorted distinct value-token ids (the ValueTokens set, as uint32),
+/// any thread count — and every entity's signature lives in shared arenas:
+///   - the value-token set (ValueTokens, sorted distinct ids) as a
+///     compressed posting set (roaring-style array/bitset chunks, see
+///     matching/posting_set.h),
 ///   - optionally a unit-length sparse TF-IDF vector (ascending token id),
 ///   - optionally, per configured attribute, the raw first value plus the
-///     sorted distinct token ids of its normalised form.
+///     sorted distinct token ids of its normalised form (flat uint32).
 ///
 /// The store is growable: Absorb interns one more description (incremental
 /// ingest), AppendMerged derives a merged signature from two existing ones
@@ -97,10 +100,24 @@ class SignatureStore {
     return id < entries_.size() && entries_[id].present;
   }
 
-  /// Sorted distinct value-token ids of a contained slot.
-  std::span<const uint32_t> tokens(model::EntityId id) const {
-    const Entry& e = entries_[id];
-    return {tokens_.data() + e.token_offset, e.token_count};
+  /// Compressed value-token set of a contained slot. Invalidated by any
+  /// store mutation (same lifetime rule as the spans it replaced).
+  PostingView posting(model::EntityId id) const {
+    return posting_arena_.View(entries_[id].posting);
+  }
+
+  /// Count of value tokens in a contained slot.
+  size_t token_count(model::EntityId id) const {
+    return entries_[id].posting.size;
+  }
+
+  /// Decompressed (sorted distinct u32) value-token ids of a contained
+  /// slot — the diagnostic/test accessor; the scoring paths stay on
+  /// posting() and never materialise this.
+  std::vector<uint32_t> TokenSet(model::EntityId id) const {
+    std::vector<uint32_t> out;
+    posting_arena_.Decompress(entries_[id].posting, &out);
+    return out;
   }
 
   bool has_tfidf(model::EntityId id) const {
@@ -164,8 +181,7 @@ class SignatureStore {
 
  private:
   struct Entry {
-    uint32_t token_offset = 0;
-    uint32_t token_count = 0;
+    PostingRef posting;  // Compressed value-token set.
     uint32_t tfidf_offset = 0;
     uint32_t tfidf_count = 0;
     uint32_t attribute_offset = 0;
@@ -176,8 +192,11 @@ class SignatureStore {
 
   Entry& EnsureSlot(model::EntityId id);
   uint32_t InternToken(const std::string& token);
+  /// Interns `tokens` and returns their sorted distinct ids.
+  std::vector<uint32_t> InternIds(const std::vector<std::string>& tokens);
   /// Appends the sorted distinct ids of `tokens` (interning new ones) to
-  /// the token arena; returns {offset, count}.
+  /// the flat token arena; returns {offset, count}. Attribute slots only —
+  /// value-token sets go through the posting arena.
   std::pair<uint32_t, uint32_t> InternSortedSet(
       const std::vector<std::string>& tokens);
   void FillAttributes(Entry& entry,
@@ -187,7 +206,8 @@ class SignatureStore {
   SignatureOptions options_;
   std::unordered_map<std::string, uint32_t> vocabulary_;
   std::vector<Entry> entries_;
-  std::vector<uint32_t> tokens_;                      // Token-id arena.
+  PostingArena posting_arena_;                        // Value-token sets.
+  std::vector<uint32_t> tokens_;                      // Attribute token ids.
   std::vector<std::pair<uint32_t, double>> tfidf_;    // TF-IDF arena.
   std::vector<AttributeSlot> attribute_slots_;        // Attribute arena.
   std::vector<std::string> values_;                   // Raw first values.

@@ -1,0 +1,533 @@
+#include "util/intersect.h"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define WEBER_X86 1
+#endif
+
+namespace weber::util {
+namespace {
+
+using detail::IntersectOps;
+using detail::kScalarOps;
+
+// ---------------------------------------------------------------------------
+// SIMD kernels. Each computes the exact same count as the scalar reference
+// in intersect.h — the block algorithms only change how many comparisons
+// happen per instruction, never which elements are considered equal — so
+// dispatch is invisible to every consumer. Function-level target
+// attributes keep the rest of the build free of SIMD codegen; the table is
+// only pointed here after the CPUID probe confirms the level.
+// ---------------------------------------------------------------------------
+
+#ifdef WEBER_X86
+
+// --- u32 blocked merge (balanced sizes) ------------------------------------
+//
+// The classic all-pairs block intersection: compare an 8-lane window of a
+// against all 8 rotations of an 8-lane window of b, then advance the
+// window whose maximum is smaller (both on a tie). Every equal pair is
+// seen in exactly one window pair because windows advance by whole blocks,
+// and strictly-increasing inputs guarantee each value matches at most one
+// lane — so popcounting the combined equality mask is exact.
+
+__attribute__((target("avx2"))) size_t Avx2BlockIntersectU32(
+    std::span<const uint32_t> a, std::span<const uint32_t> b, size_t* ai,
+    size_t* bi) {
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  if (na >= 8 && nb >= 8) {
+    // Rotation index vectors: rot[r] sends lane k to lane (k + r) % 8.
+    const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    while (i + 8 <= na && j + 8 <= nb) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.data() + i));
+      __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.data() + j));
+      __m256i eq = _mm256_cmpeq_epi32(va, vb);
+      for (int r = 1; r < 8; ++r) {
+        vb = _mm256_permutevar8x32_epi32(vb, rot1);
+        eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, vb));
+      }
+      count += static_cast<size_t>(
+          __builtin_popcount(static_cast<unsigned>(
+              _mm256_movemask_ps(_mm256_castsi256_ps(eq)))));
+      const uint32_t amax = a[i + 7];
+      const uint32_t bmax = b[j + 7];
+      if (amax <= bmax) i += 8;
+      if (bmax <= amax) j += 8;
+    }
+  }
+  *ai = i;
+  *bi = j;
+  return count;
+}
+
+__attribute__((target("sse4.2"))) size_t Sse4BlockIntersectU32(
+    std::span<const uint32_t> a, std::span<const uint32_t> b, size_t* ai,
+    size_t* bi) {
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.data() + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.data() + j));
+    __m128i eq = _mm_cmpeq_epi32(va, vb);
+    eq = _mm_or_si128(eq,
+                      _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x39)));
+    eq = _mm_or_si128(eq,
+                      _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x4E)));
+    eq = _mm_or_si128(eq,
+                      _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x93)));
+    count += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(eq)))));
+    const uint32_t amax = a[i + 3];
+    const uint32_t bmax = b[j + 3];
+    if (amax <= bmax) i += 4;
+    if (bmax <= amax) j += 4;
+  }
+  *ai = i;
+  *bi = j;
+  return count;
+}
+
+// --- u32 vectorised probe (skewed sizes) -----------------------------------
+//
+// Walks the small side; for each key, gallops over fixed 8-element blocks
+// of the big side to the unique block whose maximum is >= key, then tests
+// membership with one broadcast compare instead of the final binary-search
+// levels plus an equality probe. Blocks only move forward (keys ascend),
+// so the whole pass reads the big side once.
+
+// Smallest block start s in {from, from+8, ...} < full with
+// big[s + 7] >= key, or `full` when none. `from` and `full` are multiples
+// of 8, from <= full <= big's size.
+size_t BlockLowerBound(const uint32_t* big, size_t full, size_t from,
+                       uint32_t key) {
+  size_t lo = from;
+  if (lo >= full || big[lo + 7] >= key) return lo;
+  // Invariant: big[lo + 7] < key.
+  size_t step = 8;
+  while (lo + step < full && big[lo + step + 7] < key) {
+    lo += step;
+    step <<= 1;
+  }
+  size_t hi = lo + step < full ? lo + step : full;  // max >= key or == full.
+  lo += 8;
+  while (lo < hi) {
+    size_t mid = lo + ((hi - lo) / 16) * 8;
+    if (big[mid + 7] < key) {
+      lo = mid + 8;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+__attribute__((target("avx2"))) size_t Avx2ProbeIntersectU32(
+    std::span<const uint32_t> small, std::span<const uint32_t> big) {
+  const size_t full = big.size() & ~size_t{7};
+  size_t count = 0;
+  size_t block = 0;
+  size_t si = 0;
+  for (; si < small.size(); ++si) {
+    const uint32_t key = small[si];
+    block = BlockLowerBound(big.data(), full, block, key);
+    if (block == full) break;  // Only big's 8-wide tail can match now.
+    const __m256i vkey = _mm256_set1_epi32(static_cast<int>(key));
+    const __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(big.data() + block));
+    count += _mm256_movemask_ps(
+                 _mm256_castsi256_ps(_mm256_cmpeq_epi32(vkey, vb))) != 0;
+  }
+  if (si < small.size() && full < big.size()) {
+    count += GallopIntersectSize(small.subspan(si), big.subspan(full));
+  }
+  return count;
+}
+
+__attribute__((target("sse4.2"))) size_t Sse4ProbeIntersectU32(
+    std::span<const uint32_t> small, std::span<const uint32_t> big) {
+  // Same structure with 8-element blocks tested as two 4-lane compares:
+  // the block lower bound is shared, only the membership probe narrows.
+  const size_t full = big.size() & ~size_t{7};
+  size_t count = 0;
+  size_t block = 0;
+  size_t si = 0;
+  for (; si < small.size(); ++si) {
+    const uint32_t key = small[si];
+    block = BlockLowerBound(big.data(), full, block, key);
+    if (block == full) break;
+    const __m128i vkey = _mm_set1_epi32(static_cast<int>(key));
+    const __m128i lo =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(big.data() + block));
+    const __m128i hi = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(big.data() + block + 4));
+    const __m128i eq = _mm_or_si128(_mm_cmpeq_epi32(vkey, lo),
+                                    _mm_cmpeq_epi32(vkey, hi));
+    count += _mm_movemask_ps(_mm_castsi128_ps(eq)) != 0;
+  }
+  if (si < small.size() && full < big.size()) {
+    count += GallopIntersectSize(small.subspan(si), big.subspan(full));
+  }
+  return count;
+}
+
+// --- u32 adaptive dispatch rows --------------------------------------------
+
+size_t Avx2IntersectSizeU32(std::span<const uint32_t> small,
+                            std::span<const uint32_t> big) {
+  if (small.size() * kGallopRatio < big.size()) {
+    return Avx2ProbeIntersectU32(small, big);
+  }
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = Avx2BlockIntersectU32(small, big, &i, &j);
+  return count + MergeIntersectSize(small.subspan(i), big.subspan(j));
+}
+
+size_t Sse4IntersectSizeU32(std::span<const uint32_t> small,
+                            std::span<const uint32_t> big) {
+  if (small.size() * kGallopRatio < big.size()) {
+    return Sse4ProbeIntersectU32(small, big);
+  }
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = Sse4BlockIntersectU32(small, big, &i, &j);
+  return count + MergeIntersectSize(small.subspan(i), big.subspan(j));
+}
+
+// The decision kernels block-count with the same SIMD loops and re-check
+// the two-sided abandon/success bounds between blocks; the final verdict
+// is delegated to the scalar kernel on the unconsumed tails with the
+// already-proven overlap subtracted, so the verdict is exactly
+// |small ∩ big| >= required for every input.
+
+template <size_t kBlock>
+bool BlockIntersectAtLeast(std::span<const uint32_t> small,
+                           std::span<const uint32_t> big, size_t required,
+                           size_t (*block_fn)(std::span<const uint32_t>,
+                                              std::span<const uint32_t>,
+                                              size_t*, size_t*)) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i + kBlock <= small.size() && j + kBlock <= big.size()) {
+    if (count + std::min(small.size() - i, big.size() - j) < required) {
+      return false;
+    }
+    size_t bi = 0;
+    size_t bj = 0;
+    count += block_fn(small.subspan(i, kBlock), big.subspan(j, kBlock), &bi,
+                      &bj);
+    const uint32_t amax = small[i + kBlock - 1];
+    const uint32_t bmax = big[j + kBlock - 1];
+    if (amax <= bmax) i += kBlock;
+    if (bmax <= amax) j += kBlock;
+    if (count >= required) return true;
+  }
+  if (count >= required) return true;
+  return detail::ScalarIntersectAtLeast(small.subspan(i), big.subspan(j),
+                                        required - count);
+}
+
+bool Avx2IntersectAtLeastU32(std::span<const uint32_t> small,
+                             std::span<const uint32_t> big, size_t required) {
+  if (small.size() * kGallopRatio < big.size()) {
+    return detail::ScalarIntersectAtLeast(small, big, required);
+  }
+  return BlockIntersectAtLeast<8>(small, big, required,
+                                  &Avx2BlockIntersectU32);
+}
+
+bool Sse4IntersectAtLeastU32(std::span<const uint32_t> small,
+                             std::span<const uint32_t> big, size_t required) {
+  if (small.size() * kGallopRatio < big.size()) {
+    return detail::ScalarIntersectAtLeast(small, big, required);
+  }
+  return BlockIntersectAtLeast<4>(small, big, required,
+                                  &Sse4BlockIntersectU32);
+}
+
+// --- u16 array-chunk kernels -----------------------------------------------
+//
+// Posting-set array chunks hold at most 4096 sorted u16 values. The block
+// scheme is the same all-pairs compare, 8 u16 lanes per 128-bit vector
+// with byte-granular rotations (alignr). 128-bit vectors serve both SIMD
+// levels: a 256-bit u16 rotation needs cross-lane permutes that erase the
+// wider vectors' gain at chunk sizes (see DESIGN.md, "Kernel dispatch").
+
+__attribute__((target("sse4.2"))) size_t Sse4BlockIntersectU16(
+    std::span<const uint16_t> a, std::span<const uint16_t> b, size_t* ai,
+    size_t* bi) {
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.data() + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.data() + j));
+    __m128i eq = _mm_cmpeq_epi16(va, vb);
+    __m128i rb = vb;
+    for (int r = 1; r < 8; ++r) {
+      rb = _mm_alignr_epi8(rb, rb, 2);
+      eq = _mm_or_si128(eq, _mm_cmpeq_epi16(va, rb));
+    }
+    // Each equal u16 lane contributes two set bytes to the mask.
+    count += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(
+                 _mm_movemask_epi8(eq)))) /
+             2;
+    const uint16_t amax = a[i + 7];
+    const uint16_t bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  *ai = i;
+  *bi = j;
+  return count;
+}
+
+size_t Sse4IntersectSizeU16(std::span<const uint16_t> a,
+                            std::span<const uint16_t> b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = Sse4BlockIntersectU16(a, b, &i, &j);
+  return count + detail::ScalarIntersectSizeU16(a.subspan(i), b.subspan(j));
+}
+
+bool Sse4IntersectAtLeastU16(std::span<const uint16_t> a,
+                             std::span<const uint16_t> b, size_t required) {
+  if (required == 0) return true;
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i + 8 <= a.size() && j + 8 <= b.size()) {
+    if (count + std::min(a.size() - i, b.size() - j) < required) return false;
+    size_t bi = 0;
+    size_t bj = 0;
+    count += Sse4BlockIntersectU16(a.subspan(i, 8), b.subspan(j, 8), &bi, &bj);
+    const uint16_t amax = a[i + 7];
+    const uint16_t bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+    if (count >= required) return true;
+  }
+  if (count >= required) return true;
+  return detail::ScalarIntersectAtLeastU16(a.subspan(i), b.subspan(j),
+                                           required - count);
+}
+
+// --- bitset-chunk kernels --------------------------------------------------
+
+// AVX2 positional popcount via the classic 4-bit lookup: split each byte
+// of (a & b) into nibbles, translate both through a per-lane popcount
+// table, and horizontally sum with SAD against zero — no 8-bit counter
+// ever exceeds 8, so the accumulation is exact.
+__attribute__((target("avx2"))) size_t Avx2BitsetAndPopcount(
+    const uint64_t* a, const uint64_t* b, size_t words) {
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    const __m256i v = _mm256_and_si256(va, vb);
+    const __m256i lo = _mm256_shuffle_epi8(lookup,
+                                           _mm256_and_si256(v, low_mask));
+    const __m256i hi = _mm256_shuffle_epi8(
+        lookup, _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask));
+    const __m256i bytes = _mm256_add_epi8(lo, hi);
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(bytes,
+                                                _mm256_setzero_si256()));
+  }
+  uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  size_t count = static_cast<size_t>(lanes[0] + lanes[1] + lanes[2] +
+                                     lanes[3]);
+  for (; w < words; ++w) {
+    count += static_cast<size_t>(__builtin_popcountll(a[w] & b[w]));
+  }
+  return count;
+}
+
+__attribute__((target("sse4.2"))) size_t Sse4BitsetAndPopcount(
+    const uint64_t* a, const uint64_t* b, size_t words) {
+  // SSE4.2 guarantees the hardware POPCNT instruction, which is already
+  // the fast path for 64-bit words; wider tricks only pay from AVX2 up.
+  size_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    count += static_cast<size_t>(
+        _mm_popcnt_u64(static_cast<unsigned long long>(a[w] & b[w])));
+  }
+  return count;
+}
+
+constexpr IntersectOps kSse4Ops = {
+    &Sse4IntersectSizeU32,  &Sse4IntersectAtLeastU32,
+    &Sse4IntersectSizeU16,  &Sse4IntersectAtLeastU16,
+    &Sse4BitsetAndPopcount,
+};
+
+constexpr IntersectOps kAvx2Ops = {
+    &Avx2IntersectSizeU32,  &Avx2IntersectAtLeastU32,
+    &Sse4IntersectSizeU16,  &Sse4IntersectAtLeastU16,
+    &Avx2BitsetAndPopcount,
+};
+
+#endif  // WEBER_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch state.
+// ---------------------------------------------------------------------------
+
+const IntersectOps* OpsFor(IntersectKernel kernel) {
+#ifdef WEBER_X86
+  switch (kernel) {
+    case IntersectKernel::kAvx2:
+      return &kAvx2Ops;
+    case IntersectKernel::kSse4:
+      return &kSse4Ops;
+    case IntersectKernel::kScalar:
+      return &kScalarOps;
+  }
+#else
+  (void)kernel;
+#endif
+  return &kScalarOps;
+}
+
+bool ForcedScalar() {
+#ifdef WEBER_FORCE_SCALAR_KERNELS
+  return true;
+#else
+  const char* env = std::getenv("WEBER_FORCE_SCALAR_KERNELS");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+#endif
+}
+
+IntersectKernel ProbeCpu() {
+#ifdef WEBER_X86
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return IntersectKernel::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return IntersectKernel::kSse4;
+#endif
+  return IntersectKernel::kScalar;
+}
+
+struct DispatchState {
+  IntersectKernel cpu_best;
+  bool forced_scalar;
+  std::atomic<IntersectKernel> active;
+
+  DispatchState()
+      : cpu_best(ProbeCpu()),
+        forced_scalar(ForcedScalar()),
+        active(forced_scalar ? IntersectKernel::kScalar : cpu_best) {
+    detail::g_intersect_ops.store(OpsFor(active.load()),
+                                  std::memory_order_relaxed);
+  }
+};
+
+DispatchState& State() {
+  static DispatchState state;
+  return state;
+}
+
+// Touch the state during static initialisation so ordinary binaries run
+// on the best kernel from the first intersection; a consumer that races
+// ahead of this initialiser just runs scalar, which is bit-equal.
+const bool g_dispatch_initialised = (State(), true);
+
+}  // namespace
+
+namespace detail {
+
+size_t BenchBlockMergeIntersect(std::span<const uint32_t> small,
+                                std::span<const uint32_t> big) {
+#ifdef WEBER_X86
+  const IntersectKernel best = State().cpu_best;
+  size_t i = 0;
+  size_t j = 0;
+  if (best == IntersectKernel::kAvx2) {
+    size_t count = Avx2BlockIntersectU32(small, big, &i, &j);
+    return count + MergeIntersectSize(small.subspan(i), big.subspan(j));
+  }
+  if (best == IntersectKernel::kSse4) {
+    size_t count = Sse4BlockIntersectU32(small, big, &i, &j);
+    return count + MergeIntersectSize(small.subspan(i), big.subspan(j));
+  }
+#endif
+  return MergeIntersectSize(small, big);
+}
+
+size_t BenchProbeIntersect(std::span<const uint32_t> small,
+                           std::span<const uint32_t> big) {
+#ifdef WEBER_X86
+  const IntersectKernel best = State().cpu_best;
+  if (best == IntersectKernel::kAvx2) return Avx2ProbeIntersectU32(small, big);
+  if (best == IntersectKernel::kSse4) return Sse4ProbeIntersectU32(small, big);
+#endif
+  return GallopIntersectSize(small, big);
+}
+
+}  // namespace detail
+
+const char* KernelName(IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kScalar:
+      return "scalar";
+    case IntersectKernel::kSse4:
+      return "sse4";
+    case IntersectKernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+IntersectKernel CpuBestKernel() { return State().cpu_best; }
+
+bool KernelForcedScalar() { return State().forced_scalar; }
+
+IntersectKernel ActiveIntersectKernel() {
+  return State().active.load(std::memory_order_relaxed);
+}
+
+bool SetIntersectKernel(IntersectKernel kernel) {
+  DispatchState& state = State();
+  if (kernel != IntersectKernel::kScalar) {
+    if (state.forced_scalar) return false;
+    if (static_cast<int>(kernel) > static_cast<int>(state.cpu_best)) {
+      return false;
+    }
+  }
+  state.active.store(kernel, std::memory_order_relaxed);
+  detail::g_intersect_ops.store(OpsFor(kernel), std::memory_order_relaxed);
+  return true;
+}
+
+void ResetIntersectKernel() {
+  DispatchState& state = State();
+  SetIntersectKernel(state.forced_scalar ? IntersectKernel::kScalar
+                                         : state.cpu_best);
+}
+
+}  // namespace weber::util

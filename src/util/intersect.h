@@ -2,6 +2,7 @@
 #define WEBER_UTIL_INTERSECT_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -12,15 +13,71 @@
 namespace weber::util {
 
 /// Sorted-id intersection kernels shared by the simjoin verifiers and the
-/// matching signature engine. All inputs are strictly increasing uint32
+/// matching signature engine. All inputs are strictly increasing
 /// sequences; every function returns exact counts, so callers that derive
-/// similarities from them are bit-equal regardless of which strategy the
-/// adaptive dispatch picks.
+/// similarities from them are bit-equal regardless of which strategy —
+/// scalar merge, galloping search, or a SIMD block kernel — the runtime
+/// dispatch picks.
+///
+/// Dispatch model: the public entry points (`SortedIntersectSize`,
+/// `SortedIntersectAtLeast`, and the u16/bitset chunk primitives below)
+/// route through a process-wide kernel table selected once at startup by
+/// CPUID — scalar, SSE4, or AVX2 — and overridable for debugging via
+/// `SetIntersectKernel` (er_cli `--kernel=`) or the
+/// `WEBER_FORCE_SCALAR_KERNELS` environment variable / CMake option. The
+/// scalar kernels in this header are the always-available reference; the
+/// SIMD paths (src/util/intersect.cc) compute identical counts, so the
+/// choice is invisible to every consumer.
 
 /// Size ratio above which the adaptive kernels switch from the linear
-/// merge to galloping search over the longer sequence. Galloping costs
-/// O(small * log(big)); the merge costs O(small + big).
-inline constexpr size_t kGallopRatio = 16;
+/// strategy (merge, or SIMD block merge) to the skewed one (gallop, or
+/// SIMD block probe) over the longer sequence. Galloping costs
+/// O(small * log(big)); the merge costs O(small + big). Tuned from the
+/// BM_Kernel_Crossover sweep in bench_matching (see DESIGN.md, "Kernel
+/// dispatch"): the scalar merge/gallop pair breaks even at ratio ~32
+/// (107k vs 108k intersects/s), the AVX2 block-merge/probe pair between
+/// 16 and 32 (merge +5% at 16, probe +20% at 32). One constant serves
+/// both paths; 24 splits the two measured crossings and is within a few
+/// percent of optimal for each.
+inline constexpr size_t kGallopRatio = 24;
+
+/// One SIMD instruction-set level of the kernel table. Values are ordered:
+/// higher levels strictly extend lower ones.
+enum class IntersectKernel : int {
+  kScalar = 0,
+  kSse4 = 1,
+  kAvx2 = 2,
+};
+
+/// Human-readable kernel name ("scalar", "sse4", "avx2").
+const char* KernelName(IntersectKernel kernel);
+
+/// Best level this CPU supports (cached CPUID probe). Unaffected by
+/// forcing or overrides.
+IntersectKernel CpuBestKernel();
+
+/// True when dispatch is pinned to scalar by the WEBER_FORCE_SCALAR_KERNELS
+/// environment variable or compile-time definition.
+bool KernelForcedScalar();
+
+/// The level the dispatch table currently routes to.
+IntersectKernel ActiveIntersectKernel();
+
+/// Re-points the dispatch table at `kernel`. Returns false (and leaves the
+/// table unchanged) when the CPU lacks the level or scalar is forced;
+/// requesting kScalar always succeeds. Not thread-safe against in-flight
+/// intersections — call between parallel regions (every kernel computes
+/// identical results, so a racy read would still be correct, but the
+/// switch itself must not tear).
+bool SetIntersectKernel(IntersectKernel kernel);
+
+/// Restores the startup choice: CpuBestKernel(), or scalar when forced.
+void ResetIntersectKernel();
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (always available, used by the dispatch table's
+// scalar row and as the bit-equality oracle in tests).
+// ---------------------------------------------------------------------------
 
 /// First index in [from, data.size()) with data[index] >= key, found by
 /// doubling probes followed by a binary search of the last gallop window.
@@ -86,15 +143,176 @@ inline size_t MergeIntersectSize(std::span<const uint32_t> a,
   return count;
 }
 
-/// |a ∩ b|, adaptively choosing merge or galloping by the size skew.
+namespace detail {
+
+/// Scalar |small ∩ big| with small.size() <= big.size(), both non-empty:
+/// the adaptive merge/gallop reference the dispatch table's scalar row
+/// points at.
+inline size_t ScalarIntersectSize(std::span<const uint32_t> small,
+                                  std::span<const uint32_t> big) {
+  if (small.size() * kGallopRatio < big.size()) {
+    return GallopIntersectSize(small, big);
+  }
+  return MergeIntersectSize(small, big);
+}
+
+/// Scalar decision kernel with small.size() <= big.size() and
+/// 1 <= required <= small.size(): true iff |small ∩ big| >= required,
+/// abandoning as soon as the remaining elements of *either* side cannot
+/// reach `required` and succeeding as soon as the bound is met.
+inline bool ScalarIntersectAtLeast(std::span<const uint32_t> small,
+                                   std::span<const uint32_t> big,
+                                   size_t required) {
+  size_t count = 0;
+  if (small.size() * kGallopRatio < big.size()) {
+    size_t at = 0;
+    for (size_t i = 0; i < small.size(); ++i) {
+      // Abandon on the overlap upper bound: neither small's tail nor
+      // big's unscanned tail may be able to supply the missing matches.
+      if (count + std::min(small.size() - i, big.size() - at) < required) {
+        return false;
+      }
+      at = GallopLowerBound(big, at, small[i]);
+      if (at == big.size()) return count >= required;
+      if (big[at] == small[i]) {
+        if (++count >= required) return true;
+        ++at;
+      }
+    }
+    return false;
+  }
+  size_t i = 0;
+  size_t j = 0;
+  while (i < small.size() && j < big.size()) {
+    size_t possible = count + std::min(small.size() - i, big.size() - j);
+    if (possible < required) return false;
+    if (small[i] == big[j]) {
+      if (++count >= required) return true;
+      ++i;
+      ++j;
+    } else if (small[i] < big[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+/// Scalar |a ∩ b| over sorted distinct u16 chunk arrays (any sizes).
+inline size_t ScalarIntersectSizeU16(std::span<const uint16_t> a,
+                                     std::span<const uint16_t> b) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// Scalar u16 decision twin: true iff |a ∩ b| >= required (required == 0
+/// is trivially true), with the same two-sided abandon bound as the u32
+/// kernel.
+inline bool ScalarIntersectAtLeastU16(std::span<const uint16_t> a,
+                                      std::span<const uint16_t> b,
+                                      size_t required) {
+  if (required == 0) return true;
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (count + std::min(a.size() - i, b.size() - j) < required) return false;
+    if (a[i] == b[j]) {
+      if (++count >= required) return true;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+/// Scalar popcount(a & b) over `words` 64-bit words.
+inline size_t ScalarBitsetAndPopcount(const uint64_t* a, const uint64_t* b,
+                                      size_t words) {
+  size_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    count += static_cast<size_t>(__builtin_popcountll(a[w] & b[w]));
+  }
+  return count;
+}
+
+/// The kernel table one dispatch level routes through. u32 entries take
+/// (small, big) pre-swapped so small.size() <= big.size(), both non-empty;
+/// u32 at_least additionally has 1 <= required <= small.size(). The u16
+/// and bitset entries take chunk payloads as stored (any order).
+struct IntersectOps {
+  size_t (*u32_size)(std::span<const uint32_t>, std::span<const uint32_t>);
+  bool (*u32_at_least)(std::span<const uint32_t>, std::span<const uint32_t>,
+                       size_t);
+  size_t (*u16_size)(std::span<const uint16_t>, std::span<const uint16_t>);
+  bool (*u16_at_least)(std::span<const uint16_t>, std::span<const uint16_t>,
+                       size_t);
+  size_t (*bitset_and_popcount)(const uint64_t*, const uint64_t*, size_t);
+};
+
+inline constexpr IntersectOps kScalarOps = {
+    &ScalarIntersectSize,        &ScalarIntersectAtLeast,
+    &ScalarIntersectSizeU16,     &ScalarIntersectAtLeastU16,
+    &ScalarBitsetAndPopcount,
+};
+
+/// The active table. Constant-initialised to scalar so any static
+/// initialiser that intersects before the dispatch probe runs is still
+/// exact; upgraded once at startup and by SetIntersectKernel. Relaxed
+/// atomics: every table computes identical results, so readers need no
+/// ordering — the atomic only prevents torn pointers.
+inline constinit std::atomic<const IntersectOps*> g_intersect_ops{
+    &kScalarOps};
+
+inline const IntersectOps& ActiveOps() {
+  return *g_intersect_ops.load(std::memory_order_relaxed);
+}
+
+/// Tuning hooks for the BM_Kernel_Crossover microbench: the two u32
+/// strategies the best SIMD level chooses between at kGallopRatio, each
+/// callable directly so the crossover can be measured across the whole
+/// size-ratio sweep (the public entry points would switch mid-sweep).
+/// Preconditions match the ops table: small.size() <= big.size(), both
+/// non-empty. On CPUs without SIMD they fall back to the scalar merge and
+/// gallop. Not for production call sites — use SortedIntersectSize.
+size_t BenchBlockMergeIntersect(std::span<const uint32_t> small,
+                                std::span<const uint32_t> big);
+size_t BenchProbeIntersect(std::span<const uint32_t> small,
+                           std::span<const uint32_t> big);
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Public dispatching entry points.
+// ---------------------------------------------------------------------------
+
+/// |a ∩ b|, routed through the active kernel (adaptive merge/gallop on
+/// scalar; blocked merge / vectorised probe on SIMD levels).
 inline size_t SortedIntersectSize(std::span<const uint32_t> a,
                                   std::span<const uint32_t> b) {
   WEBER_DCHECK_UNIQUE(a.begin(), a.end()) << "kernel input not a sorted set";
   WEBER_DCHECK_UNIQUE(b.begin(), b.end()) << "kernel input not a sorted set";
   if (a.size() > b.size()) std::swap(a, b);
   if (a.empty()) return 0;
-  if (a.size() * kGallopRatio < b.size()) return GallopIntersectSize(a, b);
-  return MergeIntersectSize(a, b);
+  return detail::ActiveOps().u32_size(a, b);
 }
 
 /// Decision kernel: true iff |a ∩ b| >= required. Abandons as soon as the
@@ -109,36 +327,41 @@ inline bool SortedIntersectAtLeast(std::span<const uint32_t> a,
   if (required == 0) return true;
   if (a.size() > b.size()) std::swap(a, b);
   if (a.size() < required) return false;  // Length filter.
+  return detail::ActiveOps().u32_at_least(a, b, required);
+}
+
+/// |a ∩ b| over sorted distinct u16 sequences — the array×array posting-
+/// chunk kernel (see matching/posting_set.h).
+inline size_t SortedIntersectSizeU16(std::span<const uint16_t> a,
+                                     std::span<const uint16_t> b) {
+  return detail::ActiveOps().u16_size(a, b);
+}
+
+/// Decision twin of SortedIntersectSizeU16: true iff |a ∩ b| >= required.
+inline bool SortedIntersectAtLeastU16(std::span<const uint16_t> a,
+                                      std::span<const uint16_t> b,
+                                      size_t required) {
+  return detail::ActiveOps().u16_at_least(a, b, required);
+}
+
+/// popcount(a & b) over `words` 64-bit words — the bitset×bitset posting-
+/// chunk kernel, and the path where SIMD pays most.
+inline size_t BitsetAndPopcount(const uint64_t* a, const uint64_t* b,
+                                size_t words) {
+  return detail::ActiveOps().bitset_and_popcount(a, b, words);
+}
+
+/// Count of `keys` present in the 65536-bit chunk bitset — the
+/// array×bitset posting-chunk kernel. Bit tests are dependent scattered
+/// loads, so no SIMD variant exists; one scalar implementation serves all
+/// dispatch levels.
+inline size_t BitsetContainsCount(std::span<const uint16_t> keys,
+                                  const uint64_t* bits) {
   size_t count = 0;
-  if (a.size() * kGallopRatio < b.size()) {
-    size_t at = 0;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (count + (a.size() - i) < required) return false;
-      at = GallopLowerBound(b, at, a[i]);
-      if (at == b.size()) return count >= required;
-      if (b[at] == a[i]) {
-        if (++count >= required) return true;
-        ++at;
-      }
-    }
-    return false;
+  for (uint16_t key : keys) {
+    count += (bits[key >> 6] >> (key & 63)) & 1u;
   }
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    size_t possible = count + std::min(a.size() - i, b.size() - j);
-    if (possible < required) return false;
-    if (a[i] == b[j]) {
-      if (++count >= required) return true;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return false;
+  return count;
 }
 
 }  // namespace weber::util

@@ -1,0 +1,408 @@
+// Kernel × representation × dispatch property suite.
+//
+// Every intersection kernel the dispatch table can route to — scalar,
+// SSE4, AVX2; u32 spans, u16 array chunks, bitset chunks, and the hybrid
+// posting sets built from them — must count exactly like the naive merge
+// reference on every input, including the adversarial shapes SIMD code
+// gets wrong first: empty sets, sizes straddling the vector width, dense
+// runs crossing chunk boundaries, all-miss interleavings, and values at
+// the top of the u32 range. The decision kernels must additionally return
+// the exact thresholded verdict for every required-overlap edge value.
+// tests/signatures_test.cc proves the engine bit-equal end-to-end; this
+// file proves the kernels equal at the counting layer, per dispatch level.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "matching/posting_set.h"
+#include "util/intersect.h"
+#include "util/random.h"
+
+namespace weber::util {
+namespace {
+
+std::vector<IntersectKernel> AvailableKernels() {
+  std::vector<IntersectKernel> kernels = {IntersectKernel::kScalar};
+  for (IntersectKernel kernel :
+       {IntersectKernel::kSse4, IntersectKernel::kAvx2}) {
+    if (SetIntersectKernel(kernel)) kernels.push_back(kernel);
+  }
+  ResetIntersectKernel();
+  return kernels;
+}
+
+/// Runs `body` once per reachable dispatch level, with the table pinned,
+/// and restores the startup choice afterwards.
+template <typename Body>
+void ForEachKernel(const Body& body) {
+  for (IntersectKernel kernel : AvailableKernels()) {
+    ASSERT_TRUE(SetIntersectKernel(kernel)) << KernelName(kernel);
+    body(kernel);
+  }
+  ResetIntersectKernel();
+}
+
+size_t ReferenceIntersect(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out.size();
+}
+
+std::vector<uint32_t> RandomSortedSet(util::Rng& rng, size_t max_size,
+                                      uint64_t universe, uint32_t base = 0) {
+  std::vector<uint32_t> out;
+  size_t n = rng.NextBounded(max_size + 1);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(base + static_cast<uint32_t>(rng.NextBounded(universe)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Required-overlap edge values around the exact count and both size
+/// bounds, deduplicated; every one must yield the reference verdict.
+std::vector<size_t> RequiredEdges(size_t expected, size_t smaller) {
+  std::vector<size_t> edges = {0, 1, expected, expected + 1, smaller,
+                               smaller + 1};
+  if (expected > 0) edges.push_back(expected - 1);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+void ExpectU32KernelExact(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b) {
+  size_t expected = ReferenceIntersect(a, b);
+  std::span<const uint32_t> sa(a.data(), a.size());
+  std::span<const uint32_t> sb(b.data(), b.size());
+  ASSERT_EQ(SortedIntersectSize(sa, sb), expected)
+      << "|a|=" << a.size() << " |b|=" << b.size() << " kernel "
+      << KernelName(ActiveIntersectKernel());
+  ASSERT_EQ(SortedIntersectSize(sb, sa), expected);
+  for (size_t required :
+       RequiredEdges(expected, std::min(a.size(), b.size()))) {
+    ASSERT_EQ(SortedIntersectAtLeast(sa, sb, required), expected >= required)
+        << "required=" << required << " expected=" << expected << " kernel "
+        << KernelName(ActiveIntersectKernel());
+    ASSERT_EQ(SortedIntersectAtLeast(sb, sa, required), expected >= required);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch state machine
+// ---------------------------------------------------------------------------
+
+TEST(KernelDispatchTest, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(SetIntersectKernel(IntersectKernel::kScalar));
+  EXPECT_EQ(ActiveIntersectKernel(), IntersectKernel::kScalar);
+  ResetIntersectKernel();
+}
+
+TEST(KernelDispatchTest, ResetRestoresStartupChoice) {
+  IntersectKernel startup = ActiveIntersectKernel();
+  SetIntersectKernel(IntersectKernel::kScalar);
+  ResetIntersectKernel();
+  EXPECT_EQ(ActiveIntersectKernel(), startup);
+  if (KernelForcedScalar()) {
+    EXPECT_EQ(startup, IntersectKernel::kScalar);
+  } else {
+    EXPECT_EQ(startup, CpuBestKernel());
+  }
+}
+
+TEST(KernelDispatchTest, ActiveNeverExceedsCpuBest) {
+  for (IntersectKernel kernel :
+       {IntersectKernel::kSse4, IntersectKernel::kAvx2}) {
+    bool ok = SetIntersectKernel(kernel);
+    if (static_cast<int>(kernel) > static_cast<int>(CpuBestKernel()) ||
+        KernelForcedScalar()) {
+      EXPECT_FALSE(ok) << KernelName(kernel);
+    } else {
+      EXPECT_TRUE(ok) << KernelName(kernel);
+      EXPECT_EQ(ActiveIntersectKernel(), kernel);
+    }
+  }
+  ResetIntersectKernel();
+}
+
+TEST(KernelDispatchTest, KernelNamesAreStable) {
+  EXPECT_STREQ(KernelName(IntersectKernel::kScalar), "scalar");
+  EXPECT_STREQ(KernelName(IntersectKernel::kSse4), "sse4");
+  EXPECT_STREQ(KernelName(IntersectKernel::kAvx2), "avx2");
+}
+
+// ---------------------------------------------------------------------------
+// u32 kernels: every dispatch level vs the merge reference
+// ---------------------------------------------------------------------------
+
+TEST(KernelEqualityTest, RandomizedU32AllKernels) {
+  ForEachKernel([](IntersectKernel) {
+    util::Rng rng(101);
+    for (int trial = 0; trial < 300; ++trial) {
+      // Rotate shapes: balanced, probe-skewed, and just past the block
+      // width so the vector loop runs once with a straggling tail.
+      size_t max_a = trial % 3 == 0 ? 9 : 70;
+      size_t max_b = trial % 3 == 1 ? 400 : 70;
+      std::vector<uint32_t> a = RandomSortedSet(rng, max_a, 500);
+      std::vector<uint32_t> b = RandomSortedSet(rng, max_b, 500);
+      ExpectU32KernelExact(a, b);
+    }
+  });
+}
+
+TEST(KernelEqualityTest, AdversarialU32Shapes) {
+  const uint32_t top = UINT32_MAX;
+  std::vector<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>> cases;
+  // Empty against everything.
+  cases.push_back({{}, {}});
+  cases.push_back({{}, {1, 2, 3, 4, 5, 6, 7, 8, 9}});
+  // All-miss interleavings (evens vs odds) at block-straddling sizes.
+  for (size_t n : {7u, 8u, 9u, 15u, 16u, 17u, 33u}) {
+    std::vector<uint32_t> evens;
+    std::vector<uint32_t> odds;
+    for (size_t i = 0; i < n; ++i) {
+      evens.push_back(static_cast<uint32_t>(2 * i));
+      odds.push_back(static_cast<uint32_t>(2 * i + 1));
+    }
+    cases.push_back({evens, odds});
+    cases.push_back({evens, evens});
+  }
+  // Identical long runs and fully disjoint ranges.
+  std::vector<uint32_t> run;
+  for (uint32_t i = 0; i < 64; ++i) run.push_back(1000 + i);
+  cases.push_back({run, run});
+  std::vector<uint32_t> shifted;
+  for (uint32_t i = 0; i < 64; ++i) shifted.push_back(5000 + i);
+  cases.push_back({run, shifted});
+  // Values at the top of the range (sign-agnostic compares required).
+  cases.push_back({{top - 8, top - 4, top - 2, top - 1, top},
+                   {top - 7, top - 4, top - 1, top}});
+  // One singleton probing a long sequence (gallop/probe path).
+  std::vector<uint32_t> big;
+  for (uint32_t i = 0; i < 300; ++i) big.push_back(3 * i);
+  cases.push_back({{299 * 3}, big});
+  cases.push_back({{1}, big});
+  ForEachKernel([&cases](IntersectKernel) {
+    for (const auto& [a, b] : cases) ExpectU32KernelExact(a, b);
+  });
+}
+
+// Satellite regression: the gallop branch of the decision kernel must
+// bound its abandon test by *both* tails. These shapes make b's unscanned
+// tail the binding bound — a's tail alone would keep scanning (old
+// behaviour) or, worse, a bound applied to the wrong side could abandon a
+// reachable verdict. Verdicts are pinned against the naive reference for
+// every edge value of `required`.
+TEST(KernelEqualityTest, GallopAtLeastBoundedByBothTails) {
+  // Force the gallop branch: |a| * kGallopRatio < |b|.
+  std::vector<uint32_t> a;
+  std::vector<uint32_t> b;
+  for (uint32_t i = 0; i < 4; ++i) a.push_back(10000 + i);
+  for (uint32_t i = 0; i < 4 * static_cast<uint32_t>(kGallopRatio) + 64; ++i) {
+    b.push_back(i);  // b ends far below a: b's tail shrinks to zero fast.
+  }
+  ASSERT_LT(a.size() * kGallopRatio, b.size());
+  ForEachKernel([&](IntersectKernel) { ExpectU32KernelExact(a, b); });
+
+  // And with a partial overlap parked at b's very end, so the verdict
+  // flips exactly when required exceeds what b's tail can still supply.
+  b.back() = 10000;
+  ASSERT_TRUE(std::is_sorted(b.begin(), b.end()));
+  ForEachKernel([&](IntersectKernel) { ExpectU32KernelExact(a, b); });
+}
+
+// ---------------------------------------------------------------------------
+// u16 array-chunk and bitset-chunk kernels
+// ---------------------------------------------------------------------------
+
+TEST(KernelEqualityTest, U16KernelsMatchScalar) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint32_t> wide_a = RandomSortedSet(rng, 90, 300);
+    std::vector<uint32_t> wide_b = RandomSortedSet(rng, 90, 300);
+    std::vector<uint16_t> a(wide_a.begin(), wide_a.end());
+    std::vector<uint16_t> b(wide_b.begin(), wide_b.end());
+    size_t expected = ReferenceIntersect(wide_a, wide_b);
+    ForEachKernel([&](IntersectKernel) {
+      ASSERT_EQ(SortedIntersectSizeU16(a, b), expected);
+      for (size_t required :
+           RequiredEdges(expected, std::min(a.size(), b.size()))) {
+        ASSERT_EQ(SortedIntersectAtLeastU16(a, b, required),
+                  expected >= required)
+            << "required=" << required << " kernel "
+            << KernelName(ActiveIntersectKernel());
+      }
+    });
+  }
+}
+
+TEST(KernelEqualityTest, BitsetKernelsMatchScalar) {
+  util::Rng rng(78);
+  constexpr size_t kWords = matching::kPostingBitsetWords;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<uint64_t> a(kWords, 0);
+    std::vector<uint64_t> b(kWords, 0);
+    // Mix dense word runs with sparse scatter so both the vector loop and
+    // its remainder tail see asymmetric data.
+    for (size_t w = 0; w < kWords; ++w) {
+      if (rng.NextBounded(4) == 0) a[w] = ~uint64_t{0};
+      if (rng.NextBounded(7) == 0) b[w] = rng.NextBounded(UINT64_MAX);
+    }
+    size_t expected = detail::ScalarBitsetAndPopcount(a.data(), b.data(),
+                                                      kWords);
+    ForEachKernel([&](IntersectKernel) {
+      ASSERT_EQ(BitsetAndPopcount(a.data(), b.data(), kWords), expected)
+          << KernelName(ActiveIntersectKernel());
+    });
+    // Non-multiple-of-vector word counts exercise the scalar remainder.
+    for (size_t words : {size_t{1}, size_t{3}, size_t{5}, kWords - 1}) {
+      size_t partial = detail::ScalarBitsetAndPopcount(a.data(), b.data(),
+                                                       words);
+      ForEachKernel([&](IntersectKernel) {
+        ASSERT_EQ(BitsetAndPopcount(a.data(), b.data(), words), partial);
+      });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Posting sets: compressed representation vs decompressed reference
+// ---------------------------------------------------------------------------
+
+/// Sorted u32 set whose density forces the requested chunk layouts:
+/// sparse chunks stay arrays, any chunk with > kPostingArrayMax members
+/// becomes a bitset.
+std::vector<uint32_t> MixedDensitySet(util::Rng& rng, bool dense_low,
+                                      bool dense_high) {
+  std::vector<uint32_t> out;
+  if (dense_low) {
+    // A dense run crossing the chunk boundary at 65536: both neighbouring
+    // chunks exceed kPostingArrayMax, and the run must survive the split.
+    for (uint32_t v = 65536 - 5000; v < 65536 + 5000; ++v) {
+      if (rng.NextBounded(8) != 0) out.push_back(v);
+    }
+  }
+  size_t sparse = rng.NextBounded(200);
+  for (size_t i = 0; i < sparse; ++i) {
+    out.push_back(static_cast<uint32_t>(rng.NextBounded(1u << 20)));
+  }
+  if (dense_high) {
+    for (uint32_t v = 0; v < 6000; ++v) {
+      if (rng.NextBounded(8) != 0) out.push_back((3u << 16) + v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+TEST(PostingSetTest, RoundTripPreservesEverySet) {
+  util::Rng rng(5);
+  matching::PostingArena arena;
+  std::vector<std::pair<matching::PostingRef, std::vector<uint32_t>>> sets;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<uint32_t> values =
+        MixedDensitySet(rng, trial % 2 == 0, trial % 3 == 0);
+    sets.push_back({arena.AppendSorted(values), values});
+  }
+  sets.push_back({arena.AppendSorted({}), {}});
+  for (const auto& [ref, values] : sets) {
+    std::vector<uint32_t> back;
+    arena.Decompress(ref, &back);
+    ASSERT_EQ(back, values);
+    ASSERT_EQ(arena.View(ref).size, values.size());
+  }
+  EXPECT_GT(arena.bitset_chunks(), 0u) << "dense runs never became bitsets";
+  EXPECT_GT(arena.array_chunks(), 0u);
+}
+
+TEST(PostingSetTest, IntersectionsMatchReferenceForAllLayoutPairs) {
+  util::Rng rng(6);
+  matching::PostingArena arena;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<uint32_t> a =
+        MixedDensitySet(rng, trial % 2 == 0, trial % 3 == 0);
+    std::vector<uint32_t> b =
+        MixedDensitySet(rng, trial % 2 == 1, trial % 5 == 0);
+    matching::PostingRef ra = arena.AppendSorted(a);
+    matching::PostingRef rb = arena.AppendSorted(b);
+    size_t expected = ReferenceIntersect(a, b);
+    ForEachKernel([&](IntersectKernel) {
+      matching::PostingView va = arena.View(ra);
+      matching::PostingView vb = arena.View(rb);
+      ASSERT_EQ(matching::PostingIntersectSize(va, vb), expected)
+          << KernelName(ActiveIntersectKernel());
+      ASSERT_EQ(matching::PostingIntersectSize(vb, va), expected);
+      for (size_t required :
+           RequiredEdges(expected, std::min(a.size(), b.size()))) {
+        ASSERT_EQ(matching::PostingIntersectAtLeast(va, vb, required),
+                  expected >= required)
+            << "required=" << required << " kernel "
+            << KernelName(ActiveIntersectKernel());
+      }
+    });
+  }
+}
+
+TEST(PostingSetTest, UnionMatchesSetUnionAndNeverDowngrades) {
+  util::Rng rng(8);
+  matching::PostingArena arena;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint32_t> a =
+        MixedDensitySet(rng, trial % 2 == 0, trial % 3 == 0);
+    std::vector<uint32_t> b =
+        MixedDensitySet(rng, trial % 2 == 1, trial % 3 == 1);
+    matching::PostingRef ra = arena.AppendSorted(a);
+    matching::PostingRef rb = arena.AppendSorted(b);
+    std::vector<uint32_t> expected;
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(expected));
+    matching::PostingRef ru =
+        arena.AppendUnion(arena.View(ra), arena.View(rb));
+    std::vector<uint32_t> got;
+    arena.Decompress(ru, &got);
+    ASSERT_EQ(got, expected);
+    // A bitset constituent chunk keeps its union chunk a bitset.
+    matching::PostingView vu = arena.View(ru);
+    matching::PostingView va = arena.View(ra);
+    matching::PostingView vb = arena.View(rb);
+    for (const matching::PostingChunk& cu : vu.chunks) {
+      bool source_bitset = false;
+      for (const auto& view : {va, vb}) {
+        for (const matching::PostingChunk& c : view.chunks) {
+          if (c.key == cu.key && c.bitset != 0) source_bitset = true;
+        }
+      }
+      if (source_bitset) {
+        EXPECT_NE(cu.bitset, 0) << "union downgraded chunk " << cu.key;
+      }
+    }
+  }
+}
+
+TEST(PostingSetTest, RefBytesAccountsDirectoryAndPayload) {
+  matching::PostingArena arena;
+  std::vector<uint32_t> sparse = {1, 70000, 140000};
+  matching::PostingRef ref = arena.AppendSorted(sparse);
+  // Three array chunks of one u16 each.
+  EXPECT_EQ(arena.RefBytes(ref),
+            3 * sizeof(matching::PostingChunk) + 3 * sizeof(uint16_t));
+  std::vector<uint32_t> dense;
+  for (uint32_t v = 0; v < 5000; ++v) dense.push_back(v);
+  matching::PostingRef dense_ref = arena.AppendSorted(dense);
+  EXPECT_EQ(arena.RefBytes(dense_ref),
+            sizeof(matching::PostingChunk) +
+                matching::kPostingBitsetWords * sizeof(uint64_t));
+  EXPECT_EQ(arena.ByteSize(),
+            arena.RefBytes(ref) + arena.RefBytes(dense_ref));
+}
+
+}  // namespace
+}  // namespace weber::util

@@ -143,6 +143,16 @@ void CheckAllMatchers(const model::EntityCollection& collection,
                            CompositeMatcher::Combine::kMin);
   OracleMatcher oracle(collection, truth, /*error_rate=*/0.1, /*seed=*/5);
 
+  // Every reachable dispatch level must reproduce the string path
+  // bit-for-bit: the SIMD kernels count exactly, so switching them can
+  // never move a similarity or flip a verdict.
+  std::vector<util::IntersectKernel> kernels = {util::IntersectKernel::kScalar};
+  for (util::IntersectKernel kernel :
+       {util::IntersectKernel::kSse4, util::IntersectKernel::kAvx2}) {
+    if (util::SetIntersectKernel(kernel)) kernels.push_back(kernel);
+  }
+  util::ResetIntersectKernel();
+
   const Matcher* matchers[] = {&jaccard, &overlap, &tfidf,   &weighted,
                                &average, &maximum, &minimum, &oracle};
   for (const Matcher* matcher : matchers) {
@@ -151,7 +161,11 @@ void CheckAllMatchers(const model::EntityCollection& collection,
         SignatureStore::Build(collection, OptionsFor(*matcher));
     std::unique_ptr<PreparedMatcher> prepared = Prepare(*matcher, store);
     ASSERT_NE(prepared, nullptr) << matcher->name();
-    ExpectBitEqual(collection, *matcher, *prepared);
+    for (util::IntersectKernel kernel : kernels) {
+      ASSERT_TRUE(util::SetIntersectKernel(kernel));
+      ExpectBitEqual(collection, *matcher, *prepared);
+    }
+    util::ResetIntersectKernel();
   }
 }
 
@@ -198,17 +212,14 @@ TEST(SignatureStoreTest, VocabularyIdenticalForAnyThreadCount) {
     core::ScopedParallelism one(1);
     SignatureStore store = SignatureStore::Build(corpus.collection);
     for (model::EntityId id = 0; id < corpus.collection.size(); ++id) {
-      auto span = store.tokens(id);
-      serial_tokens.emplace_back(span.begin(), span.end());
+      serial_tokens.push_back(store.TokenSet(id));
     }
   }
   for (size_t threads : {size_t{2}, size_t{8}}) {
     core::ScopedParallelism parallelism(threads);
     SignatureStore store = SignatureStore::Build(corpus.collection);
     for (model::EntityId id = 0; id < corpus.collection.size(); ++id) {
-      auto span = store.tokens(id);
-      ASSERT_EQ(serial_tokens[id],
-                std::vector<uint32_t>(span.begin(), span.end()))
+      ASSERT_EQ(serial_tokens[id], store.TokenSet(id))
           << "entity " << id << " threads " << threads;
     }
   }
