@@ -51,6 +51,8 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
+#include "storage/file_io.h"
+#include "storage/options.h"
 #include "util/check.h"
 #include "util/intersect.h"
 
@@ -103,7 +105,8 @@ constexpr const char kUsage[] =
     "usage: er_cli [INPUT.nt] [--threshold T] [--blocker "
     "token|qgrams|sn|pis] [--meta WEIGHT PRUNING] [--truth FILE] "
     "[--budget N] [--threads N] [--kernel auto|scalar|sse4|avx2] "
-    "[--stream[=BATCH]] [--out FILE] "
+    "[--stream[=BATCH]] [--data-dir PATH] [--snapshot-every N] "
+    "[--fsync always|batch|off] [--out FILE] "
     "[--metrics-json FILE] [--trace-json FILE] "
     "[--telemetry-jsonl FILE[,INTERVAL_MS]] [--verbose]";
 
@@ -126,6 +129,19 @@ bool ParseUnsigned(const std::string& value, uint64_t* out) {
     return false;
   }
   *out = static_cast<uint64_t>(parsed);
+  return true;
+}
+
+bool ParseFsync(const std::string& value, storage::FsyncPolicy* policy) {
+  if (value == "always") {
+    *policy = storage::FsyncPolicy::kAlways;
+  } else if (value == "batch") {
+    *policy = storage::FsyncPolicy::kBatch;
+  } else if (value == "off") {
+    *policy = storage::FsyncPolicy::kOff;
+  } else {
+    return false;
+  }
   return true;
 }
 
@@ -217,6 +233,11 @@ int main(int argc, char** argv) {
   bool kernel_flag = false;
   bool stream = false;
   uint64_t stream_batch = 64;
+  std::string data_dir;
+  uint64_t snapshot_every = 0;
+  storage::FsyncPolicy fsync = storage::FsyncPolicy::kBatch;
+  bool fsync_flag = false;
+  bool snapshot_every_flag = false;
   std::optional<std::pair<metablocking::WeightScheme,
                           metablocking::PruningScheme>>
       meta;
@@ -278,6 +299,35 @@ int main(int argc, char** argv) {
       if (!ParseUnsigned(v, &stream_batch) || stream_batch == 0) {
         return UsageFail("bad --stream batch size " + v);
       }
+    } else if (arg == "--data-dir") {
+      auto v = next("--data-dir");
+      if (!v) return 2;
+      data_dir = *v;
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      data_dir = arg.substr(std::strlen("--data-dir="));
+      if (data_dir.empty()) return UsageFail("bad --data-dir value");
+    } else if (arg == "--snapshot-every") {
+      auto v = next("--snapshot-every");
+      if (!v) return 2;
+      if (!ParseUnsigned(*v, &snapshot_every)) {
+        return UsageFail("bad --snapshot-every " + *v);
+      }
+      snapshot_every_flag = true;
+    } else if (arg.rfind("--snapshot-every=", 0) == 0) {
+      std::string v = arg.substr(std::strlen("--snapshot-every="));
+      if (!ParseUnsigned(v, &snapshot_every)) {
+        return UsageFail("bad --snapshot-every " + v);
+      }
+      snapshot_every_flag = true;
+    } else if (arg == "--fsync") {
+      auto v = next("--fsync");
+      if (!v) return 2;
+      if (!ParseFsync(*v, &fsync)) return UsageFail("bad --fsync " + *v);
+      fsync_flag = true;
+    } else if (arg.rfind("--fsync=", 0) == 0) {
+      std::string v = arg.substr(std::strlen("--fsync="));
+      if (!ParseFsync(v, &fsync)) return UsageFail("bad --fsync " + v);
+      fsync_flag = true;
     } else if (arg == "--metrics-json") {
       auto v = next("--metrics-json");
       if (!v) return 1;
@@ -329,6 +379,18 @@ int main(int argc, char** argv) {
   if (stream && meta.has_value()) {
     return UsageFail("--meta is not supported with --stream");
   }
+  if (!data_dir.empty()) {
+    if (!stream) return UsageFail("--data-dir requires --stream");
+    if (!storage::DirectoryExists(data_dir)) {
+      return UsageFail("--data-dir " + data_dir +
+                       " is not an existing directory");
+    }
+  } else if (snapshot_every_flag || fsync_flag) {
+    return UsageFail(
+        (snapshot_every_flag ? std::string("--snapshot-every")
+                             : std::string("--fsync")) +
+        " requires --data-dir");
+  }
 
   // Load (or generate for the demo) the collection and optional truth.
   model::EntityCollection collection;
@@ -377,6 +439,9 @@ int main(int argc, char** argv) {
   if (stream) {
     core::IncrementalMode mode;
     mode.batch_size = static_cast<size_t>(stream_batch);
+    mode.data_dir = data_dir;
+    mode.snapshot_every = snapshot_every;
+    mode.fsync = fsync;
     config.incremental = mode;
   }
   {
@@ -393,6 +458,11 @@ int main(int argc, char** argv) {
               << util::KernelName(util::ActiveIntersectKernel());
     }
     if (stream) summary << " stream=" << stream_batch;
+    if (!data_dir.empty()) {
+      summary << " data_dir=" << data_dir
+              << " fsync=" << storage::FsyncPolicyName(fsync);
+      if (snapshot_every > 0) summary << " snapshot_every=" << snapshot_every;
+    }
     summary << " entities=" << collection.size();
     g_run_summary = summary.str();
   }
@@ -462,10 +532,15 @@ int main(int argc, char** argv) {
     if (!out_file) return Fail("cannot write " + out_path);
     out = &out_file;
   }
+  // A durable run recovered onto pre-existing state reports matches in
+  // store ids, which extend past the input collection.
+  const model::EntityCollection& link_names =
+      result.store_collection.has_value() ? *result.store_collection
+                                          : collection;
   for (const model::IdPair& pair : result.matches) {
-    *out << '<' << collection[pair.low].uri()
+    *out << '<' << link_names[pair.low].uri()
          << "> <http://www.w3.org/2002/07/owl#sameAs> <"
-         << collection[pair.high].uri() << "> .\n";
+         << link_names[pair.high].uri() << "> .\n";
   }
 
   if (verbose) {

@@ -63,8 +63,18 @@ PipelineResult RunIncrementalPipeline(const model::EntityCollection& collection,
   service_options.resolver.merge_propagation = mode.merge_propagation;
   service_options.resolver.prepared_matching = config.prepared_matching;
   service_options.resolver.metrics = registry;
+  if (!mode.data_dir.empty()) {
+    storage::DurabilityOptions durability;
+    durability.data_dir = mode.data_dir;
+    durability.snapshot_every = mode.snapshot_every;
+    durability.fsync = mode.fsync;
+    service_options.durability = durability;
+  }
 
   incremental::ResolveService service(config.matcher, service_options);
+  WEBER_CHECK(service.recovery_status().ok())
+      << "durable recovery failed: "
+      << service.recovery_status().ToString();
   eval::ProgressiveCurve curve(truth.NumMatches());
   service.resolver().set_comparison_observer(
       [&curve, &truth](const model::IdPair& pair, bool matched) {
@@ -116,6 +126,18 @@ PipelineResult RunIncrementalPipeline(const model::EntityCollection& collection,
   result.comparisons = resolver.comparisons();
   result.matches = resolver.matches();
   result.curve = std::move(curve);
+  if (resolver.store().size() != collection.size()) {
+    result.store_collection = resolver.store().collection();
+  }
+
+  // ---- Durability: fold the run's WAL into a final snapshot. ----
+  if (service.durable() != nullptr) {
+    obs::Span span(registry, "checkpoint");
+    PhaseScope phase("checkpoint");
+    storage::Status status = service.Checkpoint();
+    WEBER_CHECK(status.ok())
+        << "final checkpoint failed: " << status.ToString();
+  }
 
   if (registry != nullptr) {
     registry->GetCounter("weber.pipeline.candidates").Add(result.candidates);

@@ -18,6 +18,7 @@
 #include "model/entity.h"
 #include "model/ground_truth.h"
 #include "progressive/scheduler.h"
+#include "storage/options.h"
 
 namespace weber::obs {
 class MetricsRegistry;
@@ -50,6 +51,15 @@ struct IncrementalMode {
   /// R-Swoosh-style merge propagation (serial, representative-level
   /// scoring with re-blocking of merged clusters).
   bool merge_propagation = false;
+
+  /// Durability: when non-empty, the run's resolver recovers from and
+  /// write-ahead logs to this directory (see storage::DurableResolver),
+  /// and the pipeline finishes with a checkpoint. Requires
+  /// merge_propagation off.
+  std::string data_dir;
+  /// Checkpoint every N durable ops (0 = only the final checkpoint).
+  uint64_t snapshot_every = 0;
+  storage::FsyncPolicy fsync = storage::FsyncPolicy::kBatch;
 };
 
 /// Which clustering closes the pipeline.
@@ -141,6 +151,11 @@ struct PipelineResult {
   matching::Clusters clusters;
   /// Progressive trajectory of true-match discovery.
   eval::ProgressiveCurve curve{0};
+  /// Incremental mode only: the resolver store's collection when it
+  /// differs from the run's input — durable recovery pre-populates the
+  /// store, so matches/clusters carry store ids past the input's range.
+  /// Resolve ids against this collection when present.
+  std::optional<model::EntityCollection> store_collection;
   /// Per-phase wall-clock seconds.
   double blocking_seconds = 0.0;
   double scheduling_seconds = 0.0;

@@ -16,6 +16,10 @@
 #include "model/ground_truth.h"
 #include "text/normalizer.h"
 
+namespace weber::storage {
+class SnapshotCodec;
+}  // namespace weber::storage
+
 namespace weber::incremental {
 
 /// Lifetime counters of a delta index.
@@ -83,6 +87,8 @@ class IncrementalTokenIndex {
       const model::EntityCollection* collection) const;
 
  private:
+  friend class weber::storage::SnapshotCodec;
+
   struct Posting {
     std::vector<model::EntityId> entities;  // Ascending (absorb order).
     bool purged = false;

@@ -10,6 +10,10 @@
 
 #include "model/entity.h"
 
+namespace weber::storage {
+class SnapshotCodec;
+}  // namespace weber::storage
+
 namespace weber::incremental {
 
 /// Point-in-time size counters of an EntityStore.
@@ -98,6 +102,8 @@ class EntityStore {
       std::vector<model::EntityId>* ids_out = nullptr) const;
 
  private:
+  friend class weber::storage::SnapshotCodec;
+
   model::EntityCollection collection_;
   std::vector<uint8_t> alive_;
   std::vector<uint64_t> versions_;

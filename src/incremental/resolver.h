@@ -23,6 +23,10 @@ namespace weber::obs {
 class MetricsRegistry;
 }  // namespace weber::obs
 
+namespace weber::storage {
+class SnapshotCodec;
+}  // namespace weber::storage
+
 namespace weber::incremental {
 
 /// Configuration of an IncrementalResolver.
@@ -125,6 +129,12 @@ class IncrementalResolver {
   const EntityStore& store() const { return store_; }
   const DeltaIndexStats& index_stats() const { return token_index_.stats(); }
 
+  /// The interned signature engine, or nullptr when prepared_matching is
+  /// off (storage tests and bench_storage inspect it after snapshot load).
+  const matching::SignatureStore* signatures() const {
+    return signatures_.has_value() ? &*signatures_ : nullptr;
+  }
+
   /// Exports the token index for blocking-quality evaluation.
   blocking::BlockCollection IndexBlocks(
       const model::EntityCollection* collection) const {
@@ -132,6 +142,8 @@ class IncrementalResolver {
   }
 
  private:
+  friend class weber::storage::SnapshotCodec;
+
   obs::MetricsRegistry* Registry() const;
   void EnsureForestFresh();
   /// Live members of a root, ascending (singleton -> {root}).

@@ -9,7 +9,15 @@ namespace weber::incremental {
 
 ResolveService::ResolveService(const matching::Matcher* matcher,
                                ServiceOptions options)
-    : options_(std::move(options)), resolver_(matcher, options_.resolver) {}
+    : options_(std::move(options)) {
+  if (options_.durability.has_value()) {
+    durable_ = std::make_unique<storage::DurableResolver>(
+        matcher, options_.resolver, *options_.durability);
+  } else {
+    plain_ =
+        std::make_unique<IncrementalResolver>(matcher, options_.resolver);
+  }
+}
 
 obs::MetricsRegistry* ResolveService::Registry() const {
   return options_.resolver.metrics != nullptr ? options_.resolver.metrics
@@ -42,7 +50,8 @@ void ResolveService::LeadBatch(std::unique_lock<std::mutex>& lock) {
   std::vector<model::EntityId> ids;
   {
     std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
-    ids = resolver_.Ingest(std::move(combined));
+    ids = durable_ != nullptr ? durable_->Ingest(std::move(combined))
+                              : plain_->Ingest(std::move(combined));
   }
   batches_run_.fetch_add(1, std::memory_order_relaxed);
   if (obs::MetricsRegistry* registry = Registry()) {
@@ -98,7 +107,7 @@ std::optional<IncrementalResolver::Resolution> ResolveService::Resolve(
   std::optional<IncrementalResolver::Resolution> resolution;
   {
     std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
-    resolution = resolver_.Resolve(id);
+    resolution = resolver().Resolve(id);
   }
   if (obs::MetricsRegistry* registry = Registry()) {
     registry->GetHistogram("weber.incremental.resolve_seconds")
@@ -109,12 +118,18 @@ std::optional<IncrementalResolver::Resolution> ResolveService::Resolve(
 
 bool ResolveService::Remove(model::EntityId id) {
   std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
-  return resolver_.Remove(id);
+  return durable_ != nullptr ? durable_->Remove(id) : plain_->Remove(id);
 }
 
 matching::Clusters ResolveService::Clusters() {
   std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
-  return resolver_.Clusters();
+  return resolver().Clusters();
+}
+
+storage::Status ResolveService::Checkpoint() {
+  if (durable_ == nullptr) return storage::Status::Ok();
+  std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+  return durable_->Checkpoint();
 }
 
 }  // namespace weber::incremental

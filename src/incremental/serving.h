@@ -5,11 +5,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "incremental/resolver.h"
+#include "storage/durable.h"
 
 namespace weber::incremental {
 
@@ -22,6 +24,12 @@ struct ServiceOptions {
 
   /// Resolver configuration (threshold, delta indexes, metrics sink).
   ResolverOptions resolver;
+
+  /// When set, the service's resolver is durable: every mutation is
+  /// write-ahead logged under durability->data_dir before it is applied,
+  /// and construction recovers whatever state the directory holds (check
+  /// recovery_status() before serving). Requires merge_propagation off.
+  std::optional<storage::DurabilityOptions> durability;
 };
 
 /// The concurrent front door of an IncrementalResolver.
@@ -61,11 +69,30 @@ class ResolveService {
   uint64_t requests() const { return requests_.load(); }
   uint64_t batches_run() const { return batches_run_.load(); }
 
+  /// Outcome of the construction-time recovery: always ok for a
+  /// non-durable service, and the durable resolver's recovery status
+  /// otherwise. A service whose recovery failed must not serve.
+  storage::Status recovery_status() const {
+    return durable_ != nullptr ? durable_->recovery_status()
+                               : storage::Status::Ok();
+  }
+
+  /// Folds the WAL into a fresh snapshot (thread-safe). No-op success on
+  /// a non-durable service.
+  storage::Status Checkpoint();
+
+  /// The durable wrapper, or nullptr when the service is not durable.
+  storage::DurableResolver* durable() { return durable_.get(); }
+
   /// Direct access to the underlying resolver. The caller must guarantee
   /// no concurrent service calls while using it (configuration before
   /// serving, inspection after).
-  IncrementalResolver& resolver() { return resolver_; }
-  const IncrementalResolver& resolver() const { return resolver_; }
+  IncrementalResolver& resolver() {
+    return durable_ != nullptr ? durable_->resolver() : *plain_;
+  }
+  const IncrementalResolver& resolver() const {
+    return durable_ != nullptr ? durable_->resolver() : *plain_;
+  }
 
  private:
   struct Request {
@@ -81,7 +108,10 @@ class ResolveService {
   void LeadBatch(std::unique_lock<std::mutex>& lock);
 
   ServiceOptions options_;
-  IncrementalResolver resolver_;
+  // Exactly one of these is set: the durable wrapper (WAL + snapshots)
+  // or the plain in-memory resolver.
+  std::unique_ptr<storage::DurableResolver> durable_;
+  std::unique_ptr<IncrementalResolver> plain_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -70,8 +70,13 @@ void SetBit(std::vector<uint64_t>* words, size_t base, uint16_t low) {
 PostingRef PostingArena::AppendSorted(std::span<const uint32_t> values) {
   WEBER_DCHECK_UNIQUE(values.begin(), values.end())
       << "posting input not a sorted set";
+  // Appending detaches snapshot-borrowed arenas into owned vectors (the
+  // copy-on-write point of a writable store).
+  std::vector<PostingChunk>& chunks = chunks_.MutableVector();
+  std::vector<uint16_t>& array_values = array_values_.MutableVector();
+  std::vector<uint64_t>& bitset_words = bitset_words_.MutableVector();
   PostingRef ref;
-  ref.chunk_offset = static_cast<uint32_t>(chunks_.size());
+  ref.chunk_offset = static_cast<uint32_t>(chunks.size());
   ref.size = static_cast<uint32_t>(values.size());
   size_t at = 0;
   while (at < values.size()) {
@@ -87,24 +92,24 @@ PostingRef PostingArena::AppendSorted(std::span<const uint32_t> values) {
     chunk.count = static_cast<uint32_t>(count);
     if (count > kPostingArrayMax) {
       chunk.bitset = 1;
-      chunk.offset = static_cast<uint32_t>(bitset_words_.size());
-      bitset_words_.resize(bitset_words_.size() + kPostingBitsetWords, 0);
+      chunk.offset = static_cast<uint32_t>(bitset_words.size());
+      bitset_words.resize(bitset_words.size() + kPostingBitsetWords, 0);
       for (size_t v = at; v < end; ++v) {
-        SetBit(&bitset_words_, chunk.offset,
+        SetBit(&bitset_words, chunk.offset,
                static_cast<uint16_t>(values[v] & 0xffff));
       }
       ++bitset_chunks_;
     } else {
-      chunk.offset = static_cast<uint32_t>(array_values_.size());
+      chunk.offset = static_cast<uint32_t>(array_values.size());
       for (size_t v = at; v < end; ++v) {
-        array_values_.push_back(static_cast<uint16_t>(values[v] & 0xffff));
+        array_values.push_back(static_cast<uint16_t>(values[v] & 0xffff));
       }
       ++array_chunks_;
     }
-    chunks_.push_back(chunk);
+    chunks.push_back(chunk);
     at = end;
   }
-  ref.chunk_count = static_cast<uint32_t>(chunks_.size()) - ref.chunk_offset;
+  ref.chunk_count = static_cast<uint32_t>(chunks.size()) - ref.chunk_offset;
   return ref;
 }
 
@@ -207,15 +212,20 @@ PostingRef PostingArena::AppendUnion(const PostingView& a,
   for (; ia < a.chunks.size(); ++ia) copy_chunk(a, a.chunks[ia]);
   for (; ib < b.chunks.size(); ++ib) copy_chunk(b, b.chunks[ib]);
 
-  // Commit the staged union: rebase scratch offsets onto the arenas.
+  // Commit the staged union: rebase scratch offsets onto the arenas. The
+  // inputs were fully staged above, so detaching borrowed arenas here
+  // cannot invalidate a read in flight.
+  std::vector<PostingChunk>& arena_chunks = chunks_.MutableVector();
+  std::vector<uint16_t>& arena_arrays = array_values_.MutableVector();
+  std::vector<uint64_t>& arena_words = bitset_words_.MutableVector();
   PostingRef ref;
-  ref.chunk_offset = static_cast<uint32_t>(chunks_.size());
+  ref.chunk_offset = static_cast<uint32_t>(arena_chunks.size());
   ref.chunk_count = static_cast<uint32_t>(chunks.size());
   ref.size = static_cast<uint32_t>(total);
-  const uint32_t array_base = static_cast<uint32_t>(array_values_.size());
-  const uint32_t bitset_base = static_cast<uint32_t>(bitset_words_.size());
-  array_values_.insert(array_values_.end(), arrays.begin(), arrays.end());
-  bitset_words_.insert(bitset_words_.end(), words.begin(), words.end());
+  const uint32_t array_base = static_cast<uint32_t>(arena_arrays.size());
+  const uint32_t bitset_base = static_cast<uint32_t>(arena_words.size());
+  arena_arrays.insert(arena_arrays.end(), arrays.begin(), arrays.end());
+  arena_words.insert(arena_words.end(), words.begin(), words.end());
   for (PostingChunk chunk : chunks) {
     if (chunk.bitset != 0) {
       chunk.offset += bitset_base;
@@ -224,7 +234,7 @@ PostingRef PostingArena::AppendUnion(const PostingView& a,
       chunk.offset += array_base;
       ++array_chunks_;
     }
-    chunks_.push_back(chunk);
+    arena_chunks.push_back(chunk);
   }
   return ref;
 }
@@ -234,7 +244,7 @@ PostingView PostingArena::View(const PostingRef& ref) const {
                   chunks_.size())
       << "posting ref outside the arena directory";
   PostingView view;
-  view.chunks = std::span<const PostingChunk>(chunks_)
+  view.chunks = std::span<const PostingChunk>(chunks_.data(), chunks_.size())
                     .subspan(ref.chunk_offset, ref.chunk_count);
   view.arrays = array_values_.data();
   view.bitsets = bitset_words_.data();

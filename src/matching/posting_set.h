@@ -6,6 +6,12 @@
 #include <span>
 #include <vector>
 
+#include "util/arena_vec.h"
+
+namespace weber::storage {
+class SnapshotCodec;
+}  // namespace weber::storage
+
 namespace weber::matching {
 
 /// Roaring-style compressed posting sets for the signature engine.
@@ -47,6 +53,10 @@ struct PostingChunk {
   uint32_t offset = 0;    ///< Array: first u16 in the array arena.
                           ///< Bitset: first word in the bitset arena.
 };
+// Snapshots write chunk directories in their in-memory layout; padding
+// would leak indeterminate bytes into the file (and break bit-equality).
+static_assert(sizeof(PostingChunk) == 12 && alignof(PostingChunk) == 4,
+              "PostingChunk must stay padding-free for snapshot framing");
 
 /// Handle to one posting set inside a PostingArena. Plain indices, so refs
 /// survive arena growth (vectors may reallocate, offsets do not move).
@@ -101,9 +111,14 @@ class PostingArena {
   size_t bitset_chunks() const { return bitset_chunks_; }
 
  private:
-  std::vector<PostingChunk> chunks_;
-  std::vector<uint16_t> array_values_;
-  std::vector<uint64_t> bitset_words_;
+  friend class weber::storage::SnapshotCodec;
+
+  // Copy-on-write arenas: owned vectors for stores built in memory,
+  // borrowed mmap sections for snapshot-loaded stores (the first append
+  // detaches into an owned copy — see util/arena_vec.h).
+  util::ArenaVec<PostingChunk> chunks_;
+  util::ArenaVec<uint16_t> array_values_;
+  util::ArenaVec<uint64_t> bitset_words_;
   size_t array_chunks_ = 0;
   size_t bitset_chunks_ = 0;
 };

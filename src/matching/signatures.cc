@@ -76,15 +76,15 @@ size_t RequiredOverlapCoefficient(size_t smaller, double t) {
   return r;
 }
 
-/// First index in [from, data.size()) whose token id is >= key; the pair
-/// analogue of util::GallopLowerBound for sparse TF-IDF entries.
-size_t GallopLowerBoundPairs(std::span<const std::pair<uint32_t, double>> data,
-                             size_t from, uint32_t key) {
+/// First index in [from, data.size()) whose token id is >= key; the
+/// TfIdfTerm analogue of util::GallopLowerBound for sparse vectors.
+size_t GallopLowerBoundPairs(std::span<const TfIdfTerm> data, size_t from,
+                             uint32_t key) {
   size_t n = data.size();
-  if (from >= n || data[from].first >= key) return from;
+  if (from >= n || data[from].token >= key) return from;
   size_t lo = from;
   size_t step = 1;
-  while (lo + step < n && data[lo + step].first < key) {
+  while (lo + step < n && data[lo + step].token < key) {
     lo += step;
     step <<= 1;
   }
@@ -93,7 +93,7 @@ size_t GallopLowerBoundPairs(std::span<const std::pair<uint32_t, double>> data,
   while (lo < hi) {
     size_t mid = lo + (hi - lo) / 2;
     WEBER_DCHECK_LT(mid, n) << "gallop window escaped the sequence";
-    if (data[mid].first < key) {
+    if (data[mid].token < key) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -105,17 +105,16 @@ size_t GallopLowerBoundPairs(std::span<const std::pair<uint32_t, double>> data,
 /// Dot product of two sparse unit vectors. Both strategies accumulate the
 /// matched products in ascending token-id order — the order TfIdfModel::
 /// Cosine uses — so the sum is bit-equal no matter which one runs.
-double SparseDot(std::span<const std::pair<uint32_t, double>> a,
-                 std::span<const std::pair<uint32_t, double>> b) {
+double SparseDot(std::span<const TfIdfTerm> a, std::span<const TfIdfTerm> b) {
   if (a.size() > b.size()) std::swap(a, b);
   double dot = 0.0;
   if (!a.empty() && a.size() * util::kGallopRatio < b.size()) {
     size_t at = 0;
-    for (const auto& [id, weight] : a) {
-      at = GallopLowerBoundPairs(b, at, id);
+    for (const TfIdfTerm& term : a) {
+      at = GallopLowerBoundPairs(b, at, term.token);
       if (at == b.size()) break;
-      if (b[at].first == id) {
-        dot += weight * b[at].second;
+      if (b[at].token == term.token) {
+        dot += term.weight * b[at].weight;
         ++at;
       }
     }
@@ -124,11 +123,11 @@ double SparseDot(std::span<const std::pair<uint32_t, double>> a,
   size_t i = 0;
   size_t j = 0;
   while (i < a.size() && j < b.size()) {
-    if (a[i].first == b[j].first) {
-      dot += a[i].second * b[j].second;
+    if (a[i].token == b[j].token) {
+      dot += a[i].weight * b[j].weight;
       ++i;
       ++j;
-    } else if (a[i].first < b[j].first) {
+    } else if (a[i].token < b[j].token) {
       ++i;
     } else {
       ++j;
@@ -587,39 +586,42 @@ SignatureStore SignatureStore::Build(const model::EntityCollection& collection,
       total_tokens += attr.tokens.size();
     }
   }
-  store.tokens_.reserve(total_tokens);
-  store.tfidf_.reserve(total_tfidf);
-  store.entries_.reserve(n);
-  store.attribute_slots_.reserve(n * attributes.size());
+  std::vector<uint32_t>& tokens = store.tokens_.MutableVector();
+  std::vector<TfIdfTerm>& tfidf = store.tfidf_.MutableVector();
+  std::vector<Entry>& entries = store.entries_.MutableVector();
+  std::vector<AttributeSlot>& slots = store.attribute_slots_.MutableVector();
+  tokens.reserve(total_tokens);
+  tfidf.reserve(total_tfidf);
+  entries.reserve(n);
+  slots.reserve(n * attributes.size());
   for (BuiltEntity& be : built) {
     Entry entry;
     entry.posting = store.posting_arena_.AppendSorted(be.tokens);
     if (model != nullptr) {
       entry.has_tfidf = true;
-      entry.tfidf_offset = static_cast<uint32_t>(store.tfidf_.size());
+      entry.tfidf_offset = static_cast<uint32_t>(tfidf.size());
       entry.tfidf_count = static_cast<uint32_t>(be.tfidf.entries.size());
-      store.tfidf_.insert(store.tfidf_.end(), be.tfidf.entries.begin(),
-                          be.tfidf.entries.end());
+      for (const auto& [token, weight] : be.tfidf.entries) {
+        tfidf.push_back(TfIdfTerm{token, 0, weight});
+      }
     }
     if (!attributes.empty()) {
       entry.has_attributes = true;
-      entry.attribute_offset =
-          static_cast<uint32_t>(store.attribute_slots_.size());
+      entry.attribute_offset = static_cast<uint32_t>(slots.size());
       for (BuiltAttribute& attr : be.attributes) {
         AttributeSlot slot;
         if (attr.present) {
           slot.value_index = static_cast<uint32_t>(store.values_.size());
           store.values_.push_back(std::move(attr.value));
-          slot.token_offset = static_cast<uint32_t>(store.tokens_.size());
+          slot.token_offset = static_cast<uint32_t>(tokens.size());
           slot.token_count = static_cast<uint32_t>(attr.tokens.size());
-          store.tokens_.insert(store.tokens_.end(), attr.tokens.begin(),
-                               attr.tokens.end());
+          tokens.insert(tokens.end(), attr.tokens.begin(), attr.tokens.end());
         }
-        store.attribute_slots_.push_back(slot);
+        slots.push_back(slot);
       }
     }
     entry.present = true;
-    store.entries_.push_back(entry);
+    entries.push_back(entry);
   }
   return store;
 }
@@ -650,17 +652,21 @@ model::EntityId SignatureStore::AppendMerged(model::EntityId a,
   // merged.has_tfidf stays false: TF-IDF weighs raw occurrence counts,
   // which the constituents' distinct-token signatures do not retain.
   if (entries_[a].has_attributes && entries_[b].has_attributes) {
-    attribute_slots_.reserve(attribute_slots_.size() +
-                             options_.attributes.size());
+    // Stage a's and b's slots before detaching the arena: the spans may
+    // alias snapshot-borrowed memory the first mutation would retire.
+    std::vector<AttributeSlot> staged;
+    staged.reserve(options_.attributes.size());
     auto slots_a = attribute_slots(a);
     auto slots_b = attribute_slots(b);
-    merged.has_attributes = true;
-    merged.attribute_offset = static_cast<uint32_t>(attribute_slots_.size());
     for (size_t k = 0; k < options_.attributes.size(); ++k) {
       // FirstValueOf on the merged description sees a's pairs first.
-      attribute_slots_.push_back(
-          slots_a[k].value_index != kNoValue ? slots_a[k] : slots_b[k]);
+      staged.push_back(slots_a[k].value_index != kNoValue ? slots_a[k]
+                                                          : slots_b[k]);
     }
+    std::vector<AttributeSlot>& slots = attribute_slots_.MutableVector();
+    merged.has_attributes = true;
+    merged.attribute_offset = static_cast<uint32_t>(slots.size());
+    slots.insert(slots.end(), staged.begin(), staged.end());
   }
   merged.present = true;
   auto id = static_cast<model::EntityId>(entries_.size());
@@ -671,10 +677,10 @@ model::EntityId SignatureStore::AppendMerged(model::EntityId a,
 void SignatureStore::Release(model::EntityId id) {
   if (!contains(id)) return;
   // lint: allow(indexed-access) contains(id) above bounds-checks id
-  Entry& entry = entries_[id];
+  const Entry& entry = entries_[id];
   uint64_t bytes = posting_arena_.RefBytes(entry.posting);
   if (entry.has_tfidf) {
-    bytes += uint64_t{entry.tfidf_count} * sizeof(std::pair<uint32_t, double>);
+    bytes += uint64_t{entry.tfidf_count} * sizeof(TfIdfTerm);
   }
   if (entry.has_attributes) {
     for (const AttributeSlot& slot : attribute_slots(id)) {
@@ -684,7 +690,8 @@ void SignatureStore::Release(model::EntityId id) {
     }
   }
   released_bytes_ += bytes;
-  entry = Entry{};
+  // lint: allow(indexed-access) contains(id) above bounds-checks id
+  entries_.MutableVector()[id] = Entry{};
 }
 
 size_t SignatureStore::AttributeIndex(std::string_view attribute) const {
@@ -697,7 +704,7 @@ size_t SignatureStore::AttributeIndex(std::string_view attribute) const {
 size_t SignatureStore::ArenaBytes() const {
   size_t bytes = posting_arena_.ByteSize() +
                  tokens_.size() * sizeof(uint32_t) +
-                 tfidf_.size() * sizeof(std::pair<uint32_t, double>) +
+                 tfidf_.size() * sizeof(TfIdfTerm) +
                  attribute_slots_.size() * sizeof(AttributeSlot) +
                  entries_.size() * sizeof(Entry);
   for (const std::string& value : values_) bytes += value.size();
@@ -712,7 +719,7 @@ void SignatureStore::PublishMetrics(double build_seconds) const {
   registry->GetGauge("weber.matching.signature.entities")
       .Set(static_cast<double>(entries_.size()));
   registry->GetGauge("weber.matching.signature.vocabulary")
-      .Set(static_cast<double>(vocabulary_.size()));
+      .Set(static_cast<double>(vocabulary_size()));
   registry->GetGauge("weber.matching.signature.arena_bytes")
       .Set(static_cast<double>(ArenaBytes()));
   registry->GetGauge("weber.matching.signature.released_bytes")
@@ -734,15 +741,34 @@ void SignatureStore::PublishMetrics(double build_seconds) const {
 }
 
 SignatureStore::Entry& SignatureStore::EnsureSlot(model::EntityId id) {
-  if (id >= entries_.size()) entries_.resize(size_t{id} + 1);
+  std::vector<Entry>& entries = entries_.MutableVector();
+  if (id >= entries.size()) entries.resize(size_t{id} + 1);
   // lint: allow(indexed-access) resized above to cover id
-  return entries_[id];
+  return entries[id];
 }
 
 uint32_t SignatureStore::InternToken(const std::string& token) {
+  if (!pending_vocab_offsets_.empty()) HydrateVocabulary();
   auto [it, inserted] =
       vocabulary_.try_emplace(token, static_cast<uint32_t>(vocabulary_.size()));
   return it->second;
+}
+
+void SignatureStore::HydrateVocabulary() {
+  // Ids were assigned in first-occurrence order when the snapshot's source
+  // store interned them; restoring id i from slot i reproduces the map
+  // exactly, so post-load interning continues the same id sequence.
+  size_t count = PendingVocabularyCount();
+  vocabulary_.reserve(count);
+  const char* blob = pending_vocab_blob_.data();
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t begin = pending_vocab_offsets_[i];
+    uint32_t end = pending_vocab_offsets_[i + 1];
+    vocabulary_.emplace(std::string(blob + begin, blob + end),
+                        static_cast<uint32_t>(i));
+  }
+  pending_vocab_blob_.clear();
+  pending_vocab_offsets_.clear();
 }
 
 std::vector<uint32_t> SignatureStore::InternIds(
@@ -758,8 +784,9 @@ std::vector<uint32_t> SignatureStore::InternIds(
 std::pair<uint32_t, uint32_t> SignatureStore::InternSortedSet(
     const std::vector<std::string>& tokens) {
   std::vector<uint32_t> ids = InternIds(tokens);
-  auto offset = static_cast<uint32_t>(tokens_.size());
-  tokens_.insert(tokens_.end(), ids.begin(), ids.end());
+  std::vector<uint32_t>& arena = tokens_.MutableVector();
+  auto offset = static_cast<uint32_t>(arena.size());
+  arena.insert(arena.end(), ids.begin(), ids.end());
   return {offset, static_cast<uint32_t>(ids.size())};
 }
 
@@ -781,7 +808,8 @@ void SignatureStore::FillAttributes(
     slot.token_offset = offset;
     slot.token_count = count;
   }
-  attribute_slots_.insert(attribute_slots_.end(), slots.begin(), slots.end());
+  std::vector<AttributeSlot>& arena = attribute_slots_.MutableVector();
+  arena.insert(arena.end(), slots.begin(), slots.end());
 }
 
 void SignatureStore::FillTfIdf(Entry& entry,
@@ -790,7 +818,10 @@ void SignatureStore::FillTfIdf(Entry& entry,
   entry.has_tfidf = true;
   entry.tfidf_offset = static_cast<uint32_t>(tfidf_.size());
   entry.tfidf_count = static_cast<uint32_t>(vec.entries.size());
-  tfidf_.insert(tfidf_.end(), vec.entries.begin(), vec.entries.end());
+  std::vector<TfIdfTerm>& arena = tfidf_.MutableVector();
+  for (const auto& [token, weight] : vec.entries) {
+    arena.push_back(TfIdfTerm{token, 0, weight});
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -14,12 +14,28 @@
 #include "model/entity.h"
 #include "text/normalizer.h"
 #include "text/tfidf.h"
+#include "util/arena_vec.h"
 
 namespace weber::obs {
 class Counter;
 }  // namespace weber::obs
 
+namespace weber::storage {
+class SnapshotCodec;
+}  // namespace weber::storage
+
 namespace weber::matching {
+
+/// One entry of a sparse TF-IDF vector in the signature arena. The
+/// explicit layout (instead of std::pair<uint32_t, double>) keeps the
+/// struct padding-free so snapshots can frame the arena byte-for-byte.
+struct TfIdfTerm {
+  uint32_t token = 0;
+  uint32_t reserved = 0;  ///< Always 0; keeps the 16-byte layout explicit.
+  double weight = 0.0;
+};
+static_assert(sizeof(TfIdfTerm) == 16 && alignof(TfIdfTerm) == 8,
+              "TfIdfTerm must stay padding-free for snapshot framing");
 
 /// What a SignatureStore materialises per entity. Token-id sets are always
 /// built; the TF-IDF vectors and per-attribute caches are opt-in because
@@ -123,8 +139,7 @@ class SignatureStore {
   bool has_tfidf(model::EntityId id) const {
     return contains(id) && entries_[id].has_tfidf;
   }
-  std::span<const std::pair<uint32_t, double>> tfidf(
-      model::EntityId id) const {
+  std::span<const TfIdfTerm> tfidf(model::EntityId id) const {
     const Entry& e = entries_[id];
     return {tfidf_.data() + e.tfidf_offset, e.tfidf_count};
   }
@@ -150,7 +165,10 @@ class SignatureStore {
 
   const SignatureOptions& options() const { return options_; }
   size_t size() const { return entries_.size(); }
-  size_t vocabulary_size() const { return vocabulary_.size(); }
+  size_t vocabulary_size() const {
+    return vocabulary_.empty() ? PendingVocabularyCount()
+                               : vocabulary_.size();
+  }
 
   /// The collection Build() interned (slot == EntityId for its ids), or
   /// null for stores grown purely via Absorb. PreparedOracle needs it to
@@ -180,6 +198,8 @@ class SignatureStore {
   void PublishMetrics(double build_seconds) const;
 
  private:
+  friend class weber::storage::SnapshotCodec;
+
   struct Entry {
     PostingRef posting;  // Compressed value-token set.
     uint32_t tfidf_offset = 0;
@@ -188,10 +208,20 @@ class SignatureStore {
     bool present = false;
     bool has_tfidf = false;
     bool has_attributes = false;
+    uint8_t reserved = 0;  // Keeps the struct padding-free for snapshots.
   };
+  static_assert(sizeof(Entry) == 28 && alignof(Entry) == 4,
+                "Entry must stay padding-free for snapshot framing");
 
   Entry& EnsureSlot(model::EntityId id);
   uint32_t InternToken(const std::string& token);
+  /// Hydrates a snapshot-loaded vocabulary blob into the hash map; called
+  /// before the first post-load intern so zero-copy opens stay O(1).
+  void HydrateVocabulary();
+  size_t PendingVocabularyCount() const {
+    return pending_vocab_offsets_.empty() ? 0
+                                          : pending_vocab_offsets_.size() - 1;
+  }
   /// Interns `tokens` and returns their sorted distinct ids.
   std::vector<uint32_t> InternIds(const std::vector<std::string>& tokens);
   /// Appends the sorted distinct ids of `tokens` (interning new ones) to
@@ -205,11 +235,17 @@ class SignatureStore {
 
   SignatureOptions options_;
   std::unordered_map<std::string, uint32_t> vocabulary_;
-  std::vector<Entry> entries_;
+  // Snapshot-loaded vocabulary awaiting hydration: token strings packed
+  // into one blob with an offsets directory (offsets.size() == count + 1),
+  // borrowed straight from the mapping until the first intern needs the
+  // hash map.
+  util::ArenaVec<char> pending_vocab_blob_;
+  util::ArenaVec<uint32_t> pending_vocab_offsets_;
+  util::ArenaVec<Entry> entries_;
   PostingArena posting_arena_;                        // Value-token sets.
-  std::vector<uint32_t> tokens_;                      // Attribute token ids.
-  std::vector<std::pair<uint32_t, double>> tfidf_;    // TF-IDF arena.
-  std::vector<AttributeSlot> attribute_slots_;        // Attribute arena.
+  util::ArenaVec<uint32_t> tokens_;                   // Attribute token ids.
+  util::ArenaVec<TfIdfTerm> tfidf_;                   // TF-IDF arena.
+  util::ArenaVec<AttributeSlot> attribute_slots_;     // Attribute arena.
   std::vector<std::string> values_;                   // Raw first values.
   uint64_t released_bytes_ = 0;
   const model::EntityCollection* collection_ = nullptr;

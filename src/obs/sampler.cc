@@ -28,7 +28,9 @@ ProcessStats ReadProcessStats() {
     // Fallback RSS: getrusage reports the peak in kilobytes.
     stats.rss_bytes = static_cast<uint64_t>(usage.ru_maxrss) * 1024;
   }
-  // Current (not peak) RSS: /proc/self/statm field 2, in pages.
+  // Current (not peak) RSS: /proc/self/statm field 2, in pages. Not data
+  // I/O, so it stays outside the durability layer.
+  // lint: allow(file-io) procfs telemetry read, no durability semantics
   if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
     unsigned long long size_pages = 0;
     unsigned long long rss_pages = 0;

@@ -1,0 +1,94 @@
+#include "storage/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace weber::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Software fallback: classic byte-at-a-time table (reflected 0x82F63B78).
+// Built once at first use; 1 KB, hot in cache for the framing sizes the
+// storage layer checksums.
+// ---------------------------------------------------------------------------
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+uint32_t TableCrc32c(const uint8_t* data, size_t size, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+// ---------------------------------------------------------------------------
+// SSE4.2 path: the CRC32 instruction implements exactly this polynomial.
+// Same dispatch idiom as util/intersect.cc (per-function target attribute
+// plus one CPUID probe).
+// ---------------------------------------------------------------------------
+
+#if defined(__x86_64__) || defined(__i386__)
+#define WEBER_CRC32C_HW 1
+
+__attribute__((target("sse4.2"))) uint32_t HwCrc32c(const uint8_t* data,
+                                                    size_t size,
+                                                    uint32_t crc) {
+  crc = ~crc;
+  while (size >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, data, 8);
+    crc = static_cast<uint32_t>(
+        __builtin_ia32_crc32di(static_cast<uint64_t>(crc), chunk));
+    data += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *data);
+    ++data;
+    --size;
+  }
+  return ~crc;
+}
+
+bool DetectHardwareCrc() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("sse4.2");
+}
+#endif  // x86
+
+bool UseHardwareCrc() {
+#ifdef WEBER_CRC32C_HW
+  static const bool use_hw = DetectHardwareCrc();
+  return use_hw;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+#ifdef WEBER_CRC32C_HW
+  if (UseHardwareCrc()) return HwCrc32c(bytes, size, seed);
+#endif
+  return TableCrc32c(bytes, size, seed);
+}
+
+const char* Crc32cKernelName() {
+  return UseHardwareCrc() ? "sse4.2" : "table";
+}
+
+}  // namespace weber::storage

@@ -1,0 +1,23 @@
+#ifndef WEBER_STORAGE_CRC32C_H_
+#define WEBER_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace weber::storage {
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum
+/// framing every snapshot section and WAL record. Hardware `crc32` on
+/// SSE4.2 machines (one u64 per cycle-ish), table-driven software
+/// fallback elsewhere; both produce identical digests.
+///
+/// `seed` chains incremental updates: Crc32c(b, n2, Crc32c(a, n1)) equals
+/// Crc32c(concat(a, b)). The digest of the empty range under seed 0 is 0.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+/// Kernel the running process dispatches to ("sse4.2" or "table").
+const char* Crc32cKernelName();
+
+}  // namespace weber::storage
+
+#endif  // WEBER_STORAGE_CRC32C_H_

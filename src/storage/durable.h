@@ -1,0 +1,119 @@
+#ifndef WEBER_STORAGE_DURABLE_H_
+#define WEBER_STORAGE_DURABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "incremental/resolver.h"
+#include "storage/options.h"
+#include "storage/status.h"
+#include "storage/wal.h"
+
+namespace weber::storage {
+
+/// An IncrementalResolver with crash durability: every mutation is
+/// write-ahead logged before it is applied, and checkpoints fold the log
+/// into an mmap-able snapshot.
+///
+/// Generations. The data directory holds at most two artifacts per
+/// generation G (the durable-op count at checkpoint time): `snapshot-G`
+/// and `wal-G`, both zero-padded so lexicographic equals numeric order.
+/// Generation 0 is implicit — just `wal-0`, replayed from an empty
+/// resolver. A checkpoint writes `snapshot-G` atomically (tmp + rename +
+/// dir fsync), starts `wal-G`, then unlinks the previous generation; a
+/// crash anywhere in that sequence leaves a recoverable directory:
+///
+///   - tmp leftovers are ignored and deleted;
+///   - `snapshot-G` without `wal-G` means the crash hit between rename
+///     and WAL creation — every op <= G is in the snapshot, so a fresh
+///     empty `wal-G` is correct;
+///   - both generations present means the old one was not yet unlinked —
+///     the newest wins, the stale one is deleted.
+///
+/// Recovery loads the newest snapshot (zero-copy when mapped), replays
+/// `wal-G` through the resolver, truncates a torn tail (those ops were
+/// never acknowledged), and reopens the log for appending. The replayed
+/// state is bit-equal to the pre-crash state over every acknowledged op —
+/// SnapshotCodec::StateDigest is the witness, and the crash-recovery
+/// tests assert it against an uninterrupted reference run.
+///
+/// Durability requires replay determinism, so merge propagation (whose
+/// scoring depends on in-memory merge order) is rejected up front.
+class DurableResolver {
+ public:
+  /// Recovers from (or initialises) `durability.data_dir` immediately.
+  /// The matcher is borrowed and must outlive the resolver. Check
+  /// `recovery_status()` before use: after a failed recovery the resolver
+  /// fails closed — mutations WEBER_CHECK, queries return empty state.
+  DurableResolver(const matching::Matcher* matcher,
+                  incremental::ResolverOptions options,
+                  DurabilityOptions durability);
+
+  ~DurableResolver();
+  DurableResolver(const DurableResolver&) = delete;
+  DurableResolver& operator=(const DurableResolver&) = delete;
+
+  const Status& recovery_status() const { return recovery_status_; }
+  bool healthy() const { return recovery_status_.ok(); }
+
+  /// Logs then applies one ingest batch (one durable op). The batch is
+  /// recoverable from disk before any in-memory state changes.
+  std::vector<model::EntityId> Ingest(
+      std::vector<model::EntityDescription> batch);
+
+  /// Logs then applies one removal (one durable op).
+  bool Remove(model::EntityId id);
+
+  /// Folds the WAL into a fresh snapshot generation. Called automatically
+  /// every `snapshot_every` ops; call explicitly for a final checkpoint.
+  Status Checkpoint();
+
+  /// Durable ops applied so far (ingest batches + removes, ever).
+  uint64_t op_count() const { return op_count_; }
+
+  /// The resolver's WAL-replay high-water mark at the last recovery:
+  /// records replayed and torn bytes discarded.
+  uint64_t replayed_records() const { return replayed_records_; }
+  uint64_t torn_tail_bytes() const { return torn_tail_bytes_; }
+
+  /// The wrapped resolver, for queries (Resolve/Clusters/matches/...).
+  /// Mutations must go through the durable API above.
+  incremental::IncrementalResolver& resolver() { return resolver_; }
+  const incremental::IncrementalResolver& resolver() const {
+    return resolver_;
+  }
+
+  /// FNV-1a fingerprint of every option that shapes the durable state.
+  /// Stored in snapshot and WAL-adjacent headers; a mismatch on recovery
+  /// fails with kConfigMismatch instead of silently misresolving.
+  static uint64_t ConfigFingerprint(const matching::Matcher* matcher,
+                                    const incremental::ResolverOptions& options);
+
+ private:
+  Status Recover();
+  void PublishRecoveryMetrics(double seconds);
+  void PublishWalMetrics();
+  void MaybeCheckpoint();
+  std::string SnapshotPath(uint64_t generation) const;
+  std::string WalPath(uint64_t generation) const;
+
+  incremental::ResolverOptions options_;
+  DurabilityOptions durability_;
+  uint64_t fingerprint_ = 0;
+  incremental::IncrementalResolver resolver_;
+  WriteAheadLog wal_;
+  Status recovery_status_;
+  uint64_t op_count_ = 0;
+  uint64_t generation_ = 0;
+  uint64_t replayed_records_ = 0;
+  uint64_t torn_tail_bytes_ = 0;
+  // Last-published WAL totals, so counters get deltas, not re-counts.
+  uint64_t published_wal_records_ = 0;
+  uint64_t published_wal_bytes_ = 0;
+  uint64_t published_wal_fsyncs_ = 0;
+};
+
+}  // namespace weber::storage
+
+#endif  // WEBER_STORAGE_DURABLE_H_

@@ -1,0 +1,51 @@
+#ifndef WEBER_STORAGE_OPTIONS_H_
+#define WEBER_STORAGE_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace weber::storage {
+
+/// When the WAL fsyncs relative to record appends.
+enum class FsyncPolicy {
+  /// fsync after every record — no acknowledged op is ever lost, at one
+  /// disk flush per op.
+  kAlways,
+  /// Group commit: fsync every batch_fsync_interval records (and on
+  /// checkpoint/close). A crash can lose the ops since the last flush but
+  /// never corrupts recovery — the torn tail is discarded cleanly.
+  kBatch,
+  /// Never fsync from the WAL path (the OS flushes on its own schedule).
+  /// For benchmarks and tests; crash durability is not guaranteed.
+  kOff,
+};
+
+inline const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways: return "always";
+    case FsyncPolicy::kBatch: return "batch";
+    case FsyncPolicy::kOff: return "off";
+  }
+  return "unknown";
+}
+
+/// Configuration of a DurableResolver's storage layer.
+struct DurabilityOptions {
+  /// Directory holding the snapshot and WAL generations. Must exist.
+  std::string data_dir;
+  /// Write a snapshot (and start a fresh WAL) every N durable ops.
+  /// 0 = never checkpoint automatically; callers checkpoint explicitly.
+  uint64_t snapshot_every = 0;
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  /// Records between fsyncs under FsyncPolicy::kBatch.
+  uint64_t batch_fsync_interval = 64;
+  /// mmap snapshots on recovery and borrow arenas zero-copy (the first
+  /// mutation detaches); false copies everything out eagerly.
+  bool map_snapshots = true;
+  /// CRC-verify every snapshot section on recovery.
+  bool verify_sections = true;
+};
+
+}  // namespace weber::storage
+
+#endif  // WEBER_STORAGE_OPTIONS_H_

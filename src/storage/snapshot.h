@@ -1,0 +1,109 @@
+#ifndef WEBER_STORAGE_SNAPSHOT_H_
+#define WEBER_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/status.h"
+
+namespace weber::incremental {
+class IncrementalResolver;
+}  // namespace weber::incremental
+
+namespace weber::matching {
+class SignatureStore;
+}  // namespace weber::matching
+
+namespace weber::storage {
+
+/// Versioned, CRC-framed, mmap-able snapshot of an IncrementalResolver.
+///
+/// One file, little-endian, laid out as:
+///
+///   [0, header_len)      header: magic "WEBERSNP", format version,
+///                        header CRC32C, config fingerprint, op count,
+///                        file size, and the section directory
+///   page-aligned payloads, one per directory entry, each independently
+///   CRC32C-framed
+///
+/// Sections come in two flavours. *Manifest* sections are deterministic
+/// byte streams (strings, maps, counters) decoded eagerly on load.
+/// *Arena* sections are the flat trivially-copyable arenas of the
+/// signature engine written in their exact in-memory layout; a mapped
+/// load points the store's ArenaVecs straight into the mapping
+/// (zero-copy — see util/arena_vec.h), and the page-aligned offsets
+/// guarantee every element type's alignment. The vocabulary ships as a
+/// packed blob + offsets pair that hydrates lazily on the first post-load
+/// intern, keeping the mapped open O(1) in vocabulary size.
+///
+/// Everything encoded is deterministic for a given logical state (URI
+/// index entries sorted, padding-free structs, fixed field order) except
+/// the one `kAnnex` section, which carries delta-index lifetime counters
+/// that legitimately differ between a recovered process and one that
+/// never crashed. The state digest is the CRC32C chain over every
+/// non-annex section payload — the bit-equality witness of the crash
+/// recovery tests.
+class SnapshotCodec {
+ public:
+  /// Current format version; bumping it makes every older weber refuse
+  /// the file with kBadVersion (fail closed, never misparse).
+  static constexpr uint32_t kFormatVersion = 1;
+
+  struct LoadOptions {
+    /// Borrow arena sections from an mmap of the file instead of copying
+    /// them out (the first mutation of a borrowed arena detaches).
+    bool mapped = true;
+    /// CRC-check every section payload. Recovery keeps this on; the
+    /// zero-copy open path may turn it off to stay O(1) in file size
+    /// (header and manifest sections are always verified).
+    bool verify_arenas = true;
+  };
+
+  /// Serializes the full resolver state into a snapshot image.
+  /// `config_fingerprint` binds the file to the resolver configuration
+  /// that produced it; `op_count` is the durable-op high-water mark the
+  /// image represents.
+  static std::vector<uint8_t> Encode(
+      const incremental::IncrementalResolver& resolver,
+      uint64_t config_fingerprint, uint64_t op_count);
+
+  /// Restores `resolver` — constructed with the same matcher and options
+  /// as the writer — from the snapshot at `path`. On success `*op_count`
+  /// receives the image's op high-water mark. On failure the resolver is
+  /// left in an unspecified state and must be discarded.
+  static Status Load(const std::string& path, uint64_t config_fingerprint,
+                     const LoadOptions& options,
+                     incremental::IncrementalResolver* resolver,
+                     uint64_t* op_count);
+
+  /// Restores only the signature-engine state (arenas + vocabulary) into
+  /// a bare SignatureStore — the O(1) zero-copy open used by tooling and
+  /// bench_storage to measure load time independent of entity count.
+  /// The store is read-only in spirit: it has no description provider
+  /// and default options, but posting/tfidf/token accessors all work.
+  static Status OpenSignatures(const std::string& path,
+                               const LoadOptions& options,
+                               matching::SignatureStore* store);
+
+  /// CRC32C chain over the digest-covered (non-annex) sections of an
+  /// already-encoded image. Two resolvers with bit-equal durable state
+  /// produce equal digests.
+  static Status ImageDigest(std::span<const uint8_t> image,
+                            uint32_t* digest);
+
+  /// Digest of `resolver`'s current state (encodes to memory first).
+  static uint32_t StateDigest(
+      const incremental::IncrementalResolver& resolver);
+
+ private:
+  // Encode/decode helpers live here (snapshot.cc): as a nested class Impl
+  // shares the codec's access rights, so the friend grants on the stores
+  // extend to it without friending every helper individually.
+  struct Impl;
+};
+
+}  // namespace weber::storage
+
+#endif  // WEBER_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,92 @@
+#ifndef WEBER_STORAGE_STATUS_H_
+#define WEBER_STORAGE_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace weber::storage {
+
+/// Failure taxonomy of the durability layer. Every code names one distinct,
+/// actionable condition — the operator-facing contract of satellite tests:
+///
+///   kBadMagic       the file is not a weber snapshot/WAL at all
+///   kBadVersion     a future (or ancient) format version; upgrade weber
+///   kCorruptHeader  the header frame fails its CRC; restore from backup
+///   kCorruptSection a snapshot section fails its CRC; restore from backup
+///   kWalCorrupt     a WAL record fails its CRC *with valid bytes after
+///                   it* — interior corruption, not a torn tail; restore
+///   kIoError        the OS said no (errno in the message)
+///   kConfigMismatch the persisted state was produced under a different
+///                   resolver configuration; point at the right data-dir
+///
+/// A torn final WAL record is NOT an error: crash recovery truncates it
+/// and reports success (the op it framed never acked).
+enum class StorageErrc {
+  kOk = 0,
+  kBadMagic,
+  kBadVersion,
+  kCorruptHeader,
+  kCorruptSection,
+  kWalCorrupt,
+  kIoError,
+  kConfigMismatch,
+};
+
+/// Human-readable code name ("wal-corrupt", ...), for log lines.
+inline std::string_view StorageErrcName(StorageErrc code) {
+  switch (code) {
+    case StorageErrc::kOk:
+      return "ok";
+    case StorageErrc::kBadMagic:
+      return "bad-magic";
+    case StorageErrc::kBadVersion:
+      return "bad-version";
+    case StorageErrc::kCorruptHeader:
+      return "corrupt-header";
+    case StorageErrc::kCorruptSection:
+      return "corrupt-section";
+    case StorageErrc::kWalCorrupt:
+      return "wal-corrupt";
+    case StorageErrc::kIoError:
+      return "io-error";
+    case StorageErrc::kConfigMismatch:
+      return "config-mismatch";
+  }
+  return "unknown";
+}
+
+/// Error-code-plus-context result of storage operations. The repo builds
+/// without exceptions; fallible paths return Status and leave outputs
+/// untouched on failure.
+class Status {
+ public:
+  Status() = default;
+  Status(StorageErrc code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StorageErrc::kOk; }
+  StorageErrc code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<code-name>: <message>" (or "ok").
+  std::string ToString() const {
+    if (ok()) return "ok";
+    std::string out(StorageErrcName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  StorageErrc code_ = StorageErrc::kOk;
+  std::string message_;
+};
+
+}  // namespace weber::storage
+
+#endif  // WEBER_STORAGE_STATUS_H_

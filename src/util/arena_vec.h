@@ -1,0 +1,98 @@
+#ifndef WEBER_UTIL_ARENA_VEC_H_
+#define WEBER_UTIL_ARENA_VEC_H_
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace weber::util {
+
+/// A flat arena of trivially-copyable elements that is either *owned* (a
+/// plain std::vector, the mutable state of a live store) or *borrowed* (a
+/// read-only view into externally owned memory — in practice an mmap-ed
+/// snapshot section, kept alive by a shared keep-alive handle).
+///
+/// Borrowing is what makes snapshot loading zero-copy: the storage layer
+/// writes arenas in their in-memory layout, so a loaded store can point
+/// its ArenaVecs straight into the mapping without touching the payload
+/// bytes. The first mutation detaches — the borrowed contents are copied
+/// into an owned vector once, and the arena behaves like a vector from
+/// then on (the eager-copy fallback path for writable stores). Reads never
+/// branch on more than the owned/borrowed flag, and hot paths that resolve
+/// base pointers once (PostingView, spans) are unaffected.
+template <typename T>
+class ArenaVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaVec elements must be trivially copyable: borrowed "
+                "arenas reinterpret raw mapped bytes");
+
+ public:
+  ArenaVec() = default;
+
+  /// Wraps externally owned memory. `keepalive` must keep `data` valid for
+  /// as long as any copy of this ArenaVec (or a detached copy of its
+  /// keepalive) lives — the storage layer passes the mapped file handle.
+  static ArenaVec Borrowed(const T* data, size_t size,
+                           std::shared_ptr<const void> keepalive) {
+    ArenaVec vec;
+    vec.borrowed_data_ = data;
+    vec.borrowed_size_ = size;
+    vec.keepalive_ = std::move(keepalive);
+    vec.borrowed_ = true;
+    return vec;
+  }
+
+  bool borrowed() const { return borrowed_; }
+
+  size_t size() const { return borrowed_ ? borrowed_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  const T* data() const { return borrowed_ ? borrowed_data_ : owned_.data(); }
+
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+  /// Mutable access: detaches from borrowed memory (one copy) and hands
+  /// out the owned vector. Every mutation site routes through here, so
+  /// the copy-on-write point is explicit in the caller.
+  std::vector<T>& MutableVector() {
+    Detach();
+    return owned_;
+  }
+
+  void push_back(const T& value) { MutableVector().push_back(value); }
+  void clear() {
+    owned_.clear();
+    borrowed_data_ = nullptr;
+    borrowed_size_ = 0;
+    keepalive_.reset();
+    borrowed_ = false;
+  }
+
+  /// Replaces the contents with an owned vector (snapshot eager-load path).
+  void Assign(std::vector<T> values) {
+    clear();
+    owned_ = std::move(values);
+  }
+
+ private:
+  void Detach() {
+    if (!borrowed_) return;
+    owned_.assign(borrowed_data_, borrowed_data_ + borrowed_size_);
+    borrowed_data_ = nullptr;
+    borrowed_size_ = 0;
+    keepalive_.reset();
+    borrowed_ = false;
+  }
+
+  std::vector<T> owned_;
+  const T* borrowed_data_ = nullptr;
+  size_t borrowed_size_ = 0;
+  std::shared_ptr<const void> keepalive_;
+  bool borrowed_ = false;
+};
+
+}  // namespace weber::util
+
+#endif  // WEBER_UTIL_ARENA_VEC_H_

@@ -1,0 +1,76 @@
+#ifndef WEBER_TESTS_STORAGE_OPS_H_
+#define WEBER_TESTS_STORAGE_OPS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "incremental/resolver.h"
+#include "model/entity.h"
+
+namespace weber::testing {
+
+/// Deterministic op-stream generator shared by the storage tests, the
+/// crash child binary and the recovery property test. Everything derives
+/// from (seed, n_ops), so a killed process, its recovering parent and an
+/// uninterrupted reference all materialise the identical op list.
+struct StorageOp {
+  bool remove = false;
+  model::EntityId remove_id = 0;
+  std::vector<model::EntityDescription> batch;
+};
+
+inline std::vector<StorageOp> GenerateStorageOps(uint64_t seed,
+                                                 size_t n_ops) {
+  const char* first[] = {"alice", "bob",  "carol", "dave",
+                         "erin",  "frank"};
+  const char* last[] = {"smith", "jones", "white", "black"};
+  const char* city[] = {"paris", "berlin", "lisbon", "oslo"};
+  uint64_t state = seed * 2654435761ull + 88172645463325252ull;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  std::vector<StorageOp> ops;
+  ops.reserve(n_ops);
+  uint64_t issued = 0;
+  for (size_t i = 0; i < n_ops; ++i) {
+    StorageOp op;
+    // Roughly one op in five retires an entity once any exist; the rest
+    // ingest 1-3 new descriptions drawn from small pools, so duplicates
+    // (and thus matches, merges and cluster growth) are frequent.
+    if (issued > 0 && next() % 5 == 0) {
+      op.remove = true;
+      op.remove_id = static_cast<model::EntityId>(next() % issued);
+    } else {
+      size_t count = 1 + next() % 3;
+      for (size_t j = 0; j < count; ++j) {
+        std::string uri = "http://kb/" + std::to_string(seed) + "/" +
+                          std::to_string(issued);
+        model::EntityDescription d(uri, "person");
+        d.AddPair("name", std::string(first[next() % 6]) + " " +
+                              last[next() % 4]);
+        d.AddPair("city", city[next() % 4]);
+        op.batch.push_back(std::move(d));
+        ++issued;
+      }
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+/// Applies one op to anything with the resolver's Ingest/Remove shape
+/// (IncrementalResolver or storage::DurableResolver).
+template <typename Resolver>
+void ApplyStorageOp(Resolver* resolver, const StorageOp& op) {
+  if (op.remove) {
+    resolver->Remove(op.remove_id);
+  } else {
+    resolver->Ingest(op.batch);
+  }
+}
+
+}  // namespace weber::testing
+
+#endif  // WEBER_TESTS_STORAGE_OPS_H_

@@ -1,0 +1,195 @@
+// Kill-and-recover property test of the durability subsystem: a child
+// process (storage_crash_child) streams a generated op sequence through a
+// DurableResolver and SIGKILLs itself mid-op-stream; this test recovers
+// from the directory the corpse left behind and asserts the recovered
+// state is *bit-equal* — by snapshot digest — to an uninterrupted
+// reference run over the acknowledged prefix, then that it stays
+// bit-equal while the remaining ops are applied forward.
+//
+// Three disk shapes are covered, chosen via snapshot_every and the kill
+// index: WAL-only (no checkpoint ever), snapshot + WAL tail, and
+// snapshot-only (killed exactly on a checkpoint boundary, so the live WAL
+// is empty).
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "incremental/resolver.h"
+#include "matching/matcher.h"
+#include "storage/durable.h"
+#include "storage/file_io.h"
+#include "storage/snapshot.h"
+#include "tests/storage_ops.h"
+
+namespace weber::storage {
+namespace {
+
+using ::weber::testing::ApplyStorageOp;
+using ::weber::testing::GenerateStorageOps;
+using ::weber::testing::StorageOp;
+
+class TempDir {
+ public:
+  TempDir() {
+    char pattern[] = "/tmp/weber-crash-test-XXXXXX";
+    char* made = mkdtemp(pattern);
+    EXPECT_NE(made, nullptr);
+    path_ = made;
+  }
+  ~TempDir() {
+    std::vector<std::string> entries;
+    if (ListDirectory(path_, &entries).ok()) {
+      for (const std::string& entry : entries) {
+        std::remove((path_ + "/" + entry).c_str());
+      }
+    }
+    std::remove(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Runs the crash child to (and including) op `kill_after`, expecting it
+/// to die by SIGKILL; `kill_after >= n_ops` expects a clean exit instead.
+void RunChild(const std::string& data_dir, uint64_t seed, size_t n_ops,
+              size_t kill_after, const char* fsync, uint64_t snap_every) {
+  std::string seed_arg = std::to_string(seed);
+  std::string n_ops_arg = std::to_string(n_ops);
+  std::string kill_arg = std::to_string(kill_after);
+  std::string snap_arg = std::to_string(snap_every);
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    const char* child = WEBER_CRASH_CHILD_PATH;
+    execl(child, child, data_dir.c_str(), seed_arg.c_str(),
+          n_ops_arg.c_str(), kill_arg.c_str(), fsync, snap_arg.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);  // exec failed.
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  if (kill_after < n_ops) {
+    ASSERT_TRUE(WIFSIGNALED(wstatus))
+        << "child should have died by signal, wstatus=" << wstatus;
+    ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+  } else {
+    ASSERT_TRUE(WIFEXITED(wstatus)) << "wstatus=" << wstatus;
+    ASSERT_EQ(WEXITSTATUS(wstatus), 0);
+  }
+}
+
+/// Digest of a never-crashed resolver after the first `prefix` ops.
+uint32_t ReferenceDigest(uint64_t seed, size_t n_ops, size_t prefix) {
+  matching::TokenJaccardMatcher matcher;
+  incremental::IncrementalResolver reference(&matcher, {});
+  std::vector<StorageOp> ops = GenerateStorageOps(seed, n_ops);
+  for (size_t i = 0; i < prefix; ++i) ApplyStorageOp(&reference, ops[i]);
+  return SnapshotCodec::StateDigest(reference);
+}
+
+/// The property: kill the child after op `kill_after`, recover, and the
+/// recovered state must digest-equal the reference prefix; then applying
+/// the remaining ops forward must digest-equal the full reference run.
+void CheckKillRecover(uint64_t seed, size_t n_ops, size_t kill_after,
+                      const char* fsync, uint64_t snap_every) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " kill_after=" + std::to_string(kill_after) +
+               " fsync=" + fsync +
+               " snap_every=" + std::to_string(snap_every));
+  TempDir dir;
+  RunChild(dir.path(), seed, n_ops, kill_after, fsync, snap_every);
+
+  matching::TokenJaccardMatcher matcher;
+  DurabilityOptions durability;
+  durability.data_dir = dir.path();
+  durability.snapshot_every = snap_every;
+  durability.fsync = FsyncPolicy::kOff;  // Post-recovery appends.
+  DurableResolver recovered(&matcher, {}, durability);
+  ASSERT_TRUE(recovered.healthy()) << recovered.recovery_status().ToString();
+
+  // With fsync=always every acknowledged op survived the SIGKILL; weaker
+  // policies may lose a sync-window suffix but never see a wrong prefix.
+  if (std::string(fsync) == "always") {
+    EXPECT_EQ(recovered.op_count(), kill_after + 1);
+  } else {
+    EXPECT_LE(recovered.op_count(), kill_after + 1);
+  }
+  EXPECT_EQ(SnapshotCodec::StateDigest(recovered.resolver()),
+            ReferenceDigest(seed, n_ops, recovered.op_count()))
+      << "recovered state diverges from the uninterrupted reference";
+
+  // Forward bit-equality: the recovered resolver, fed the rest of the
+  // sequence, must land exactly where a never-crashed run lands.
+  std::vector<StorageOp> ops = GenerateStorageOps(seed, n_ops);
+  for (size_t i = recovered.op_count(); i < ops.size(); ++i) {
+    ApplyStorageOp(&recovered, ops[i]);
+  }
+  EXPECT_EQ(recovered.op_count(), n_ops);
+  EXPECT_EQ(SnapshotCodec::StateDigest(recovered.resolver()),
+            ReferenceDigest(seed, n_ops, n_ops));
+}
+
+TEST(CrashRecoveryTest, WalOnly) {
+  // No checkpoint ever: recovery replays the whole WAL from scratch.
+  for (uint64_t seed : {1u, 2u}) {
+    for (size_t kill_after : {0u, 7u, 18u}) {
+      CheckKillRecover(seed, 24, kill_after, "always", 0);
+    }
+  }
+}
+
+TEST(CrashRecoveryTest, SnapshotPlusWalTail) {
+  // Checkpoints mid-run: recovery loads the newest snapshot and replays
+  // only the tail records behind it.
+  for (uint64_t seed : {3u, 4u}) {
+    for (size_t kill_after : {6u, 13u, 21u}) {
+      CheckKillRecover(seed, 24, kill_after, "always", 5);
+    }
+  }
+}
+
+TEST(CrashRecoveryTest, SnapshotOnlyAtCheckpointBoundary) {
+  // Killed immediately after the op that triggered a checkpoint: the live
+  // WAL is freshly created and empty, so recovery is pure snapshot load.
+  CheckKillRecover(5, 24, 9, "always", 5);    // op_count 10 = 2 * 5.
+  CheckKillRecover(6, 24, 19, "always", 10);  // op_count 20 = 2 * 10.
+}
+
+TEST(CrashRecoveryTest, WeakerFsyncPoliciesLoseOnlyTheTail) {
+  // batch/off may drop unsynced ops on SIGKILL, but whatever survives
+  // must still be a bit-equal prefix (never a torn or reordered state).
+  CheckKillRecover(7, 24, 15, "batch", 0);
+  CheckKillRecover(8, 24, 15, "off", 5);
+}
+
+TEST(CrashRecoveryTest, SurvivesRepeatedCrashes) {
+  // Crash, recover in a new process, crash again further along, then
+  // finish cleanly — the final state must equal one uninterrupted run.
+  const uint64_t seed = 9;
+  const size_t n_ops = 30;
+  TempDir dir;
+  RunChild(dir.path(), seed, n_ops, 5, "always", 4);
+  RunChild(dir.path(), seed, n_ops, 17, "always", 4);
+  RunChild(dir.path(), seed, n_ops, n_ops, "always", 4);  // To completion.
+
+  matching::TokenJaccardMatcher matcher;
+  DurabilityOptions durability;
+  durability.data_dir = dir.path();
+  DurableResolver recovered(&matcher, {}, durability);
+  ASSERT_TRUE(recovered.healthy()) << recovered.recovery_status().ToString();
+  EXPECT_EQ(recovered.op_count(), n_ops);
+  EXPECT_EQ(SnapshotCodec::StateDigest(recovered.resolver()),
+            ReferenceDigest(seed, n_ops, n_ops));
+}
+
+}  // namespace
+}  // namespace weber::storage

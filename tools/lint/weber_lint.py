@@ -15,6 +15,10 @@ Rules (see tools/lint/rules.md for rationale and examples):
   indexed-access   in designated hot-path files, indexing with an
                    id/index-named variable needs a WEBER_[D]CHECK nearby or
                    an explicit `// lint: allow(indexed-access)` escape
+  file-io          fopen/open/mmap/fstream only under src/storage/ (and
+                   src/model/io.h) — every fsync/atomicity decision lives
+                   in the durability layer; `// lint: allow(file-io)`
+                   escapes with a reason
 
 Usage:
   tools/lint/weber_lint.py              lint the repo; exit 1 on findings
@@ -46,6 +50,12 @@ REPO_ROOT = os.path.dirname(
 THREAD_OWNERS = ("src/core/executor.h", "src/core/executor.cc")
 RANDOM_OWNERS = ("src/util/random.h", "src/util/random.cc")
 
+# Where file I/O is sanctioned: the durability layer owns every
+# fsync-ordering and atomicity decision (src/storage/file_io.* are the
+# audited entry points), and model/io.h is the historical text-format
+# reader. Everything else in src/ takes streams or bytes from callers.
+FILE_IO_OWNER_PREFIXES = ("src/storage/", "src/model/io.h")
+
 # Hot-path files where unchecked indexing has caused (or nearly caused)
 # out-of-bounds reads; see rules.md.
 INDEXED_ACCESS_FILES = (
@@ -64,6 +74,12 @@ CATALOG_ROW_RE = re.compile(r"^\|\s*`(weber\.[a-z0-9_.]+)`\s*\|")
 ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
 INDEX_VAR_RE = re.compile(
     r"(?:\[\s*|\.at\(\s*)([A-Za-z_]*(?:id|idx|index)[A-Za-z_]*)\s*[\]\)]")
+# C and C++ file-opening constructs. `\bopen\b` stays word-bounded so
+# `is_open()` / `Open()` do not fire; stream types fire at the point of
+# construction or .open() call alike.
+FILE_IO_RE = re.compile(
+    r"(\b(fopen|freopen|openat|creat|mmap)\s*\(|\bopen\s*\(|"
+    r"\bstd::(i|o)?fstream\b|\bstd::filebuf\b)")
 CHECK_NEAR_RE = re.compile(r"WEBER_D?CHECK")
 
 CATALOG_HEADER = "### Metric catalog"
@@ -269,6 +285,21 @@ def check_include_hygiene(root, compiler="g++"):
     return findings
 
 
+def check_file_io(root, files):
+    """File I/O must flow through the durability layer's audited entry
+    points (src/storage/file_io.* and friends); scattered fopen/mmap calls
+    are where fsync-ordering bugs hide."""
+    scoped = [
+        path for path in files
+        if not rel(root, path).replace(os.sep, "/")
+        .startswith(FILE_IO_OWNER_PREFIXES)]
+    return check_pattern_rule(
+        root, scoped, FILE_IO_RE, "file-io", (),
+        "'{found}' outside src/storage/ and src/model/io.h — file I/O "
+        "belongs to the durability layer (or add "
+        "`// lint: allow(file-io)` with a reason)")
+
+
 def check_indexed_access(root):
     findings = []
     for r in INDEXED_ACCESS_FILES:
@@ -316,6 +347,7 @@ def run_lint(root, fix=False, skip_compile=False):
     findings += check_pattern_rule(
         root, all_files, USING_STD_RE, "using-namespace", (),
         "'using namespace std' pollutes every including scope")
+    findings += check_file_io(root, lib_files)
     findings += check_metrics(root, lib_files, fix=fix)
     if not skip_compile:
         findings += check_include_hygiene(root)
@@ -343,6 +375,9 @@ SELF_TEST_SEEDS = {
     "indexed-access": ("src/util/intersect.h",
                        "inline int Pick(const int* xs, int the_index) {\n"
                        "  return xs[the_index];\n}\n"),
+    "file-io": ("src/eval/rogue.cc",
+                "#include <fstream>\n"
+                'void f() { std::ifstream in("leak.txt"); }\n'),
 }
 
 
@@ -380,6 +415,21 @@ def self_test() -> int:
         if any(f.rule == "indexed-access" for f in run_lint(tmp)):
             failures.append("allow(indexed-access) escape did not silence")
         os.remove(path)
+        # ... and file-io; and the storage directory itself is sanctioned.
+        path = os.path.join(tmp, "src/eval/rogue.cc")
+        with open(path, "w") as f:
+            f.write("#include <cstdio>\n"
+                    "// lint: allow(file-io) reads its own proc stats\n"
+                    'void f() { std::fopen("/proc/self/statm", "r"); }\n')
+        owner = os.path.join(tmp, "src/storage/rogue.cc")
+        os.makedirs(os.path.dirname(owner), exist_ok=True)
+        with open(owner, "w") as f:
+            f.write("#include <cstdio>\n"
+                    'void g() { std::fopen("wal", "a"); }\n')
+        if any(f.rule == "file-io" for f in run_lint(tmp)):
+            failures.append("file-io allow/owner escapes did not silence")
+        os.remove(path)
+        os.remove(owner)
     for failure in failures:
         print(f"weber-lint: self-test FAILED: {failure}", file=sys.stderr)
     if not failures:
