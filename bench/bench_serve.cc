@@ -1,0 +1,109 @@
+// Serving-path scaling: the sharded resolver behind its coalescing front
+// door under open-loop ingest load.
+//
+// Claims to measure: (a) ingest throughput scales with the shard count —
+// the batch phases fan out shards-way, so 8 shards sustain several times
+// the single-shard QPS on the same corpus; (b) tail latency stays
+// bounded: p50/p99/p999 come from the load generator's scheduled send
+// times (coordinated-omission safe), and overload turns into typed shed
+// responses (the `shed` counter), never queue collapse.
+//
+// The workload is a datagen dirty corpus (duplicates interleaved, so
+// ingest does real match work) offered by concurrent workers in 64-entity
+// requests through ShardedResolveService — the same path weber_serve
+// drives over its socket, minus the socket.
+//
+// Rows: shards x corpus size. Counters: qps, entities/s, p50/p99/p999 ms,
+// shed responses, accepted entities.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_report.h"
+#include "datagen/corpus_generator.h"
+#include "matching/matcher.h"
+#include "serve/loadgen.h"
+#include "serve/service.h"
+
+namespace weber {
+namespace {
+
+/// One shared corpus per size: the three shard rows of a size compare
+/// identical streams, and datagen runs outside the timed region.
+const std::vector<model::EntityDescription>& CorpusOf(size_t n) {
+  static std::map<size_t, std::vector<model::EntityDescription>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    datagen::CorpusConfig config;
+    config.num_entities = n;
+    config.seed = 42;
+    datagen::Corpus corpus = datagen::CorpusGenerator(config).GenerateDirty();
+    std::vector<model::EntityDescription> entities;
+    entities.reserve(corpus.collection.size());
+    for (model::EntityId id = 0; id < corpus.collection.size(); ++id) {
+      entities.push_back(corpus.collection.at(id));
+    }
+    it = cache.emplace(n, std::move(entities)).first;
+  }
+  return it->second;
+}
+
+void BM_ServeIngest(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const size_t distinct = static_cast<size_t>(state.range(1));
+  const std::vector<model::EntityDescription>& entities = CorpusOf(distinct);
+
+  serve::LoadGenResult result;
+  for (auto _ : state) {
+    matching::TokenJaccardMatcher matcher;
+    serve::ShardedServiceOptions options;
+    options.max_batch = 256;
+    options.max_queue_entities = 1u << 16;
+    options.resolver.shards = shards;
+    options.resolver.match_threshold = 0.6;
+    // Online purging keeps degenerate postings (shared city/name tokens)
+    // bounded, as any serving deployment would.
+    options.resolver.index.max_block_size = 64;
+    serve::ShardedResolveService service(&matcher, options);
+
+    serve::LoadGenOptions load;
+    load.workers = 16;
+    load.batch_size = 64;
+    load.rate = 0;  // Closed loop: offer as fast as the service admits.
+    result = serve::RunIngestLoad(
+        entities, load,
+        [&service](std::vector<model::EntityDescription> batch) {
+          return service.Ingest(std::move(batch)).status;
+        });
+    service.BeginShutdown();
+    service.Drain();
+  }
+
+  state.counters["qps"] = result.qps;
+  state.counters["entities_per_s"] = result.entities_per_second;
+  state.counters["p50_ms"] = result.p50_ms;
+  state.counters["p99_ms"] = result.p99_ms;
+  state.counters["p999_ms"] = result.p999_ms;
+  state.counters["shed"] = static_cast<double>(result.shed);
+  state.counters["entities_ok"] = static_cast<double>(result.entities_ok);
+}
+BENCHMARK(BM_ServeIngest)
+    // Quick rows: enough entities that the phase fan-out dominates setup.
+    ->Args({1, 20000})
+    ->Args({8, 20000})
+    ->Args({64, 20000})
+    // Full rows: the million-entity corpus of the scaling claim.
+    ->Args({1, 1000000})
+    ->Args({8, 1000000})
+    ->Args({64, 1000000})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace weber
+
+WEBER_BENCH_MAIN("bench_serve");

@@ -48,6 +48,7 @@
 #include "matching/matcher.h"
 #include "metablocking/weight_schemes.h"
 #include "model/io.h"
+#include "serve/sharded_resolver.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
@@ -105,7 +106,7 @@ constexpr const char kUsage[] =
     "usage: er_cli [INPUT.nt] [--threshold T] [--blocker "
     "token|qgrams|sn|pis] [--meta WEIGHT PRUNING] [--truth FILE] "
     "[--budget N] [--threads N] [--kernel auto|scalar|sse4|avx2] "
-    "[--stream[=BATCH]] [--data-dir PATH] [--snapshot-every N] "
+    "[--stream[=BATCH]] [--shards N] [--data-dir PATH] [--snapshot-every N] "
     "[--fsync always|batch|off] [--out FILE] "
     "[--metrics-json FILE] [--trace-json FILE] "
     "[--telemetry-jsonl FILE[,INTERVAL_MS]] [--verbose]";
@@ -233,6 +234,8 @@ int main(int argc, char** argv) {
   bool kernel_flag = false;
   bool stream = false;
   uint64_t stream_batch = 64;
+  uint64_t shards = 1;
+  bool shards_flag = false;
   std::string data_dir;
   uint64_t snapshot_every = 0;
   storage::FsyncPolicy fsync = storage::FsyncPolicy::kBatch;
@@ -299,6 +302,21 @@ int main(int argc, char** argv) {
       if (!ParseUnsigned(v, &stream_batch) || stream_batch == 0) {
         return UsageFail("bad --stream batch size " + v);
       }
+    } else if (arg == "--shards") {
+      auto v = next("--shards");
+      if (!v) return UsageFail("--shards needs a value");
+      if (!ParseUnsigned(*v, &shards) || shards == 0 ||
+          shards > serve::ShardedResolver::kMaxShards) {
+        return UsageFail("bad --shards " + *v + " (want 1..64)");
+      }
+      shards_flag = true;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      std::string v = arg.substr(std::strlen("--shards="));
+      if (!ParseUnsigned(v, &shards) || shards == 0 ||
+          shards > serve::ShardedResolver::kMaxShards) {
+        return UsageFail("bad --shards " + v + " (want 1..64)");
+      }
+      shards_flag = true;
     } else if (arg == "--data-dir") {
       auto v = next("--data-dir");
       if (!v) return 2;
@@ -379,6 +397,14 @@ int main(int argc, char** argv) {
   if (stream && meta.has_value()) {
     return UsageFail("--meta is not supported with --stream");
   }
+  if (shards_flag && !stream) {
+    return UsageFail("--shards requires --stream");
+  }
+  if (shards > 1 && snapshot_every_flag) {
+    return UsageFail(
+        "--snapshot-every is not supported with --shards > 1 (per-shard "
+        "WAL-only durability)");
+  }
   if (!data_dir.empty()) {
     if (!stream) return UsageFail("--data-dir requires --stream");
     if (!storage::DirectoryExists(data_dir)) {
@@ -439,6 +465,7 @@ int main(int argc, char** argv) {
   if (stream) {
     core::IncrementalMode mode;
     mode.batch_size = static_cast<size_t>(stream_batch);
+    mode.shards = static_cast<size_t>(shards);
     mode.data_dir = data_dir;
     mode.snapshot_every = snapshot_every;
     mode.fsync = fsync;
@@ -458,6 +485,7 @@ int main(int argc, char** argv) {
               << util::KernelName(util::ActiveIntersectKernel());
     }
     if (stream) summary << " stream=" << stream_batch;
+    if (shards > 1) summary << " shards=" << shards;
     if (!data_dir.empty()) {
       summary << " data_dir=" << data_dir
               << " fsync=" << storage::FsyncPolicyName(fsync);
@@ -505,10 +533,11 @@ int main(int argc, char** argv) {
                             result.matching_seconds
                       : 0.0;
     std::fprintf(stderr,
-                 "er_cli: stream: %llu batches of <=%llu, %.0f entities/s, "
-                 "batch latency p50=%.2gms p99=%.2gms\n",
+                 "er_cli: stream: %llu batches of <=%llu, shards=%llu, "
+                 "%.0f entities/s, batch latency p50=%.2gms p99=%.2gms\n",
                  static_cast<unsigned long long>(ingest.count),
-                 static_cast<unsigned long long>(stream_batch), rate,
+                 static_cast<unsigned long long>(stream_batch),
+                 static_cast<unsigned long long>(shards), rate,
                  ingest.Quantile(0.5) * 1e3, ingest.Quantile(0.99) * 1e3);
   }
   std::fprintf(stderr,

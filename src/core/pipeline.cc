@@ -8,6 +8,7 @@
 #include "core/executor.h"
 #include "incremental/serving.h"
 #include "matching/signatures.h"
+#include "serve/service.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -34,6 +35,123 @@ class PhaseScope {
  private:
   const char* previous_;
 };
+
+/// The sharded resolve-on-ingest execution (IncrementalMode::shards > 1):
+/// the same stream replayed through a serve::ShardedResolveService, whose
+/// result is bit-equal to the single-shard path below.
+PipelineResult RunShardedIncrementalPipeline(
+    const model::EntityCollection& collection, const model::GroundTruth& truth,
+    const PipelineConfig& config) {
+  WEBER_CHECK(config.matcher != nullptr) << "pipeline needs a matcher";
+  WEBER_CHECK(collection.setting() == model::ErSetting::kDirty)
+      << "incremental mode resolves dirty collections";
+  const IncrementalMode& mode = *config.incremental;
+  WEBER_CHECK(mode.sn_window == 0 && !mode.merge_propagation)
+      << "sorted-neighbourhood and merge propagation are single-shard "
+         "features (shards == 1)";
+  PipelineResult result;
+  util::Timer timer;
+
+  obs::ScopedRegistry attach(config.metrics);
+  obs::MetricsRegistry* registry = obs::Current();
+  obs::Span pipeline_span(registry, "pipeline");
+
+  serve::ShardedServiceOptions service_options;
+  service_options.max_batch = mode.batch_size == 0 ? 64 : mode.batch_size;
+  service_options.resolver.shards = mode.shards;
+  service_options.resolver.match_threshold = config.match_threshold;
+  service_options.resolver.index = mode.index;
+  service_options.resolver.prepared_matching = config.prepared_matching;
+  service_options.resolver.metrics = registry;
+  service_options.resolver.data_dir = mode.data_dir;
+  service_options.resolver.fsync = mode.fsync;
+
+  serve::ShardedResolveService service(config.matcher, service_options);
+  WEBER_CHECK(service.recovery_status().ok())
+      << "durable recovery failed: "
+      << service.recovery_status().ToString();
+  eval::ProgressiveCurve curve(truth.NumMatches());
+  service.resolver().set_comparison_observer(
+      [&curve, &truth](const model::IdPair& pair, bool matched) {
+        curve.Record(matched && truth.IsMatch(pair));
+      });
+
+  {
+    obs::Span span(registry, "ingest");
+    PhaseScope phase("ingest");
+    std::vector<model::EntityDescription> batch;
+    batch.reserve(service_options.max_batch);
+    for (model::EntityId id = 0; id < collection.size(); ++id) {
+      batch.push_back(collection.at(id));
+      if (batch.size() == service_options.max_batch) {
+        serve::ShardedResolveService::IngestResult ingest =
+            service.Ingest(std::move(batch));
+        WEBER_CHECK(ingest.status == serve::ServeErrc::kOk)
+            << "sharded ingest failed: "
+            << serve::ServeErrcName(ingest.status);
+        batch.clear();
+        batch.reserve(service_options.max_batch);
+      }
+    }
+    if (!batch.empty()) {
+      serve::ShardedResolveService::IngestResult ingest =
+          service.Ingest(std::move(batch));
+      WEBER_CHECK(ingest.status == serve::ServeErrc::kOk)
+          << "sharded ingest failed: "
+          << serve::ServeErrcName(ingest.status);
+    }
+  }
+  result.matching_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  serve::ShardedResolver& resolver = service.resolver();
+  model::EntityCollection store_collection = resolver.CollectionSnapshot();
+
+  {
+    obs::Span span(registry, "blocking");
+    PhaseScope phase("blocking");
+    blocking::BlockCollection blocks =
+        resolver.IndexBlocks(&store_collection);
+    result.blocking_quality = eval::EvaluateBlocks(blocks, truth);
+    if (registry != nullptr) {
+      registry->GetCounter("weber.pipeline.blocks").Add(blocks.NumBlocks());
+    }
+  }
+  result.blocking_seconds = timer.ElapsedSeconds();
+
+  {
+    obs::Span span(registry, "clustering");
+    PhaseScope phase("clustering");
+    result.clusters = resolver.Clusters();
+  }
+
+  result.candidates = resolver.candidates();
+  result.comparisons = resolver.comparisons();
+  result.matches = resolver.matches();
+  result.curve = std::move(curve);
+  if (resolver.size() != collection.size()) {
+    result.store_collection = std::move(store_collection);
+  }
+
+  {
+    obs::Span span(registry, "checkpoint");
+    PhaseScope phase("checkpoint");
+    storage::Status status = resolver.Checkpoint();
+    WEBER_CHECK(status.ok())
+        << "final checkpoint failed: " << status.ToString();
+  }
+
+  if (registry != nullptr) {
+    registry->GetCounter("weber.pipeline.candidates").Add(result.candidates);
+    registry->GetCounter("weber.pipeline.comparisons").Add(result.comparisons);
+    registry->GetCounter("weber.pipeline.matches").Add(result.matches.size());
+    registry->GetCounter("weber.pipeline.clusters")
+        .Add(result.clusters.size());
+    registry->GetCounter("weber.pipeline.runs").Increment();
+    Executor::Shared().PublishMetrics();
+  }
+  return result;
+}
 
 /// The resolve-on-ingest execution: replays the collection through a
 /// ResolveService in batches, then reads quality, clusters and counters
@@ -161,6 +279,9 @@ PipelineResult RunPipeline(const model::EntityCollection& collection,
                            const model::GroundTruth& truth,
                            const PipelineConfig& config) {
   if (config.incremental.has_value()) {
+    if (config.incremental->shards > 1) {
+      return RunShardedIncrementalPipeline(collection, truth, config);
+    }
     return RunIncrementalPipeline(collection, truth, config);
   }
   WEBER_CHECK(config.blocker != nullptr) << "pipeline needs a blocker";

@@ -38,6 +38,14 @@ struct IncrementalMode {
   /// Entities per ingest batch (0 -> 64).
   size_t batch_size = 64;
 
+  /// When > 1, the stream runs through the hash-partitioned
+  /// serve::ShardedResolver with this many shards instead of the
+  /// single-store resolver. Replay is bit-equal to shards == 1 for any
+  /// count; parallelism scales with the shard count. Requires sn_window
+  /// == 0 and merge_propagation off (both are single-shard features);
+  /// durability uses per-shard WALs (snapshot_every is ignored).
+  size_t shards = 1;
+
   /// Delta token-index configuration. A non-zero max_block_size applies
   /// purging online, which trades replay exactness for bounded postings.
   blocking::TokenBlockingOptions index;

@@ -57,6 +57,46 @@ void IncrementalTokenIndex::Absorb(model::EntityId id,
   stats_.tokens = postings_.size();
 }
 
+void IncrementalTokenIndex::AbsorbTokens(
+    model::EntityId id,
+    const std::vector<std::pair<std::string, uint32_t>>& tokens,
+    std::vector<PositionedCandidate>* candidates) {
+  // Per-call dedup: tokens arrive in ascending position order and postings
+  // iterate in absorb (ascending-id) order, so first-insertion-wins keeps
+  // each other-id's minimal (position, posting-order) occurrence — the one
+  // the merged cross-index sort must surface.
+  std::unordered_set<model::EntityId> paired;
+  for (const auto& [token, position] : tokens) {
+    Posting& posting = postings_[token];
+    if (posting.purged) continue;
+    ++stats_.updates;
+    if (!removed_.empty()) {
+      std::erase_if(posting.entities, [this](model::EntityId e) {
+        return removed_.contains(e);
+      });
+    }
+    if (candidates != nullptr) {
+      for (model::EntityId other : posting.entities) {
+        WEBER_DCHECK_NE(other, id)
+            << "entity absorbed twice without Remove; would emit a "
+            << "self-pair";
+        if (paired.insert(other).second) {
+          candidates->push_back(PositionedCandidate{other, position});
+        }
+      }
+    }
+    posting.entities.push_back(id);
+    if (options_.max_block_size != 0 &&
+        posting.entities.size() > options_.max_block_size) {
+      posting.purged = true;
+      posting.entities.clear();
+      posting.entities.shrink_to_fit();
+      ++stats_.purged_tokens;
+    }
+  }
+  stats_.tokens = postings_.size();
+}
+
 void IncrementalTokenIndex::Query(
     const model::EntityDescription& description,
     std::vector<model::EntityId>* candidates) const {

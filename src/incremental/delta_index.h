@@ -67,6 +67,34 @@ class IncrementalTokenIndex {
   void Absorb(model::EntityId id, const model::EntityDescription& description,
               std::vector<model::IdPair>* new_pairs);
 
+  /// A candidate found through a shared token, tagged with the token's
+  /// position in the new entity's full token list. Sorting one entity's
+  /// candidates from several token-partitioned indexes by (position,
+  /// posting order) and keeping each other-id's first occurrence yields
+  /// exactly the order Absorb emits from a single index.
+  struct PositionedCandidate {
+    model::EntityId other = 0;
+    uint32_t position = 0;
+  };
+
+  /// Token-partitioned absorb: indexes only `tokens` — the subset of the
+  /// entity's TokensOf list this index owns, each with its position in the
+  /// full list, in ascending position order. Emits PositionedCandidates
+  /// (deduplicated per call, first occurrence kept). Per-token behaviour
+  /// (lazy compaction, purging, stats) is identical to Absorb, so
+  /// splitting one entity's tokens across indexes by token and merging
+  /// the tagged candidates reproduces the single-index stream.
+  void AbsorbTokens(
+      model::EntityId id,
+      const std::vector<std::pair<std::string, uint32_t>>& tokens,
+      std::vector<PositionedCandidate>* candidates);
+
+  /// The normalised, length-filtered value tokens Absorb indexes, in
+  /// emission order — public so token-partitioned callers compute the
+  /// exact token/position lists AbsorbTokens expects.
+  std::vector<std::string> TokensOf(
+      const model::EntityDescription& description) const;
+
   /// Read-only probe: the distinct indexed entities sharing at least one
   /// token with `description`, in first-shared-token order. Used to
   /// re-block merged representatives without inserting them.
@@ -93,9 +121,6 @@ class IncrementalTokenIndex {
     std::vector<model::EntityId> entities;  // Ascending (absorb order).
     bool purged = false;
   };
-
-  std::vector<std::string> TokensOf(
-      const model::EntityDescription& description) const;
 
   blocking::TokenBlockingOptions options_;
   std::unordered_map<std::string, Posting> postings_;

@@ -73,6 +73,9 @@ void ResolveService::LeadBatch(std::unique_lock<std::mutex>& lock) {
   lock.lock();
   for (Request* request : drained) request->done = true;
   leader_active_ = false;
+  // Hand leadership to the oldest still-queued waiter, if any, so arrival
+  // order bounds how long a request can sit in the queue.
+  designated_ = queue_.empty() ? nullptr : queue_.front();
   queue_cv_.notify_all();
 }
 
@@ -84,12 +87,16 @@ std::vector<model::EntityId> ResolveService::Ingest(
   std::unique_lock<std::mutex> lock(queue_mu_);
   queue_.push_back(&request);
   while (!request.done) {
-    queue_cv_.wait(lock,
-                   [&] { return request.done || !leader_active_; });
+    queue_cv_.wait(lock, [&] {
+      return request.done ||
+             (!leader_active_ &&
+              (designated_ == nullptr || designated_ == &request));
+    });
     if (request.done) break;
-    // Become the leader: serve a batch (which may or may not include our
-    // own request — if not, loop and wait or lead again).
+    // Become the leader: serve a batch (which always includes the
+    // designated waiter's own request, since it is the queue head).
     leader_active_ = true;
+    designated_ = nullptr;
     LeadBatch(lock);
   }
   requests_.fetch_add(1, std::memory_order_relaxed);

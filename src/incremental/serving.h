@@ -117,6 +117,12 @@ class ResolveService {
   std::condition_variable queue_cv_;
   std::deque<Request*> queue_;
   bool leader_active_ = false;
+  /// Fairness: when a leader finishes with requests still queued, it hands
+  /// leadership to the oldest waiter instead of letting all waiters re-race
+  /// the condition variable (under which a freshly-arrived caller could
+  /// keep winning and starve the head of the queue). Null = anyone may
+  /// lead.
+  Request* designated_ = nullptr;
 
   std::mutex resolver_mu_;
 

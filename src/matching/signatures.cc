@@ -637,6 +637,44 @@ void SignatureStore::Absorb(model::EntityId id,
   entry.present = true;
 }
 
+void SignatureStore::AbsorbPrepared(model::EntityId id,
+                                    InternedSignature signature) {
+  Entry& entry = EnsureSlot(id);
+  if (entry.present) Release(id);  // Re-absorbing abandons the old bytes.
+  entry.posting = posting_arena_.AppendSorted(signature.token_ids);
+  if (options_.tfidf_model != nullptr) {
+    entry.has_tfidf = true;
+    entry.tfidf_offset = static_cast<uint32_t>(tfidf_.size());
+    entry.tfidf_count = static_cast<uint32_t>(signature.tfidf.entries.size());
+    std::vector<TfIdfTerm>& arena = tfidf_.MutableVector();
+    for (const auto& [token, weight] : signature.tfidf.entries) {
+      arena.push_back(TfIdfTerm{token, 0, weight});
+    }
+  }
+  if (!options_.attributes.empty()) {
+    WEBER_DCHECK_EQ(signature.attributes.size(), options_.attributes.size())
+        << "prepared signature built against different attribute options";
+    entry.has_attributes = true;
+    entry.attribute_offset = static_cast<uint32_t>(attribute_slots_.size());
+    std::vector<AttributeSlot> slots(options_.attributes.size());
+    std::vector<uint32_t>& tokens = tokens_.MutableVector();
+    for (size_t k = 0; k < slots.size(); ++k) {
+      InternedSignature::Attribute& attr = signature.attributes[k];
+      if (!attr.present) continue;
+      AttributeSlot& slot = slots[k];
+      slot.value_index = static_cast<uint32_t>(values_.size());
+      values_.push_back(std::move(attr.value));
+      slot.token_offset = static_cast<uint32_t>(tokens.size());
+      slot.token_count = static_cast<uint32_t>(attr.token_ids.size());
+      tokens.insert(tokens.end(), attr.token_ids.begin(),
+                    attr.token_ids.end());
+    }
+    std::vector<AttributeSlot>& arena = attribute_slots_.MutableVector();
+    arena.insert(arena.end(), slots.begin(), slots.end());
+  }
+  entry.present = true;
+}
+
 model::EntityId SignatureStore::AppendMerged(model::EntityId a,
                                              model::EntityId b) {
   // Merging reads both constituents' arena spans; an absent entry would
@@ -902,6 +940,347 @@ std::unique_ptr<PreparedMatcher> Prepare(const Matcher& matcher,
     if (store.collection() != &oracle->collection()) return nullptr;
     return std::make_unique<PreparedOracle>(*oracle, store);
   }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-store matchers — the same arithmetic as the Prepared* twins above,
+// with the two signatures resolved from independent stores. Any change to
+// a Prepared matcher's scoring must be mirrored here (serve_test pins the
+// bit-equality).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Cross-store analogue of StringFallback: each store resolves its own id.
+double CrossStringFallback(const Matcher& twin,
+                           const PreparedCounters& counters,
+                           const SignatureStore& sa, model::EntityId a,
+                           const SignatureStore& sb, model::EntityId b) {
+  Bump(counters.fallbacks);
+  const model::EntityDescription* desc_a = sa.description(a);
+  const model::EntityDescription* desc_b = sb.description(b);
+  if (desc_a == nullptr || desc_b == nullptr) return 0.0;
+  return twin.Similarity(*desc_a, *desc_b);
+}
+
+class CrossTokenJaccard final : public CrossStoreMatcher {
+ public:
+  explicit CrossTokenJaccard(const TokenJaccardMatcher& twin)
+      : twin_(twin), counters_(PreparedCounters::Ambient()) {}
+
+  double Similarity(const SignatureStore& sa, model::EntityId a,
+                    const SignatureStore& sb,
+                    model::EntityId b) const override {
+    if (!sa.contains(a) || !sb.contains(b)) {
+      return CrossStringFallback(twin_, counters_, sa, a, sb, b);
+    }
+    Bump(counters_.comparisons);
+    const PostingView ta = sa.posting(a);
+    const PostingView tb = sb.posting(b);
+    size_t inter = PostingIntersectSize(ta, tb);
+    size_t union_size = size_t{ta.size} + tb.size - inter;
+    if (union_size == 0) return 1.0;
+    return static_cast<double>(inter) / static_cast<double>(union_size);
+  }
+
+  bool Matches(const SignatureStore& sa, model::EntityId a,
+               const SignatureStore& sb, model::EntityId b,
+               double threshold) const override {
+    if (!sa.contains(a) || !sb.contains(b)) {
+      return CrossStringFallback(twin_, counters_, sa, a, sb, b) >= threshold;
+    }
+    Bump(counters_.comparisons);
+    const PostingView ta = sa.posting(a);
+    const PostingView tb = sb.posting(b);
+    if (ta.empty() && tb.empty()) return 1.0 >= threshold;
+    size_t required = RequiredOverlapJaccard(ta.size, tb.size, threshold);
+    if (required > std::min<size_t>(ta.size, tb.size)) {
+      Bump(counters_.filter_hits);
+      return false;
+    }
+    if (required == 0) {
+      Bump(counters_.filter_hits);
+      return true;
+    }
+    return PostingIntersectAtLeast(ta, tb, required);
+  }
+
+  std::string name() const override { return "Cross(TokenJaccard)"; }
+
+ private:
+  const TokenJaccardMatcher& twin_;
+  PreparedCounters counters_;
+};
+
+class CrossTokenOverlap final : public CrossStoreMatcher {
+ public:
+  explicit CrossTokenOverlap(const TokenOverlapMatcher& twin)
+      : twin_(twin), counters_(PreparedCounters::Ambient()) {}
+
+  double Similarity(const SignatureStore& sa, model::EntityId a,
+                    const SignatureStore& sb,
+                    model::EntityId b) const override {
+    if (!sa.contains(a) || !sb.contains(b)) {
+      return CrossStringFallback(twin_, counters_, sa, a, sb, b);
+    }
+    Bump(counters_.comparisons);
+    const PostingView ta = sa.posting(a);
+    const PostingView tb = sb.posting(b);
+    size_t smaller = std::min<size_t>(ta.size, tb.size);
+    if (smaller == 0) return ta.size == tb.size ? 1.0 : 0.0;
+    size_t inter = PostingIntersectSize(ta, tb);
+    return static_cast<double>(inter) / static_cast<double>(smaller);
+  }
+
+  bool Matches(const SignatureStore& sa, model::EntityId a,
+               const SignatureStore& sb, model::EntityId b,
+               double threshold) const override {
+    if (!sa.contains(a) || !sb.contains(b)) {
+      return CrossStringFallback(twin_, counters_, sa, a, sb, b) >= threshold;
+    }
+    Bump(counters_.comparisons);
+    const PostingView ta = sa.posting(a);
+    const PostingView tb = sb.posting(b);
+    size_t smaller = std::min<size_t>(ta.size, tb.size);
+    if (smaller == 0) {
+      return (ta.size == tb.size ? 1.0 : 0.0) >= threshold;
+    }
+    size_t required = RequiredOverlapCoefficient(smaller, threshold);
+    if (required > smaller) {
+      Bump(counters_.filter_hits);
+      return false;
+    }
+    if (required == 0) {
+      Bump(counters_.filter_hits);
+      return true;
+    }
+    return PostingIntersectAtLeast(ta, tb, required);
+  }
+
+  std::string name() const override { return "Cross(TokenOverlap)"; }
+
+ private:
+  const TokenOverlapMatcher& twin_;
+  PreparedCounters counters_;
+};
+
+class CrossTfIdfCosine final : public CrossStoreMatcher {
+ public:
+  explicit CrossTfIdfCosine(const TfIdfCosineMatcher& twin)
+      : twin_(twin), counters_(PreparedCounters::Ambient()) {}
+
+  // No Matches override, for the same reason as PreparedTfIdfCosine.
+  double Similarity(const SignatureStore& sa, model::EntityId a,
+                    const SignatureStore& sb,
+                    model::EntityId b) const override {
+    if (!sa.has_tfidf(a) || !sb.has_tfidf(b)) {
+      return CrossStringFallback(twin_, counters_, sa, a, sb, b);
+    }
+    Bump(counters_.comparisons);
+    return SparseDot(sa.tfidf(a), sb.tfidf(b));
+  }
+
+  std::string name() const override { return "Cross(TfIdfCosine)"; }
+
+ private:
+  const TfIdfCosineMatcher& twin_;
+  PreparedCounters counters_;
+};
+
+class CrossWeightedAttribute final : public CrossStoreMatcher {
+ public:
+  CrossWeightedAttribute(const WeightedAttributeMatcher& twin,
+                         std::vector<size_t> rule_slots)
+      : twin_(twin),
+        rule_slots_(std::move(rule_slots)),
+        counters_(PreparedCounters::Ambient()) {}
+
+  double Similarity(const SignatureStore& sa, model::EntityId a,
+                    const SignatureStore& sb,
+                    model::EntityId b) const override {
+    if (!sa.has_attributes(a) || !sb.has_attributes(b)) {
+      return CrossStringFallback(twin_, counters_, sa, a, sb, b);
+    }
+    Bump(counters_.comparisons);
+    auto slots_a = sa.attribute_slots(a);
+    auto slots_b = sb.attribute_slots(b);
+    double total_weight = 0.0;
+    double score = 0.0;
+    const std::vector<AttributeRule>& rules = twin_.rules();
+    for (size_t k = 0; k < rules.size(); ++k) {
+      const AttributeRule& rule = rules[k];
+      total_weight += rule.weight;
+      const SignatureStore::AttributeSlot& slot_a = slots_a[rule_slots_[k]];
+      const SignatureStore::AttributeSlot& slot_b = slots_b[rule_slots_[k]];
+      if (slot_a.value_index == SignatureStore::kNoValue ||
+          slot_b.value_index == SignatureStore::kNoValue) {
+        continue;
+      }
+      double sim;
+      if (rule.use_jaro_winkler) {
+        sim = text::JaroWinklerSimilarity(sa.value(slot_a.value_index),
+                                          sb.value(slot_b.value_index));
+      } else {
+        auto ta = sa.slot_tokens(slot_a);
+        auto tb = sb.slot_tokens(slot_b);
+        size_t inter = util::SortedIntersectSize(ta, tb);
+        size_t union_size = ta.size() + tb.size() - inter;
+        sim = union_size == 0 ? 1.0
+                              : static_cast<double>(inter) /
+                                    static_cast<double>(union_size);
+      }
+      score += rule.weight * sim;
+    }
+    if (total_weight <= 0.0) return 0.0;
+    return score / total_weight;
+  }
+
+  std::string name() const override { return "Cross(WeightedAttribute)"; }
+
+ private:
+  const WeightedAttributeMatcher& twin_;
+  std::vector<size_t> rule_slots_;  // rules()[k] -> attribute slot index.
+  PreparedCounters counters_;
+};
+
+/// Composite component the engine cannot cross-prepare: always the string
+/// path, mirroring PreparedStringBridge.
+class CrossStringBridge final : public CrossStoreMatcher {
+ public:
+  explicit CrossStringBridge(const Matcher& twin)
+      : twin_(twin), counters_(PreparedCounters::Ambient()) {}
+
+  double Similarity(const SignatureStore& sa, model::EntityId a,
+                    const SignatureStore& sb,
+                    model::EntityId b) const override {
+    return CrossStringFallback(twin_, counters_, sa, a, sb, b);
+  }
+
+  std::string name() const override {
+    return "CrossBridge(" + twin_.name() + ")";
+  }
+
+ private:
+  const Matcher& twin_;
+  PreparedCounters counters_;
+};
+
+class CrossComposite final : public CrossStoreMatcher {
+ public:
+  CrossComposite(const CompositeMatcher& twin,
+                 std::vector<std::unique_ptr<CrossStoreMatcher>> components)
+      : twin_(twin), components_(std::move(components)) {}
+
+  double Similarity(const SignatureStore& sa, model::EntityId a,
+                    const SignatureStore& sb,
+                    model::EntityId b) const override {
+    if (components_.empty()) return 0.0;
+    switch (twin_.combine()) {
+      case CompositeMatcher::Combine::kWeightedAverage: {
+        const std::vector<double>& weights = twin_.weights();
+        double total_weight = 0.0;
+        double score = 0.0;
+        for (size_t i = 0; i < components_.size(); ++i) {
+          double weight = i < weights.size() ? weights[i] : 1.0;
+          total_weight += weight;
+          score += weight * components_[i]->Similarity(sa, a, sb, b);
+        }
+        return total_weight > 0.0 ? score / total_weight : 0.0;
+      }
+      case CompositeMatcher::Combine::kMax: {
+        double best = 0.0;
+        for (const auto& component : components_) {
+          best = std::max(best, component->Similarity(sa, a, sb, b));
+        }
+        return best;
+      }
+      case CompositeMatcher::Combine::kMin: {
+        double worst = 1.0;
+        for (const auto& component : components_) {
+          worst = std::min(worst, component->Similarity(sa, a, sb, b));
+        }
+        return worst;
+      }
+    }
+    return 0.0;
+  }
+
+  bool Matches(const SignatureStore& sa, model::EntityId a,
+               const SignatureStore& sb, model::EntityId b,
+               double threshold) const override {
+    if (components_.empty()) return 0.0 >= threshold;
+    switch (twin_.combine()) {
+      case CompositeMatcher::Combine::kMax:
+        for (const auto& component : components_) {
+          if (component->Matches(sa, a, sb, b, threshold)) return true;
+        }
+        return 0.0 >= threshold;
+      case CompositeMatcher::Combine::kMin:
+        for (const auto& component : components_) {
+          if (!component->Matches(sa, a, sb, b, threshold)) return false;
+        }
+        return 1.0 >= threshold;
+      case CompositeMatcher::Combine::kWeightedAverage:
+        break;  // No per-component shortcut is sound for an average.
+    }
+    return Similarity(sa, a, sb, b) >= threshold;
+  }
+
+  std::string name() const override { return "Cross(Composite)"; }
+
+ private:
+  const CompositeMatcher& twin_;
+  std::vector<std::unique_ptr<CrossStoreMatcher>> components_;
+};
+
+}  // namespace
+
+std::unique_ptr<CrossStoreMatcher> PrepareCross(
+    const Matcher& matcher, const SignatureOptions& options) {
+  if (const auto* jaccard =
+          dynamic_cast<const TokenJaccardMatcher*>(&matcher)) {
+    return std::make_unique<CrossTokenJaccard>(*jaccard);
+  }
+  if (const auto* overlap =
+          dynamic_cast<const TokenOverlapMatcher*>(&matcher)) {
+    return std::make_unique<CrossTokenOverlap>(*overlap);
+  }
+  if (const auto* tfidf = dynamic_cast<const TfIdfCosineMatcher*>(&matcher)) {
+    // Vectors from a different model would not be bit-equal.
+    if (options.tfidf_model != &tfidf->model()) return nullptr;
+    return std::make_unique<CrossTfIdfCosine>(*tfidf);
+  }
+  if (const auto* weighted =
+          dynamic_cast<const WeightedAttributeMatcher*>(&matcher)) {
+    std::vector<size_t> rule_slots;
+    rule_slots.reserve(weighted->rules().size());
+    for (const AttributeRule& rule : weighted->rules()) {
+      auto it = std::find(options.attributes.begin(), options.attributes.end(),
+                          rule.attribute);
+      if (it == options.attributes.end()) return nullptr;
+      rule_slots.push_back(
+          static_cast<size_t>(it - options.attributes.begin()));
+    }
+    return std::make_unique<CrossWeightedAttribute>(*weighted,
+                                                    std::move(rule_slots));
+  }
+  if (const auto* composite = dynamic_cast<const CompositeMatcher*>(&matcher)) {
+    std::vector<std::unique_ptr<CrossStoreMatcher>> components;
+    components.reserve(composite->components().size());
+    for (const Matcher* component : composite->components()) {
+      std::unique_ptr<CrossStoreMatcher> cross =
+          PrepareCross(*component, options);
+      if (cross == nullptr) {
+        cross = std::make_unique<CrossStringBridge>(*component);
+      }
+      components.push_back(std::move(cross));
+    }
+    return std::make_unique<CrossComposite>(*composite,
+                                            std::move(components));
+  }
+  // OracleMatcher: its canonical-id table is bound to one collection and
+  // cannot be partitioned; unknown matcher types stay on the string path.
   return nullptr;
 }
 

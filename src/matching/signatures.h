@@ -54,6 +54,24 @@ struct SignatureOptions {
   std::vector<std::string> attributes;
 };
 
+/// A signature computed away from the store (the sharded resolver's
+/// parallel intern phase): the sorted distinct value-token ids, the sparse
+/// TF-IDF vector when the store carries a model, and one cache per
+/// configured attribute. Token ids must come from the same logical
+/// vocabulary the target store's ids are drawn from — AbsorbPrepared
+/// appends the arenas verbatim, with no re-interning.
+struct InternedSignature {
+  std::vector<uint32_t> token_ids;  ///< Sorted distinct value-token ids.
+  text::TfIdfVector tfidf;          ///< Ignored without a store model.
+  struct Attribute {
+    bool present = false;
+    std::string value;                ///< Raw first value.
+    std::vector<uint32_t> token_ids;  ///< Sorted distinct ids of its tokens.
+  };
+  /// Parallel to SignatureOptions::attributes (empty when none configured).
+  std::vector<Attribute> attributes;
+};
+
 /// Interned, comparison-ready view of entity descriptions.
 ///
 /// The token vocabulary is interned once — executor-parallel over
@@ -97,6 +115,14 @@ class SignatureStore {
   /// are created on demand). New tokens extend the vocabulary; not
   /// thread-safe against concurrent readers.
   void Absorb(model::EntityId id, const model::EntityDescription& description);
+
+  /// Interns a pre-built signature into slot `id` without touching the
+  /// vocabulary: arena-append only, so concurrent const reads of *other*
+  /// slots stay safe in externally synchronised pipelines. The signature's
+  /// token ids must come from the vocabulary this store scores against;
+  /// produces byte-identical arenas to Absorb(id, description) when the
+  /// signature was derived from `description` with matching options.
+  void AbsorbPrepared(model::EntityId id, InternedSignature signature);
 
   /// Derives the signature of merge(a, b) — a's pairs first, then b's, the
   /// MergeFrom order — into a fresh slot and returns its id. Token ids are
@@ -302,6 +328,40 @@ bool Preparable(const Matcher& matcher);
 /// prepared individually are wrapped to score via the string path.
 std::unique_ptr<PreparedMatcher> Prepare(const Matcher& matcher,
                                          const SignatureStore& store);
+
+/// A prepared similarity over signatures that live in *different* stores
+/// (the sharded resolver keeps one SignatureStore per entity shard).
+/// PostingView and the TF-IDF/attribute spans are self-contained, so the
+/// arithmetic is the same as the single-store PreparedMatcher twins —
+/// Similarity and Matches are bit-equal to the string path for the same
+/// inputs. Both stores must be built with the SignatureOptions the
+/// matcher was cross-prepared against and share one logical vocabulary.
+class CrossStoreMatcher {
+ public:
+  virtual ~CrossStoreMatcher() = default;
+
+  virtual double Similarity(const SignatureStore& sa, model::EntityId a,
+                            const SignatureStore& sb,
+                            model::EntityId b) const = 0;
+
+  /// Same verdict as Similarity(...) >= threshold, possibly cheaper.
+  virtual bool Matches(const SignatureStore& sa, model::EntityId a,
+                       const SignatureStore& sb, model::EntityId b,
+                       double threshold) const {
+    return Similarity(sa, a, sb, b) >= threshold;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+/// Builds the cross-store twin of `matcher` for stores configured with
+/// `options` (normally OptionsFor(matcher)), or null when the matcher
+/// cannot score across stores (unknown types; OracleMatcher, whose
+/// canonical-id table is bound to one collection; TfIdfCosine against a
+/// different model). Composite components that cannot be cross-prepared
+/// are bridged through the string path, mirroring Prepare().
+std::unique_ptr<CrossStoreMatcher> PrepareCross(
+    const Matcher& matcher, const SignatureOptions& options);
 
 }  // namespace weber::matching
 

@@ -1,0 +1,75 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace weber::serve {
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+bool ServeClient::Connect(const std::string& socket_path) {
+  Close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) return false;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return false;
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+Response ServeClient::Call(const Request& request) {
+  Response failure;
+  failure.status = ServeErrc::kInternal;
+  if (fd_ < 0) {
+    failure.text = "not connected";
+    return failure;
+  }
+  if (!WriteFrame(fd_, EncodeRequest(request))) {
+    failure.text = "write failed";
+    Close();
+    return failure;
+  }
+  std::vector<uint8_t> body;
+  bool eof = false;
+  if (!ReadFrame(fd_, &body, &eof)) {
+    failure.text = eof ? "connection closed" : "read failed";
+    Close();
+    return failure;
+  }
+  std::optional<Response> response = DecodeResponse(body.data(), body.size());
+  if (!response.has_value()) {
+    failure.text = "undecodable response frame";
+    Close();
+    return failure;
+  }
+  return std::move(*response);
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace weber::serve

@@ -1,0 +1,40 @@
+#ifndef WEBER_SERVE_CLIENT_H_
+#define WEBER_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace weber::serve {
+
+/// A blocking weber_serve client: one connected Unix-domain socket, one
+/// request in flight at a time. Not thread-safe — give each thread its
+/// own client (the server coalesces across connections anyway).
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient() { Close(); }
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+
+  /// Connects to a listening weber_serve socket.
+  bool Connect(const std::string& socket_path);
+
+  /// Sends one request and reads its response. Transport failures
+  /// (connection reset, undecodable response) surface as kInternal with
+  /// a detail in `text` — typed overload (kOverloaded) is a *successful*
+  /// call whose response says no.
+  Response Call(const Request& request);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace weber::serve
+
+#endif  // WEBER_SERVE_CLIENT_H_

@@ -1,0 +1,161 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "serve/client.h"
+#include "util/timer.h"
+
+namespace weber::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double QuantileMs(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  double rank = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+LoadGenResult RunIngestLoad(
+    const std::vector<model::EntityDescription>& corpus,
+    const LoadGenOptions& options, const IngestFn& fn) {
+  LoadGenResult result;
+  if (corpus.empty() || options.batch_size == 0) return result;
+  const size_t batch_size = options.batch_size;
+  const size_t batches = (corpus.size() + batch_size - 1) / batch_size;
+  const size_t workers = std::max<size_t>(1, options.workers);
+
+  std::atomic<size_t> next_batch{0};
+  struct WorkerStats {
+    uint64_t ok = 0;
+    uint64_t shed = 0;
+    uint64_t errors = 0;
+    uint64_t entities_ok = 0;
+    std::vector<double> latencies_ms;
+  };
+  std::vector<WorkerStats> stats(workers);
+  const Clock::time_point start = Clock::now();
+
+  auto worker = [&](size_t w) {
+    WorkerStats& mine = stats[w];
+    for (;;) {
+      size_t batch = next_batch.fetch_add(1, std::memory_order_relaxed);
+      if (batch >= batches) break;
+      Clock::time_point scheduled = start;
+      if (options.rate > 0) {
+        scheduled = start + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(
+                                    static_cast<double>(batch) /
+                                    options.rate));
+        std::this_thread::sleep_until(scheduled);
+      } else {
+        scheduled = Clock::now();
+      }
+      size_t begin = batch * batch_size;
+      size_t end = std::min(begin + batch_size, corpus.size());
+      std::vector<model::EntityDescription> request(corpus.begin() + begin,
+                                                    corpus.begin() + end);
+      ServeErrc status = fn(std::move(request));
+      double latency_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - scheduled)
+              .count();
+      mine.latencies_ms.push_back(latency_ms);
+      switch (status) {
+        case ServeErrc::kOk:
+          ++mine.ok;
+          mine.entities_ok += end - begin;
+          break;
+        case ServeErrc::kOverloaded:
+          ++mine.shed;
+          break;
+        default:
+          ++mine.errors;
+          break;
+      }
+    }
+  };
+
+  // The generator must offer load from real concurrent request streams;
+  // executor tasks would deadlock against the ingest fan-out they are
+  // measuring.
+  if (workers == 1) {
+    worker(0);
+  } else {
+    // lint: allow(threads) independent load-offering streams
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      // lint: allow(threads) independent load-offering streams
+      threads.emplace_back(std::thread(worker, w));
+    }
+    // lint: allow(threads) independent load-offering streams
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  result.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::vector<double> all;
+  for (WorkerStats& mine : stats) {
+    result.ok += mine.ok;
+    result.shed += mine.shed;
+    result.errors += mine.errors;
+    result.entities_ok += mine.entities_ok;
+    all.insert(all.end(), mine.latencies_ms.begin(),
+               mine.latencies_ms.end());
+  }
+  result.requests = result.ok + result.shed + result.errors;
+  std::sort(all.begin(), all.end());
+  result.p50_ms = QuantileMs(all, 0.5);
+  result.p99_ms = QuantileMs(all, 0.99);
+  result.p999_ms = QuantileMs(all, 0.999);
+  if (result.elapsed_seconds > 0) {
+    result.qps =
+        static_cast<double>(result.requests) / result.elapsed_seconds;
+    result.entities_per_second =
+        static_cast<double>(result.entities_ok) / result.elapsed_seconds;
+  }
+  return result;
+}
+
+LoadGenResult RunSocketIngestLoad(
+    const std::vector<model::EntityDescription>& corpus,
+    const LoadGenOptions& options, const std::string& socket_path) {
+  const size_t workers = std::max<size_t>(1, options.workers);
+  // One connection per worker, picked by thread identity: a thread_local
+  // client lazily connected on first use keeps IngestFn stateless.
+  struct ClientPool {
+    std::mutex mu;
+    std::vector<std::unique_ptr<ServeClient>> clients;
+  };
+  auto pool = std::make_shared<ClientPool>();
+  pool->clients.reserve(workers);
+  auto fn = [pool, socket_path](
+                std::vector<model::EntityDescription> batch) -> ServeErrc {
+    thread_local ServeClient* client = nullptr;
+    if (client == nullptr) {
+      auto owned = std::make_unique<ServeClient>();
+      if (!owned->Connect(socket_path)) return ServeErrc::kInternal;
+      client = owned.get();
+      std::lock_guard<std::mutex> lock(pool->mu);
+      pool->clients.push_back(std::move(owned));
+    }
+    Request request;
+    request.type = MessageType::kIngest;
+    request.entities = std::move(batch);
+    return client->Call(request).status;
+  };
+  return RunIngestLoad(corpus, options, fn);
+}
+
+}  // namespace weber::serve

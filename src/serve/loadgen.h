@@ -1,0 +1,70 @@
+#ifndef WEBER_SERVE_LOADGEN_H_
+#define WEBER_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/entity.h"
+#include "serve/service.h"
+
+namespace weber::serve {
+
+/// Configuration of an ingest load run.
+struct LoadGenOptions {
+  /// Concurrent request streams. Each worker owns its own connection /
+  /// service handle, so `workers` is the offered concurrency.
+  size_t workers = 4;
+
+  /// Entities per ingest request.
+  size_t batch_size = 16;
+
+  /// Offered load in requests/second across all workers. 0 = closed
+  /// loop: every worker keeps one request in flight back to back
+  /// (saturation). Positive = open loop: request k is *scheduled* at
+  /// start + k/rate and its latency is measured from that scheduled
+  /// instant, so queueing delay under overload counts against p99
+  /// instead of silently throttling the generator (coordinated
+  /// omission).
+  double rate = 0;
+};
+
+/// Outcome of a load run. Latency quantiles are over completed requests
+/// (shed responses included — a fast typed rejection is a real response).
+struct LoadGenResult {
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  uint64_t entities_ok = 0;  ///< Entities in kOk responses.
+  double elapsed_seconds = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  double qps = 0;                 ///< Completed requests / elapsed.
+  double entities_per_second = 0; ///< entities_ok / elapsed.
+};
+
+/// The request sink a load run drives: returns the typed outcome of one
+/// ingest. Direct in-process targets bind ShardedResolveService::Ingest;
+/// the socket variant below wires a ServeClient per worker.
+using IngestFn =
+    std::function<ServeErrc(std::vector<model::EntityDescription>)>;
+
+/// Slices `corpus` into batch_size requests and drives them through `fn`
+/// from `workers` threads until the corpus is exhausted. Every entity is
+/// offered exactly once (shed batches are counted, not retried).
+LoadGenResult RunIngestLoad(
+    const std::vector<model::EntityDescription>& corpus,
+    const LoadGenOptions& options, const IngestFn& fn);
+
+/// Same load, driven over the wire: each worker connects its own
+/// ServeClient to `socket_path`.
+LoadGenResult RunSocketIngestLoad(
+    const std::vector<model::EntityDescription>& corpus,
+    const LoadGenOptions& options, const std::string& socket_path);
+
+}  // namespace weber::serve
+
+#endif  // WEBER_SERVE_LOADGEN_H_

@@ -1,0 +1,166 @@
+#include "serve/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/buffer.h"
+#include "storage/entity_codec.h"
+
+namespace weber::serve {
+namespace {
+
+// lint: allow(file-io) — src/serve/ is the socket I/O owner; these
+// helpers speak only to connected sockets, never to files.
+bool WriteAll(int fd, const uint8_t* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Returns 1 on success, 0 on clean EOF before any byte, -1 on error
+// (including EOF mid-buffer, which can only be a truncated frame).
+int ReadAll(int fd, uint8_t* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;
+    got += static_cast<size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRequest(const Request& request) {
+  storage::ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(request.type));
+  switch (request.type) {
+    case MessageType::kIngest:
+      writer.PutU32(static_cast<uint32_t>(request.entities.size()));
+      for (const model::EntityDescription& entity : request.entities) {
+        storage::EncodeDescription(entity, &writer);
+      }
+      break;
+    case MessageType::kRemove:
+    case MessageType::kResolve:
+      writer.PutU32(request.id);
+      break;
+    case MessageType::kPing:
+    case MessageType::kMetrics:
+    case MessageType::kShutdown:
+      break;
+  }
+  return writer.Take();
+}
+
+std::optional<Request> DecodeRequest(const uint8_t* data, size_t size) {
+  storage::ByteReader reader(data, size);
+  Request request;
+  uint8_t type = reader.GetU8();
+  if (reader.failed()) return std::nullopt;
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kIngest: {
+      request.type = MessageType::kIngest;
+      uint32_t count = reader.GetU32();
+      if (reader.failed()) return std::nullopt;
+      request.entities.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        request.entities.push_back(storage::DecodeDescription(&reader));
+        if (reader.failed()) return std::nullopt;
+      }
+      break;
+    }
+    case MessageType::kRemove:
+    case MessageType::kResolve:
+      request.type = static_cast<MessageType>(type);
+      request.id = reader.GetU32();
+      break;
+    case MessageType::kPing:
+    case MessageType::kMetrics:
+    case MessageType::kShutdown:
+      request.type = static_cast<MessageType>(type);
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (reader.failed() || !reader.Exhausted()) return std::nullopt;
+  return request;
+}
+
+std::vector<uint8_t> EncodeResponse(const Response& response) {
+  storage::ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(response.status));
+  writer.PutU32(static_cast<uint32_t>(response.ids.size()));
+  for (model::EntityId id : response.ids) writer.PutU32(id);
+  writer.PutU32(response.representative);
+  writer.PutU32(static_cast<uint32_t>(response.members.size()));
+  for (model::EntityId id : response.members) writer.PutU32(id);
+  writer.PutString(response.text);
+  return writer.Take();
+}
+
+std::optional<Response> DecodeResponse(const uint8_t* data, size_t size) {
+  storage::ByteReader reader(data, size);
+  Response response;
+  uint8_t status = reader.GetU8();
+  if (status > static_cast<uint8_t>(ServeErrc::kInternal)) {
+    return std::nullopt;
+  }
+  response.status = static_cast<ServeErrc>(status);
+  uint32_t ids = reader.GetU32();
+  if (reader.failed() || ids > size) return std::nullopt;
+  response.ids.reserve(ids);
+  for (uint32_t i = 0; i < ids && !reader.failed(); ++i) {
+    response.ids.push_back(reader.GetU32());
+  }
+  response.representative = reader.GetU32();
+  uint32_t members = reader.GetU32();
+  if (reader.failed() || members > size) return std::nullopt;
+  response.members.reserve(members);
+  for (uint32_t i = 0; i < members && !reader.failed(); ++i) {
+    response.members.push_back(reader.GetU32());
+  }
+  response.text = reader.GetString();
+  if (reader.failed() || !reader.Exhausted()) return std::nullopt;
+  return response;
+}
+
+bool WriteFrame(int fd, const std::vector<uint8_t>& body) {
+  if (body.size() > kMaxFrameBytes) return false;
+  uint8_t prefix[4];
+  uint32_t length = static_cast<uint32_t>(body.size());
+  std::memcpy(prefix, &length, sizeof(length));
+  if (!WriteAll(fd, prefix, sizeof(prefix))) return false;
+  return WriteAll(fd, body.data(), body.size());
+}
+
+bool ReadFrame(int fd, std::vector<uint8_t>* body, bool* eof) {
+  if (eof != nullptr) *eof = false;
+  uint8_t prefix[4];
+  int rc = ReadAll(fd, prefix, sizeof(prefix));
+  if (rc == 0) {
+    if (eof != nullptr) *eof = true;
+    return false;
+  }
+  if (rc < 0) return false;
+  uint32_t length = 0;
+  std::memcpy(&length, prefix, sizeof(length));
+  if (length > kMaxFrameBytes) return false;
+  body->resize(length);
+  return length == 0 || ReadAll(fd, body->data(), length) == 1;
+}
+
+}  // namespace weber::serve

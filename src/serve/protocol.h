@@ -1,0 +1,69 @@
+#ifndef WEBER_SERVE_PROTOCOL_H_
+#define WEBER_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/entity.h"
+#include "serve/service.h"
+
+namespace weber::serve {
+
+/// The weber_serve wire protocol: length-prefixed binary frames over a
+/// Unix-domain stream socket.
+///
+/// Every message is one frame: a u32 little-endian byte length, then that
+/// many body bytes. A request body is a u8 MessageType followed by the
+/// type's payload (descriptions use the storage entity codec); a response
+/// body is a u8 ServeErrc followed by the fixed field block below. Frames
+/// above kMaxFrameBytes are rejected without reading the body — the guard
+/// against a corrupt or hostile length prefix.
+
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class MessageType : uint8_t {
+  kPing = 1,      // Empty payload; pong is an empty kOk response.
+  kIngest = 2,    // u32 count, count x EncodeDescription.
+  kRemove = 3,    // u32 entity id.
+  kResolve = 4,   // u32 entity id.
+  kMetrics = 5,   // Empty payload; response text = key=value lines.
+  kShutdown = 6,  // Empty payload; server drains and exits after replying.
+};
+
+struct Request {
+  MessageType type = MessageType::kPing;
+  std::vector<model::EntityDescription> entities;  // kIngest.
+  model::EntityId id = 0;                          // kRemove / kResolve.
+};
+
+/// One response shape for every request type; fields unused by a type
+/// encode empty. `text` carries the metrics dump (kMetrics) or a
+/// human-readable error detail.
+struct Response {
+  ServeErrc status = ServeErrc::kOk;
+  std::vector<model::EntityId> ids;      // kIngest: assigned ids.
+  model::EntityId representative = 0;    // kResolve.
+  std::vector<model::EntityId> members;  // kResolve: cluster, ascending.
+  std::string text;
+};
+
+/// Frame bodies (the length prefix is the transport's, see
+/// WriteFrame/ReadFrame). Decoders return nullopt on any malformed input
+/// — short bodies, trailing bytes, unknown message types.
+std::vector<uint8_t> EncodeRequest(const Request& request);
+std::optional<Request> DecodeRequest(const uint8_t* data, size_t size);
+std::vector<uint8_t> EncodeResponse(const Response& response);
+std::optional<Response> DecodeResponse(const uint8_t* data, size_t size);
+
+/// Blocking framed transport over a connected socket. WriteFrame sends
+/// the length prefix and body (false on any I/O error); ReadFrame reads
+/// one whole frame body (false on error, oversized frame, or a peer that
+/// closed cleanly between frames — `*eof` distinguishes the latter).
+bool WriteFrame(int fd, const std::vector<uint8_t>& body);
+bool ReadFrame(int fd, std::vector<uint8_t>* body, bool* eof);
+
+}  // namespace weber::serve
+
+#endif  // WEBER_SERVE_PROTOCOL_H_

@@ -173,6 +173,14 @@ bool FileExists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
 }
 
+Status MakeDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir", path);
+  }
+  if (!DirectoryExists(path)) return Errno("mkdir", path);
+  return Status::Ok();
+}
+
 Status ListDirectory(const std::string& path, std::vector<std::string>* out) {
   DIR* dir = ::opendir(path.c_str());
   if (dir == nullptr) return Errno("opendir", path);

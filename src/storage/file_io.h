@@ -77,6 +77,10 @@ bool DirectoryExists(const std::string& path);
 /// True when `path` names an existing regular file.
 bool FileExists(const std::string& path);
 
+/// Creates a directory (one level; the parent must exist). An already-
+/// existing directory is not an error.
+Status MakeDirectory(const std::string& path);
+
 /// Lists the entry names of a directory (no ordering guarantee; "." and
 /// ".." excluded).
 Status ListDirectory(const std::string& path, std::vector<std::string>* out);

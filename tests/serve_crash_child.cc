@@ -1,0 +1,60 @@
+// Child binary of the sharded kill-and-recover property test
+// (serve_recovery_test): streams a deterministic op sequence through a
+// durable ShardedResolver and, after acknowledging op `kill_after`,
+// SIGKILLs itself — no destructors, no flushes, exactly the disk state
+// an OS-level crash would leave across the per-shard WALs. The parent
+// recovers from the directory and asserts bit-equality.
+//
+// Usage: serve_crash_child DATA_DIR SEED N_OPS KILL_AFTER SHARDS FSYNC
+//   KILL_AFTER  index of the last op to apply before raise(SIGKILL);
+//               >= N_OPS runs to completion and exits 0.
+//   FSYNC       always | batch | off
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "matching/matcher.h"
+#include "serve/sharded_resolver.h"
+#include "tests/storage_ops.h"
+
+int main(int argc, char** argv) {
+  using namespace weber;
+  if (argc != 7) {
+    std::fprintf(stderr,
+                 "usage: serve_crash_child DATA_DIR SEED N_OPS KILL_AFTER "
+                 "SHARDS FSYNC\n");
+    return 2;
+  }
+  serve::ShardedResolverOptions options;
+  options.data_dir = argv[1];
+  uint64_t seed = std::strtoull(argv[2], nullptr, 10);
+  size_t n_ops = std::strtoull(argv[3], nullptr, 10);
+  size_t kill_after = std::strtoull(argv[4], nullptr, 10);
+  options.shards = std::strtoull(argv[5], nullptr, 10);
+  if (std::strcmp(argv[6], "always") == 0) {
+    options.fsync = storage::FsyncPolicy::kAlways;
+  } else if (std::strcmp(argv[6], "batch") == 0) {
+    options.fsync = storage::FsyncPolicy::kBatch;
+  } else {
+    options.fsync = storage::FsyncPolicy::kOff;
+  }
+
+  matching::TokenJaccardMatcher matcher;
+  serve::ShardedResolver resolver(&matcher, options);
+  if (!resolver.recovery_status().ok()) {
+    std::fprintf(stderr, "child recovery failed: %s\n",
+                 resolver.recovery_status().ToString().c_str());
+    return 3;
+  }
+  std::vector<testing::StorageOp> ops =
+      testing::GenerateStorageOps(seed, n_ops);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    testing::ApplyStorageOp(&resolver, ops[i]);
+    if (i == kill_after) raise(SIGKILL);  // Dies here; never returns.
+  }
+  return 0;
+}

@@ -56,6 +56,12 @@ BENCHES = {
             "--benchmark_min_time=0.1"],
         "full_args": [],
     },
+    "bench_serve": {
+        # Quick keeps the 20k-corpus rows at every shard count; full adds
+        # the million-entity rows of the scaling claim.
+        "quick_args": ["--benchmark_filter=/20000/"],
+        "full_args": [],
+    },
 }
 
 

@@ -19,6 +19,10 @@ Rules (see tools/lint/rules.md for rationale and examples):
                    src/model/io.h) — every fsync/atomicity decision lives
                    in the durability layer; `// lint: allow(file-io)`
                    escapes with a reason
+  socket-io        socket syscalls (::socket/::bind/::connect/...) and
+                   <sys/socket.h>/<sys/un.h> only under src/serve/ — the
+                   serving front end owns every network entry point;
+                   `// lint: allow(socket-io)` escapes with a reason
 
 Usage:
   tools/lint/weber_lint.py              lint the repo; exit 1 on findings
@@ -56,6 +60,12 @@ RANDOM_OWNERS = ("src/util/random.h", "src/util/random.cc")
 # reader. Everything else in src/ takes streams or bytes from callers.
 FILE_IO_OWNER_PREFIXES = ("src/storage/", "src/model/io.h")
 
+# Where socket I/O is sanctioned: the serving front end (UnixServer,
+# ServeClient and the framed transport). Everything else in src/ speaks
+# in-process types; network entry points concentrate where shutdown
+# draining and typed overload are enforced.
+SOCKET_IO_OWNER_PREFIXES = ("src/serve/",)
+
 # Hot-path files where unchecked indexing has caused (or nearly caused)
 # out-of-bounds reads; see rules.md.
 INDEXED_ACCESS_FILES = (
@@ -80,6 +90,14 @@ INDEX_VAR_RE = re.compile(
 FILE_IO_RE = re.compile(
     r"(\b(fopen|freopen|openat|creat|mmap)\s*\(|\bopen\s*\(|"
     r"\bstd::(i|o)?fstream\b|\bstd::filebuf\b)")
+# Socket syscalls are matched with their global-scope `::` qualifier (the
+# repo idiom for raw syscalls), which keeps common identifiers like a
+# method named `connect` or `shutdown` from firing; the headers are
+# matched outright.
+SOCKET_IO_RE = re.compile(
+    r"(::\s*(socket|socketpair|bind|listen|accept4?|connect|recv|recvfrom|"
+    r"recvmsg|send|sendto|sendmsg|setsockopt|getsockopt|getsockname|"
+    r"getpeername)\s*\(|#\s*include\s*<sys/(socket|un)\.h>)")
 CHECK_NEAR_RE = re.compile(r"WEBER_D?CHECK")
 
 CATALOG_HEADER = "### Metric catalog"
@@ -300,6 +318,20 @@ def check_file_io(root, files):
         "`// lint: allow(file-io)` with a reason)")
 
 
+def check_socket_io(root, files):
+    """Network entry points must live in the serving front end
+    (src/serve/), where connection draining, typed overload and the frame
+    protocol are enforced in one place."""
+    scoped = [
+        path for path in files
+        if not rel(root, path).replace(os.sep, "/")
+        .startswith(SOCKET_IO_OWNER_PREFIXES)]
+    return check_pattern_rule(
+        root, scoped, SOCKET_IO_RE, "socket-io", (),
+        "'{found}' outside src/serve/ — socket I/O belongs to the serving "
+        "front end (or add `// lint: allow(socket-io)` with a reason)")
+
+
 def check_indexed_access(root):
     findings = []
     for r in INDEXED_ACCESS_FILES:
@@ -348,6 +380,7 @@ def run_lint(root, fix=False, skip_compile=False):
         root, all_files, USING_STD_RE, "using-namespace", (),
         "'using namespace std' pollutes every including scope")
     findings += check_file_io(root, lib_files)
+    findings += check_socket_io(root, lib_files)
     findings += check_metrics(root, lib_files, fix=fix)
     if not skip_compile:
         findings += check_include_hygiene(root)
@@ -378,6 +411,9 @@ SELF_TEST_SEEDS = {
     "file-io": ("src/eval/rogue.cc",
                 "#include <fstream>\n"
                 'void f() { std::ifstream in("leak.txt"); }\n'),
+    "socket-io": ("src/eval/rogue_sock.cc",
+                  "#include <sys/socket.h>\n"
+                  "void f() { ::socket(1, 1, 0); }\n"),
 }
 
 
@@ -428,6 +464,21 @@ def self_test() -> int:
                     'void g() { std::fopen("wal", "a"); }\n')
         if any(f.rule == "file-io" for f in run_lint(tmp)):
             failures.append("file-io allow/owner escapes did not silence")
+        os.remove(path)
+        os.remove(owner)
+        # ... and socket-io; the serve directory itself is sanctioned.
+        path = os.path.join(tmp, "src/eval/rogue_sock.cc")
+        with open(path, "w") as f:
+            f.write("#include <cstdint>\n"
+                    "// lint: allow(socket-io) probe of a local agent\n"
+                    "void f() { ::socket(1, 1, 0); }\n")
+        owner = os.path.join(tmp, "src/serve/rogue.cc")
+        os.makedirs(os.path.dirname(owner), exist_ok=True)
+        with open(owner, "w") as f:
+            f.write("#include <sys/socket.h>\n"
+                    "void g() { ::socket(1, 1, 0); }\n")
+        if any(f.rule == "socket-io" for f in run_lint(tmp)):
+            failures.append("socket-io allow/owner escapes did not silence")
         os.remove(path)
         os.remove(owner)
     for failure in failures:
