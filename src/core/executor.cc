@@ -63,17 +63,17 @@ size_t DefaultWorkerCount() {
 
 struct Executor::GroupState {
   std::atomic<uint64_t> remaining{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  std::mutex error_mu;
-  std::exception_ptr error;
+  util::Mutex mu;
+  util::CondVar cv;
+  util::Mutex error_mu;
+  std::exception_ptr error GUARDED_BY(error_mu);
 
-  void SetError(std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(error_mu);
+  void SetError(std::exception_ptr e) EXCLUDES(error_mu) {
+    util::MutexLock lock(error_mu);
     if (error == nullptr) error = std::move(e);
   }
 
-  void Finish() {
+  void Finish() EXCLUDES(mu) {
     uint64_t before = remaining.fetch_sub(1, std::memory_order_acq_rel);
     // Task-group balance: every Finish must pair with one Run. A zero
     // here means a task completed twice (or Finish ran without Run) and
@@ -81,8 +81,8 @@ struct Executor::GroupState {
     WEBER_CHECK_GE(before, uint64_t{1})
         << "task group finished more tasks than were submitted";
     if (before == 1) {
-      std::lock_guard<std::mutex> lock(mu);
-      cv.notify_all();
+      util::MutexLock lock(mu);
+      cv.NotifyAll();
     }
   }
 };
@@ -111,17 +111,17 @@ void Executor::TaskGroup::Wait() {
     if (executor_.TryRunOneTask(self)) continue;
     // Nothing runnable: our tasks are executing on other threads. Sleep
     // briefly but keep helping, in case new (e.g. nested) tasks appear.
-    std::unique_lock<std::mutex> lock(state_->mu);
-    state_->cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
-      return state_->remaining.load(std::memory_order_acquire) == 0;
-    });
+    util::MutexLock lock(state_->mu);
+    if (state_->remaining.load(std::memory_order_acquire) > 0) {
+      state_->cv.WaitFor(state_->mu, std::chrono::milliseconds(1));
+    }
   }
   WEBER_DCHECK_EQ(state_->remaining.load(std::memory_order_acquire),
                   uint64_t{0})
       << "Wait returned with tasks outstanding";
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(state_->error_mu);
+    util::MutexLock lock(state_->error_mu);
     error = state_->error;
     state_->error = nullptr;
   }
@@ -152,10 +152,10 @@ Executor::Executor(size_t num_workers) {
 
 Executor::~Executor() {
   {
-    std::lock_guard<std::mutex> lock(sleep_mu_);
+    util::MutexLock lock(sleep_mu_);
     stop_ = true;
   }
-  sleep_cv_.notify_all();
+  sleep_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -174,8 +174,9 @@ void Executor::Enqueue(Task task) {
           queues_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(queues_[idx]->mu);
-    queues_[idx]->tasks.push_back(std::move(task));
+    WorkerQueue& queue = *queues_[idx];
+    util::MutexLock lock(queue.mu);
+    queue.tasks.push_back(std::move(task));
   }
   uint64_t depth = pending_.fetch_add(1, std::memory_order_release) + 1;
   uint64_t observed = max_queue_depth_.load(std::memory_order_relaxed);
@@ -187,15 +188,15 @@ void Executor::Enqueue(Task task) {
     // The empty critical section pairs with the predicate evaluation in
     // WorkerLoop so the notify cannot slot between a worker reading
     // pending_ == 0 and starting to sleep (lost wakeup).
-    { std::lock_guard<std::mutex> lock(sleep_mu_); }
-    sleep_cv_.notify_one();
+    { util::MutexLock lock(sleep_mu_); }
+    sleep_cv_.NotifyOne();
   }
 }
 
 bool Executor::PopOwn(size_t w, Task* task) {
   WEBER_DCHECK_LT(w, queues_.size()) << "worker index out of range";
   WorkerQueue& queue = *queues_[w];
-  std::lock_guard<std::mutex> lock(queue.mu);
+  util::MutexLock lock(queue.mu);
   if (queue.tasks.empty()) return false;
   *task = std::move(queue.tasks.back());
   queue.tasks.pop_back();
@@ -212,7 +213,7 @@ bool Executor::StealFrom(int self, Task* task) {
     size_t victim = (start + i) % nq;
     if (self >= 0 && victim == static_cast<size_t>(self)) continue;
     WorkerQueue& queue = *queues_[victim];
-    std::lock_guard<std::mutex> lock(queue.mu);
+    util::MutexLock lock(queue.mu);
     if (queue.tasks.empty()) continue;
     *task = std::move(queue.tasks.front());  // FIFO end: oldest task.
     queue.tasks.pop_front();
@@ -274,10 +275,10 @@ void Executor::WorkerLoop(size_t w) {
       RunTask(static_cast<int>(w), task);
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mu_);
-    sleep_cv_.wait(lock, [&] {
-      return stop_ || pending_.load(std::memory_order_acquire) > 0;
-    });
+    util::MutexLock lock(sleep_mu_);
+    while (!stop_ && pending_.load(std::memory_order_acquire) == 0) {
+      sleep_cv_.Wait(sleep_mu_);
+    }
     if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
   }
 }
@@ -374,7 +375,7 @@ ExecutorStats Executor::Snapshot() const {
 void Executor::PublishMetrics() {
   obs::MetricsRegistry* registry = obs::Current();
   if (registry == nullptr) return;
-  std::lock_guard<std::mutex> lock(publish_mu_);
+  util::MutexLock lock(publish_mu_);
   ExecutorStats now = Snapshot();
   const ExecutorStats& prev = last_published_;
   registry->GetCounter("weber.executor.tasks_run")

@@ -3,14 +3,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace weber::core {
 
@@ -139,7 +139,7 @@ class Executor {
   /// none is attached): counter deltas since the previous publish for
   /// volumes, gauges for workers / queue depth / aggregate utilization,
   /// and a per-worker utilization histogram.
-  void PublishMetrics();
+  void PublishMetrics() EXCLUDES(publish_mu_);
 
  private:
   struct Task {
@@ -147,27 +147,27 @@ class Executor {
     std::shared_ptr<GroupState> group;
   };
   struct alignas(64) WorkerQueue {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    util::Mutex mu;
+    std::deque<Task> tasks GUARDED_BY(mu);
   };
 
   friend class TaskGroup;
 
-  void Enqueue(Task task);
+  void Enqueue(Task task) EXCLUDES(sleep_mu_);
   bool TryRunOneTask(int self);
   bool PopOwn(size_t w, Task* task);
   bool StealFrom(int self, Task* task);
   void RunTask(int self, Task& task);
-  void WorkerLoop(size_t w);
+  void WorkerLoop(size_t w) EXCLUDES(sleep_mu_);
   size_t ChunksFor(size_t n) const;
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
 
-  std::mutex sleep_mu_;
-  std::condition_variable sleep_cv_;
+  util::Mutex sleep_mu_;
+  util::CondVar sleep_cv_;
   std::atomic<uint64_t> pending_{0};
-  bool stop_ = false;  // Guarded by sleep_mu_.
+  bool stop_ GUARDED_BY(sleep_mu_) = false;
 
   std::atomic<size_t> next_queue_{0};
   std::atomic<uint64_t> tasks_submitted_{0};
@@ -179,8 +179,8 @@ class Executor {
   std::chrono::steady_clock::time_point start_time_;
 
   // Delta baseline for PublishMetrics.
-  std::mutex publish_mu_;
-  ExecutorStats last_published_;
+  util::Mutex publish_mu_;
+  ExecutorStats last_published_ GUARDED_BY(publish_mu_);
 };
 
 /// Scoped override of the ambient parallelism: how many chunks

@@ -24,7 +24,7 @@ obs::MetricsRegistry* ResolveService::Registry() const {
                                               : obs::Current();
 }
 
-void ResolveService::LeadBatch(std::unique_lock<std::mutex>& lock) {
+void ResolveService::LeadBatch() {
   std::vector<Request*> drained;
   size_t total = 0;
   while (!queue_.empty() && (drained.empty() || total < options_.max_batch)) {
@@ -33,7 +33,7 @@ void ResolveService::LeadBatch(std::unique_lock<std::mutex>& lock) {
     total += request->entities.size();
     drained.push_back(request);
   }
-  lock.unlock();
+  queue_mu_.Unlock();
 
   std::vector<model::EntityDescription> combined;
   combined.reserve(total);
@@ -49,7 +49,7 @@ void ResolveService::LeadBatch(std::unique_lock<std::mutex>& lock) {
 
   std::vector<model::EntityId> ids;
   {
-    std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+    util::MutexLock resolver_lock(resolver_mu_);
     ids = durable_ != nullptr ? durable_->Ingest(std::move(combined))
                               : plain_->Ingest(std::move(combined));
   }
@@ -70,13 +70,13 @@ void ResolveService::LeadBatch(std::unique_lock<std::mutex>& lock) {
     offset += sizes[i];
   }
 
-  lock.lock();
+  queue_mu_.Lock();
   for (Request* request : drained) request->done = true;
   leader_active_ = false;
   // Hand leadership to the oldest still-queued waiter, if any, so arrival
   // order bounds how long a request can sit in the queue.
   designated_ = queue_.empty() ? nullptr : queue_.front();
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 std::vector<model::EntityId> ResolveService::Ingest(
@@ -84,23 +84,23 @@ std::vector<model::EntityId> ResolveService::Ingest(
   util::Timer timer;
   Request request;
   request.entities = std::move(batch);
-  std::unique_lock<std::mutex> lock(queue_mu_);
+  util::MutexLock lock(queue_mu_);
   queue_.push_back(&request);
   while (!request.done) {
-    queue_cv_.wait(lock, [&] {
-      return request.done ||
-             (!leader_active_ &&
-              (designated_ == nullptr || designated_ == &request));
-    });
+    while (!request.done &&
+           (leader_active_ ||
+            (designated_ != nullptr && designated_ != &request))) {
+      queue_cv_.Wait(queue_mu_);
+    }
     if (request.done) break;
     // Become the leader: serve a batch (which always includes the
     // designated waiter's own request, since it is the queue head).
     leader_active_ = true;
     designated_ = nullptr;
-    LeadBatch(lock);
+    LeadBatch();
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
-  lock.unlock();
+  lock.Unlock();
   if (obs::MetricsRegistry* registry = Registry()) {
     registry->GetHistogram("weber.incremental.request_seconds")
         .Record(timer.ElapsedSeconds());
@@ -113,7 +113,7 @@ std::optional<IncrementalResolver::Resolution> ResolveService::Resolve(
   util::Timer timer;
   std::optional<IncrementalResolver::Resolution> resolution;
   {
-    std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+    util::MutexLock resolver_lock(resolver_mu_);
     resolution = resolver().Resolve(id);
   }
   if (obs::MetricsRegistry* registry = Registry()) {
@@ -124,18 +124,18 @@ std::optional<IncrementalResolver::Resolution> ResolveService::Resolve(
 }
 
 bool ResolveService::Remove(model::EntityId id) {
-  std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+  util::MutexLock resolver_lock(resolver_mu_);
   return durable_ != nullptr ? durable_->Remove(id) : plain_->Remove(id);
 }
 
 matching::Clusters ResolveService::Clusters() {
-  std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+  util::MutexLock resolver_lock(resolver_mu_);
   return resolver().Clusters();
 }
 
 storage::Status ResolveService::Checkpoint() {
   if (durable_ == nullptr) return storage::Status::Ok();
-  std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+  util::MutexLock resolver_lock(resolver_mu_);
   return durable_->Checkpoint();
 }
 

@@ -2,16 +2,15 @@
 #define WEBER_INCREMENTAL_SERVING_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "incremental/resolver.h"
 #include "storage/durable.h"
+#include "util/sync.h"
 
 namespace weber::incremental {
 
@@ -103,9 +102,10 @@ class ResolveService {
 
   obs::MetricsRegistry* Registry() const;
   /// Drains up to max_batch entities worth of requests, runs one resolver
-  /// ingest for them and wakes their owners. Called with `lock` held on
-  /// queue_mu_; returns with it re-acquired.
-  void LeadBatch(std::unique_lock<std::mutex>& lock);
+  /// ingest for them and wakes their owners. Enters with queue_mu_ held,
+  /// drops it for the resolver call (under resolver_mu_ — the two are
+  /// never held together) and returns with queue_mu_ re-acquired.
+  void LeadBatch() REQUIRES(queue_mu_) EXCLUDES(resolver_mu_);
 
   ServiceOptions options_;
   // Exactly one of these is set: the durable wrapper (WAL + snapshots)
@@ -113,18 +113,20 @@ class ResolveService {
   std::unique_ptr<storage::DurableResolver> durable_;
   std::unique_ptr<IncrementalResolver> plain_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Request*> queue_;
-  bool leader_active_ = false;
+  util::Mutex queue_mu_;
+  util::CondVar queue_cv_;
+  std::deque<Request*> queue_ GUARDED_BY(queue_mu_);
+  bool leader_active_ GUARDED_BY(queue_mu_) = false;
   /// Fairness: when a leader finishes with requests still queued, it hands
   /// leadership to the oldest waiter instead of letting all waiters re-race
   /// the condition variable (under which a freshly-arrived caller could
   /// keep winning and starve the head of the queue). Null = anyone may
-  /// lead.
-  Request* designated_ = nullptr;
+  /// lead. (Request fields — done, ids — are likewise guarded by
+  /// queue_mu_, but live on each caller's stack so the analysis cannot
+  /// name their guard.)
+  Request* designated_ GUARDED_BY(queue_mu_) = nullptr;
 
-  std::mutex resolver_mu_;
+  util::Mutex resolver_mu_;
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> batches_run_{0};

@@ -143,7 +143,7 @@ double HistogramSnapshot::Quantile(double q) const {
 // ---------------------------------------------------------------- Registry
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -153,7 +153,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -167,7 +167,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -181,7 +181,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
 RegistrySnapshot MetricsRegistry::TakeSnapshot(bool include_events) const {
   RegistrySnapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& [name, counter] : counters_) {
       snap.counters.emplace(name, counter->Value());
     }

@@ -78,7 +78,7 @@ void TelemetrySampler::SampleOnce() {
     point.p999 = histogram.Quantile(0.999);
     sample.histograms.emplace(name, point);
   }
-  std::lock_guard<std::mutex> lock(ring_mu_);
+  util::MutexLock lock(ring_mu_);
   if (ring_.size() < options_.capacity) {
     ring_.push_back(std::move(sample));
   } else {
@@ -90,7 +90,7 @@ void TelemetrySampler::SampleOnce() {
 
 void TelemetrySampler::Start() {
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    util::MutexLock lock(stop_mu_);
     if (running_) return;
     running_ = true;
     stop_requested_ = false;
@@ -103,33 +103,36 @@ void TelemetrySampler::Start() {
 }
 
 void TelemetrySampler::Loop() {
-  std::chrono::milliseconds interval(options_.interval_ms);
-  std::unique_lock<std::mutex> lock(stop_mu_);
+  const std::chrono::milliseconds interval(options_.interval_ms);
+  util::MutexLock lock(stop_mu_);
   while (!stop_requested_) {
-    if (stop_cv_.wait_for(lock, interval, [&] { return stop_requested_; })) {
-      return;
+    // Sleep out one full interval; spurious wakeups re-wait against the
+    // same deadline, so the sampling cadence does not drift.
+    const auto deadline = std::chrono::steady_clock::now() + interval;
+    while (!stop_requested_ && stop_cv_.WaitUntil(stop_mu_, deadline)) {
     }
-    lock.unlock();
+    if (stop_requested_) return;
+    lock.Unlock();
     SampleOnce();
-    lock.lock();
+    lock.Lock();
   }
 }
 
 void TelemetrySampler::Stop() {
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    util::MutexLock lock(stop_mu_);
     if (!running_) return;
     stop_requested_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
   SampleOnce();  // Final sample: the end-of-run state always lands.
-  std::lock_guard<std::mutex> lock(stop_mu_);
+  util::MutexLock lock(stop_mu_);
   running_ = false;
 }
 
 std::vector<TelemetrySample> TelemetrySampler::Samples() const {
-  std::lock_guard<std::mutex> lock(ring_mu_);
+  util::MutexLock lock(ring_mu_);
   std::vector<TelemetrySample> out;
   out.reserve(ring_.size());
   // next_slot_ is the oldest entry once the ring has wrapped.

@@ -2,17 +2,16 @@
 #define WEBER_OBS_SAMPLER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/sync.h"
 
 namespace weber::obs {
 
@@ -101,19 +100,22 @@ class TelemetrySampler {
   void ExportJsonl(std::ostream& out) const;
 
  private:
-  void Loop();
+  void Loop() EXCLUDES(stop_mu_);
 
   Options options_;
 
-  mutable std::mutex ring_mu_;
-  std::vector<TelemetrySample> ring_;  // Size options_.capacity once full.
-  size_t next_slot_ = 0;
+  mutable util::Mutex ring_mu_;
+  // Sized options_.capacity once full.
+  std::vector<TelemetrySample> ring_ GUARDED_BY(ring_mu_);
+  size_t next_slot_ GUARDED_BY(ring_mu_) = 0;
   std::atomic<uint64_t> total_samples_{0};
 
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool stop_requested_ = false;  // Guarded by stop_mu_.
-  bool running_ = false;
+  util::Mutex stop_mu_;
+  util::CondVar stop_cv_;
+  bool stop_requested_ GUARDED_BY(stop_mu_) = false;
+  bool running_ GUARDED_BY(stop_mu_) = false;
+  // Written in Start() and joined in Stop(), both on the single control
+  // thread the API contract names — never touched by the Loop() thread.
   // lint: allow(threads) — dedicated observer thread, see Start().
   std::thread thread_;
 };

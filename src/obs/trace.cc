@@ -45,11 +45,12 @@ uint32_t TraceThreadId() {
 // ---------------------------------------------------------------- EventLog
 
 void EventLog::Enable(size_t capacity) {
-  std::lock_guard<std::mutex> lock(names_mu_);
+  util::MutexLock lock(names_mu_);
   if (!enabled_.load(std::memory_order_relaxed)) {
     capacity_ = std::max<size_t>(capacity, 1);
     size_t per_shard = capacity_ / kShards + 1;
     for (Shard& shard : shards_) {
+      util::MutexLock shard_lock(shard.mu);
       shard.events.reserve(std::min<size_t>(per_shard, 1024));
     }
     enabled_.store(true, std::memory_order_relaxed);
@@ -62,7 +63,7 @@ void EventLog::RecordComplete(std::string_view name, double begin_seconds,
   if (!enabled()) return;
   uint32_t tid = TraceThreadId();
   Shard& shard = shards_[tid % kShards];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   for (MergeSlot& slot : shard.merge_slots) {
     if (slot.name_key != name.data() || slot.tid != tid) continue;
     TraceEvent& prev = shard.events[slot.index];
@@ -116,14 +117,14 @@ void EventLog::RecordInstant(std::string_view name,
 
 void EventLog::NameThread(std::string_view name) {
   uint32_t tid = TraceThreadId();
-  std::lock_guard<std::mutex> lock(names_mu_);
+  util::MutexLock lock(names_mu_);
   thread_names_.emplace(tid, std::string(name));
 }
 
 EventLog::LogSnapshot EventLog::Snapshot() const {
   LogSnapshot snap;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     snap.events.insert(snap.events.end(), shard.events.begin(),
                        shard.events.end());
     snap.dropped += shard.dropped;
@@ -135,7 +136,7 @@ EventLog::LogSnapshot EventLog::Snapshot() const {
                          : a.tid < b.tid;
             });
   {
-    std::lock_guard<std::mutex> lock(names_mu_);
+    util::MutexLock lock(names_mu_);
     snap.thread_names = thread_names_;
   }
   return snap;
@@ -146,7 +147,7 @@ EventLog::LogSnapshot EventLog::Snapshot() const {
 Trace::Node* Trace::OpenSpan(std::string_view name) {
   double begin = TraceClockNow();
   uint32_t tid = TraceThreadId();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto node = std::make_unique<Node>();
   node->name = std::string(name);
   node->tid = tid;
@@ -164,7 +165,7 @@ Trace::Node* Trace::OpenSpan(std::string_view name) {
 }
 
 void Trace::CloseSpan(Node* node, double wall_seconds, double cpu_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   node->wall_seconds = wall_seconds;
   node->cpu_seconds = cpu_seconds;
   node->end_seconds = node->begin_seconds + wall_seconds;
@@ -175,7 +176,7 @@ void Trace::CloseSpan(Node* node, double wall_seconds, double cpu_seconds) {
 }
 
 std::vector<SpanSnapshot> Trace::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<SpanSnapshot> roots;
   roots.reserve(roots_.size());
   for (const auto& root : roots_) {
@@ -185,7 +186,7 @@ std::vector<SpanSnapshot> Trace::Snapshot() const {
 }
 
 bool Trace::empty() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return roots_.empty();
 }
 

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/sync.h"
 #include "util/timer.h"
 
 namespace weber::obs {
@@ -127,18 +127,18 @@ class EventLog {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<TraceEvent> events;
-    std::vector<MergeSlot> merge_slots;
-    uint64_t dropped = 0;
+    mutable util::Mutex mu;
+    std::vector<TraceEvent> events GUARDED_BY(mu);
+    std::vector<MergeSlot> merge_slots GUARDED_BY(mu);
+    uint64_t dropped GUARDED_BY(mu) = 0;
   };
 
   std::atomic<bool> enabled_{false};
   std::atomic<size_t> size_{0};
   size_t capacity_ = kDefaultCapacity;
   Shard shards_[kShards];
-  mutable std::mutex names_mu_;
-  std::map<uint32_t, std::string> thread_names_;
+  mutable util::Mutex names_mu_;
+  std::map<uint32_t, std::string> thread_names_ GUARDED_BY(names_mu_);
 };
 
 /// A hierarchical phase trace: spans nest into the tree in the order they
@@ -174,9 +174,9 @@ class Trace {
   bool empty() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Node>> roots_;
-  Node* current_ = nullptr;
+  mutable util::Mutex mu_;
+  std::vector<std::unique_ptr<Node>> roots_ GUARDED_BY(mu_);
+  Node* current_ GUARDED_BY(mu_) = nullptr;
 };
 
 /// RAII span: opens on construction, closes on destruction with the

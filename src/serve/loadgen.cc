@@ -5,10 +5,10 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "serve/client.h"
+#include "util/sync.h"
 #include "util/timer.h"
 
 namespace weber::serve {
@@ -135,8 +135,8 @@ LoadGenResult RunSocketIngestLoad(
   // One connection per worker, picked by thread identity: a thread_local
   // client lazily connected on first use keeps IngestFn stateless.
   struct ClientPool {
-    std::mutex mu;
-    std::vector<std::unique_ptr<ServeClient>> clients;
+    util::Mutex mu;
+    std::vector<std::unique_ptr<ServeClient>> clients GUARDED_BY(mu);
   };
   auto pool = std::make_shared<ClientPool>();
   pool->clients.reserve(workers);
@@ -147,7 +147,7 @@ LoadGenResult RunSocketIngestLoad(
       auto owned = std::make_unique<ServeClient>();
       if (!owned->Connect(socket_path)) return ServeErrc::kInternal;
       client = owned.get();
-      std::lock_guard<std::mutex> lock(pool->mu);
+      util::MutexLock lock(pool->mu);
       pool->clients.push_back(std::move(owned));
     }
     Request request;

@@ -53,7 +53,7 @@ void UnixServer::Serve() {
     if (ready <= 0) continue;  // Timeout or EINTR: re-check the stop flag.
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    std::lock_guard<std::mutex> lock(threads_mu_);
+    util::MutexLock lock(threads_mu_);
     // One blocking-I/O thread per connection; the compute fan-out
     // underneath still runs on the shared executor.
     // lint: allow(threads) blocking connection I/O
@@ -63,7 +63,7 @@ void UnixServer::Serve() {
   // lint: allow(threads) blocking connection I/O
   std::vector<std::thread> joinable;
   {
-    std::lock_guard<std::mutex> lock(threads_mu_);
+    util::MutexLock lock(threads_mu_);
     joinable.swap(threads_);
   }
   // lint: allow(threads) blocking connection I/O

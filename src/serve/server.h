@@ -2,7 +2,6 @@
 #define WEBER_SERVE_SERVER_H_
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -10,6 +9,7 @@
 #include "serve/protocol.h"
 #include "serve/service.h"
 #include "storage/status.h"
+#include "util/sync.h"
 
 namespace weber::serve {
 
@@ -63,9 +63,9 @@ class UnixServer {
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
 
-  std::mutex threads_mu_;
+  util::Mutex threads_mu_;
   // lint: allow(threads) blocking connection I/O, joined by Serve()
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_ GUARDED_BY(threads_mu_);
 };
 
 }  // namespace weber::serve

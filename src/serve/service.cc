@@ -35,7 +35,7 @@ obs::MetricsRegistry* ShardedResolveService::Registry() const {
                                               : obs::Current();
 }
 
-void ShardedResolveService::LeadBatch(std::unique_lock<std::mutex>& lock) {
+void ShardedResolveService::LeadBatch() {
   std::vector<Request*> drained;
   size_t total = 0;
   while (!queue_.empty() && (drained.empty() || total < options_.max_batch)) {
@@ -45,7 +45,7 @@ void ShardedResolveService::LeadBatch(std::unique_lock<std::mutex>& lock) {
     drained.push_back(request);
   }
   queued_entities_ -= total;
-  lock.unlock();
+  queue_mu_.Unlock();
 
   std::vector<model::EntityDescription> combined;
   combined.reserve(total);
@@ -61,7 +61,7 @@ void ShardedResolveService::LeadBatch(std::unique_lock<std::mutex>& lock) {
 
   std::vector<model::EntityId> ids;
   {
-    std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+    util::MutexLock resolver_lock(resolver_mu_);
     ids = resolver_.Ingest(std::move(combined));
   }
   batches_run_.fetch_add(1, std::memory_order_relaxed);
@@ -81,11 +81,11 @@ void ShardedResolveService::LeadBatch(std::unique_lock<std::mutex>& lock) {
     offset += sizes[i];
   }
 
-  lock.lock();
+  queue_mu_.Lock();
   for (Request* request : drained) request->done = true;
   leader_active_ = false;
   designated_ = queue_.empty() ? nullptr : queue_.front();
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 ShardedResolveService::IngestResult ShardedResolveService::Ingest(
@@ -94,14 +94,14 @@ ShardedResolveService::IngestResult ShardedResolveService::Ingest(
   Request request;
   request.entities = std::move(batch);
   const size_t arriving = request.entities.size();
-  std::unique_lock<std::mutex> lock(queue_mu_);
+  util::MutexLock lock(queue_mu_);
   if (shutting_down_) return {ServeErrc::kShuttingDown, {}};
   // Admission control: shed when the queue is past the watermark. An
   // empty queue always admits — the watermark bounds waiting work, it
   // never wedges an idle service.
   if (!queue_.empty() && queued_entities_ >= options_.max_queue_entities) {
     shed_.fetch_add(1, std::memory_order_relaxed);
-    lock.unlock();
+    lock.Unlock();
     if (obs::MetricsRegistry* registry = Registry()) {
       registry->GetCounter("weber.serve.shed").Increment();
     }
@@ -114,18 +114,18 @@ ShardedResolveService::IngestResult ShardedResolveService::Ingest(
         .Set(static_cast<double>(queued_entities_));
   }
   while (!request.done) {
-    queue_cv_.wait(lock, [&] {
-      return request.done ||
-             (!leader_active_ &&
-              (designated_ == nullptr || designated_ == &request));
-    });
+    while (!request.done &&
+           (leader_active_ ||
+            (designated_ != nullptr && designated_ != &request))) {
+      queue_cv_.Wait(queue_mu_);
+    }
     if (request.done) break;
     leader_active_ = true;
     designated_ = nullptr;
-    LeadBatch(lock);
+    LeadBatch();
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
-  lock.unlock();
+  lock.Unlock();
   if (obs::MetricsRegistry* registry = Registry()) {
     registry->GetHistogram("weber.serve.request_seconds")
         .Record(timer.ElapsedSeconds());
@@ -135,35 +135,37 @@ ShardedResolveService::IngestResult ShardedResolveService::Ingest(
 
 std::optional<incremental::IncrementalResolver::Resolution>
 ShardedResolveService::Resolve(model::EntityId id) {
-  std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+  util::MutexLock resolver_lock(resolver_mu_);
   return resolver_.Resolve(id);
 }
 
 ServeErrc ShardedResolveService::Remove(model::EntityId id) {
   {
-    std::lock_guard<std::mutex> queue_lock(queue_mu_);
+    util::MutexLock queue_lock(queue_mu_);
     if (shutting_down_) return ServeErrc::kShuttingDown;
   }
-  std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+  util::MutexLock resolver_lock(resolver_mu_);
   return resolver_.Remove(id) ? ServeErrc::kOk : ServeErrc::kNotFound;
 }
 
 matching::Clusters ShardedResolveService::Clusters() {
-  std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+  util::MutexLock resolver_lock(resolver_mu_);
   return resolver_.Clusters();
 }
 
 void ShardedResolveService::BeginShutdown() {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  util::MutexLock lock(queue_mu_);
   shutting_down_ = true;
 }
 
 void ShardedResolveService::Drain() {
   {
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    queue_cv_.wait(lock, [&] { return queue_.empty() && !leader_active_; });
+    util::MutexLock lock(queue_mu_);
+    while (!queue_.empty() || leader_active_) {
+      queue_cv_.Wait(queue_mu_);
+    }
   }
-  std::lock_guard<std::mutex> resolver_lock(resolver_mu_);
+  util::MutexLock resolver_lock(resolver_mu_);
   storage::Status status = resolver_.Checkpoint();
   (void)status;  // Shutdown path: nothing to surface the sync error to.
 }

@@ -2,15 +2,14 @@
 #define WEBER_SERVE_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "serve/sharded_resolver.h"
+#include "util/sync.h"
 
 namespace weber::serve {
 
@@ -119,23 +118,24 @@ class ShardedResolveService {
 
   obs::MetricsRegistry* Registry() const;
   /// Drains up to max_batch entities worth of requests, runs one sharded
-  /// ingest for them and wakes their owners. Called with `lock` held on
-  /// queue_mu_; returns with it re-acquired.
-  void LeadBatch(std::unique_lock<std::mutex>& lock);
+  /// ingest for them and wakes their owners. Enters with queue_mu_ held,
+  /// drops it for the resolver call (under resolver_mu_ — the two are
+  /// never held together) and returns with queue_mu_ re-acquired.
+  void LeadBatch() REQUIRES(queue_mu_) EXCLUDES(resolver_mu_);
 
   ShardedServiceOptions options_;
   ShardedResolver resolver_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Request*> queue_;
-  size_t queued_entities_ = 0;
-  bool leader_active_ = false;
+  util::Mutex queue_mu_;
+  util::CondVar queue_cv_;
+  std::deque<Request*> queue_ GUARDED_BY(queue_mu_);
+  size_t queued_entities_ GUARDED_BY(queue_mu_) = 0;
+  bool leader_active_ GUARDED_BY(queue_mu_) = false;
   /// Oldest-waiter leadership handoff (see incremental::ResolveService).
-  Request* designated_ = nullptr;
-  bool shutting_down_ = false;
+  Request* designated_ GUARDED_BY(queue_mu_) = nullptr;
+  bool shutting_down_ GUARDED_BY(queue_mu_) = false;
 
-  std::mutex resolver_mu_;
+  util::Mutex resolver_mu_;
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> batches_run_{0};

@@ -1,0 +1,27 @@
+// Negative case: writing a GUARDED_BY field without holding its mutex.
+// The harness asserts clang -Werror=thread-safety-analysis REJECTS this
+// translation unit; if it ever compiles, the analysis is not actually
+// enforcing the field contracts the codebase relies on.
+
+#include "util/sync.h"
+
+namespace {
+
+class Unguarded {
+ public:
+  void Write(int value) {
+    value_ = value;  // BAD: mu_ is not held.
+  }
+
+ private:
+  weber::util::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Unguarded u;
+  u.Write(7);
+  return 0;
+}

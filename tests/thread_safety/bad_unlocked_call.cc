@@ -1,0 +1,29 @@
+// Negative case: calling a REQUIRES(mu) function without acquiring mu.
+// The harness asserts clang -Werror=thread-safety-analysis REJECTS this
+// translation unit; if it ever compiles, lock-requiring interfaces are
+// not being enforced at call sites.
+
+#include "util/sync.h"
+
+namespace {
+
+class NeedsLock {
+ public:
+  void Touch() REQUIRES(mu_) { ++touches_; }
+
+  void Call() {
+    Touch();  // BAD: mu_ is not held.
+  }
+
+ private:
+  weber::util::Mutex mu_;
+  int touches_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  NeedsLock n;
+  n.Call();
+  return 0;
+}

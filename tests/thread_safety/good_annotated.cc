@@ -1,0 +1,49 @@
+// Positive control for the negative-compile harness: idiomatically
+// annotated code over the weber sync layer. This file must compile clean
+// under clang -Wthread-safety -Werror=thread-safety-analysis — if it
+// stops doing so, the annotations in util/sync.h regressed, and the two
+// bad_*.cc failures would be meaningless.
+
+#include <deque>
+
+#include "util/sync.h"
+
+namespace {
+
+class AnnotatedQueue {
+ public:
+  void Push(int value) EXCLUDES(mu_) {
+    {
+      weber::util::MutexLock lock(mu_);
+      values_.push_back(value);
+    }
+    cv_.NotifyOne();
+  }
+
+  int BlockingPop() EXCLUDES(mu_) {
+    weber::util::MutexLock lock(mu_);
+    while (values_.empty()) {
+      cv_.Wait(mu_);
+    }
+    return PopLocked();
+  }
+
+ private:
+  int PopLocked() REQUIRES(mu_) {
+    int front = values_.front();
+    values_.pop_front();
+    return front;
+  }
+
+  weber::util::Mutex mu_;
+  weber::util::CondVar cv_;
+  std::deque<int> values_ GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  AnnotatedQueue queue;
+  queue.Push(1);
+  return queue.BlockingPop() == 1 ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+# Negative-compile harness for the thread-safety contracts: proves that
+# clang's -Werror=thread-safety-analysis actually rejects the defect
+# classes the annotations exist to catch. A green `-Wthread-safety`
+# build is only evidence if breaking the contract breaks the build —
+# this script checks both directions:
+#
+#   good_annotated.cc        must COMPILE (positive control: the sync
+#                            layer's own annotations are consistent)
+#   bad_unguarded_field.cc   must FAIL with a thread-safety diagnostic
+#   bad_unlocked_call.cc     must FAIL with a thread-safety diagnostic
+#
+# Run as a ctest case via `cmake -P`:
+#   cmake -DCXX=<compiler> -DSRC_DIR=<repo>/src -DCASE_DIR=<repo>/tests/thread_safety \
+#         -P thread_safety_compile_test.cmake
+#
+# The analysis is clang-only (the macros are no-ops elsewhere), so on
+# any other compiler the script prints "[SKIP]" and exits 0 — the ctest
+# registration pairs that with SKIP_REGULAR_EXPRESSION so the case is
+# reported as skipped, not silently passed.
+
+if(NOT DEFINED CXX OR NOT DEFINED SRC_DIR OR NOT DEFINED CASE_DIR)
+  message(FATAL_ERROR "pass -DCXX=<compiler> -DSRC_DIR=<src> -DCASE_DIR=<cases>")
+endif()
+
+execute_process(
+  COMMAND "${CXX}" --version
+  OUTPUT_VARIABLE version_out
+  ERROR_VARIABLE version_err
+  RESULT_VARIABLE version_rc)
+if(NOT version_rc EQUAL 0 OR NOT "${version_out}" MATCHES "clang")
+  message(STATUS "[SKIP] ${CXX} is not clang; thread-safety analysis unavailable")
+  return()
+endif()
+
+set(flags -std=c++20 -fsyntax-only -Wthread-safety
+    -Werror=thread-safety-analysis -I "${SRC_DIR}")
+
+# Positive control: the annotated-correct case must compile clean.
+execute_process(
+  COMMAND "${CXX}" ${flags} "${CASE_DIR}/good_annotated.cc"
+  OUTPUT_VARIABLE good_out
+  ERROR_VARIABLE good_err
+  RESULT_VARIABLE good_rc)
+if(NOT good_rc EQUAL 0)
+  message(FATAL_ERROR
+      "good_annotated.cc failed to compile under -Wthread-safety — the "
+      "sync layer's annotations are inconsistent:\n${good_err}")
+endif()
+
+# Negative cases: each must be rejected, and rejected *by the analysis*
+# (a failure for any other reason would let the contract rot unnoticed).
+foreach(case bad_unguarded_field bad_unlocked_call)
+  execute_process(
+    COMMAND "${CXX}" ${flags} "${CASE_DIR}/${case}.cc"
+    OUTPUT_VARIABLE case_out
+    ERROR_VARIABLE case_err
+    RESULT_VARIABLE case_rc)
+  if(case_rc EQUAL 0)
+    message(FATAL_ERROR
+        "${case}.cc compiled clean — the thread-safety analysis is not "
+        "rejecting contract violations")
+  endif()
+  if(NOT "${case_err}" MATCHES "thread-safety")
+    message(FATAL_ERROR
+        "${case}.cc failed for a reason other than the thread-safety "
+        "analysis:\n${case_err}")
+  endif()
+  message(STATUS "${case}.cc rejected as expected")
+endforeach()
+
+message(STATUS "thread-safety negative-compile harness passed")

@@ -23,6 +23,11 @@ Rules (see tools/lint/rules.md for rationale and examples):
                    <sys/socket.h>/<sys/un.h> only under src/serve/ — the
                    serving front end owns every network entry point;
                    `// lint: allow(socket-io)` escapes with a reason
+  raw-sync         std::mutex / std::condition_variable / std::shared_mutex
+                   (and their lock wrappers) only in src/util/sync.h — all
+                   locking goes through the annotated weber::util types so
+                   clang -Wthread-safety sees every acquisition;
+                   `// lint: allow(raw-sync)` escapes with a reason
 
 Usage:
   tools/lint/weber_lint.py              lint the repo; exit 1 on findings
@@ -53,6 +58,10 @@ REPO_ROOT = os.path.dirname(
 # Files whose job is to own the banned construct.
 THREAD_OWNERS = ("src/core/executor.h", "src/core/executor.cc")
 RANDOM_OWNERS = ("src/util/random.h", "src/util/random.cc")
+# The annotated sync layer wraps the raw primitives exactly once; every
+# other acquisition goes through weber::util::{Mutex,MutexLock,CondVar} so
+# the clang thread-safety analysis sees it.
+SYNC_OWNERS = ("src/util/sync.h",)
 
 # Where file I/O is sanctioned: the durability layer owns every
 # fsync-ordering and atomicity decision (src/storage/file_io.* are the
@@ -99,6 +108,13 @@ SOCKET_IO_RE = re.compile(
     r"recvmsg|send|sendto|sendmsg|setsockopt|getsockopt|getsockname|"
     r"getpeername)\s*\(|#\s*include\s*<sys/(socket|un)\.h>)")
 CHECK_NEAR_RE = re.compile(r"WEBER_D?CHECK")
+# Raw synchronization primitives and the std lock wrappers that take them.
+# Matching the wrappers too keeps a rogue `std::unique_lock<weber::...>`
+# from smuggling an unannotated acquisition past the analysis.
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
 
 CATALOG_HEADER = "### Metric catalog"
 
@@ -377,6 +393,12 @@ def run_lint(root, fix=False, skip_compile=False):
         "'{found}' outside src/util/random.* — all randomness must flow "
         "from the seeded util::Rng")
     findings += check_pattern_rule(
+        root, lib_files, RAW_SYNC_RE, "raw-sync", SYNC_OWNERS,
+        "'{found}' outside src/util/sync.h — lock through the annotated "
+        "weber::util::{{Mutex,MutexLock,CondVar}} types so the clang "
+        "thread-safety analysis sees the acquisition (or add "
+        "`// lint: allow(raw-sync)` with a reason)")
+    findings += check_pattern_rule(
         root, all_files, USING_STD_RE, "using-namespace", (),
         "'using namespace std' pollutes every including scope")
     findings += check_file_io(root, lib_files)
@@ -414,6 +436,10 @@ SELF_TEST_SEEDS = {
     "socket-io": ("src/eval/rogue_sock.cc",
                   "#include <sys/socket.h>\n"
                   "void f() { ::socket(1, 1, 0); }\n"),
+    "raw-sync": ("src/core/rogue_sync.cc",
+                 "#include <mutex>\n"
+                 "std::mutex rogue_mu;\n"
+                 "void f() { std::lock_guard<std::mutex> l(rogue_mu); }\n"),
 }
 
 
@@ -464,6 +490,21 @@ def self_test() -> int:
                     'void g() { std::fopen("wal", "a"); }\n')
         if any(f.rule == "file-io" for f in run_lint(tmp)):
             failures.append("file-io allow/owner escapes did not silence")
+        os.remove(path)
+        os.remove(owner)
+        # ... and raw-sync; the sync layer itself is sanctioned.
+        path = os.path.join(tmp, "src/core/rogue_sync.cc")
+        with open(path, "w") as f:
+            f.write("#include <mutex>\n"
+                    "// lint: allow(raw-sync) adapts a third-party callback\n"
+                    "std::mutex escape_mu;\n")
+        owner = os.path.join(tmp, "src/util/sync.h")
+        os.makedirs(os.path.dirname(owner), exist_ok=True)
+        with open(owner, "w") as f:
+            f.write("#include <mutex>\n"
+                    "struct M { std::mutex mu_; };\n")
+        if any(f.rule == "raw-sync" for f in run_lint(tmp)):
+            failures.append("raw-sync allow/owner escapes did not silence")
         os.remove(path)
         os.remove(owner)
         # ... and socket-io; the serve directory itself is sanctioned.
