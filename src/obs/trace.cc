@@ -47,13 +47,18 @@ uint32_t TraceThreadId() {
 void EventLog::Enable(size_t capacity) {
   util::MutexLock lock(names_mu_);
   if (!enabled_.load(std::memory_order_relaxed)) {
-    capacity_ = std::max<size_t>(capacity, 1);
-    size_t per_shard = capacity_ / kShards + 1;
+    size_t effective = std::max<size_t>(capacity, 1);
+    capacity_.store(effective, std::memory_order_relaxed);
+    size_t per_shard = effective / kShards + 1;
     for (Shard& shard : shards_) {
       util::MutexLock shard_lock(shard.mu);
       shard.events.reserve(std::min<size_t>(per_shard, 1024));
     }
-    enabled_.store(true, std::memory_order_relaxed);
+    // Release-publish: a recorder that observes enabled_ == true (acquire,
+    // see enabled()) must also observe the capacity_ written above —
+    // otherwise a concurrent RecordComplete could race the plain write and
+    // admit events against the stale default capacity.
+    enabled_.store(true, std::memory_order_release);
   }
 }
 
@@ -77,7 +82,8 @@ void EventLog::RecordComplete(std::string_view name, double begin_seconds,
     }
     // Same track+name but too far apart (or too long merged): start a
     // fresh event and repoint the slot at it below.
-    if (size_.load(std::memory_order_relaxed) >= capacity_) {
+    if (size_.load(std::memory_order_relaxed) >=
+        capacity_.load(std::memory_order_relaxed)) {
       ++shard.dropped;
       return;
     }
@@ -91,7 +97,8 @@ void EventLog::RecordComplete(std::string_view name, double begin_seconds,
     event.end_seconds = end_seconds;
     return;
   }
-  if (size_.load(std::memory_order_relaxed) >= capacity_) {
+  if (size_.load(std::memory_order_relaxed) >=
+      capacity_.load(std::memory_order_relaxed)) {
     ++shard.dropped;
     return;
   }

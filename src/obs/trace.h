@@ -96,7 +96,9 @@ class EventLog {
   /// Arms the log. Idempotent; capacity applies from the first call.
   void Enable(size_t capacity = kDefaultCapacity);
 
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Acquire pairs with the release store in Enable(): a caller that sees
+  /// true also sees the capacity published before arming (see trace.cc).
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
 
   /// Records a completed interval on the calling thread's track (subject
   /// to coalescing, above). No-op while disabled.
@@ -135,7 +137,10 @@ class EventLog {
 
   std::atomic<bool> enabled_{false};
   std::atomic<size_t> size_{0};
-  size_t capacity_ = kDefaultCapacity;
+  /// Written once, before the release store that arms enabled_; recorders
+  /// read it only after an acquire load of enabled_ observes true. Atomic
+  /// so an Enable() racing in-flight recorders is still a defined program.
+  std::atomic<size_t> capacity_{kDefaultCapacity};
   Shard shards_[kShards];
   mutable util::Mutex names_mu_;
   std::map<uint32_t, std::string> thread_names_ GUARDED_BY(names_mu_);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 #include <thread>
@@ -197,6 +198,42 @@ TEST(TraceTest, ScopedTimerRecordsIntoHistogram) {
       registry.GetHistogram("weber.test.scoped_seconds").Snapshot();
   EXPECT_EQ(snap.count, 1u);
   EXPECT_GE(snap.max, 0.0);
+}
+
+// Regression: Enable() must release-publish the capacity before arming
+// enabled_, so a recorder racing the arming never admits events against
+// the stale default capacity (the unsynchronized read also made the race
+// a data race — TSan validates this path in CI).
+TEST(EventLogTest, EnableRacingRecordersRespectsPublishedCapacity) {
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 256;
+  constexpr size_t kCapacity = 8;
+  EventLog log;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&log, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (size_t i = 0; i < kPerThread; ++i) {
+        // Spread events seconds apart so coalescing never merges them:
+        // every admitted record occupies its own slot against capacity.
+        double at = static_cast<double>(t * kPerThread + i);
+        log.RecordComplete("race-event", at, at);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  log.Enable(kCapacity);
+  for (std::thread& t : recorders) t.join();
+  EventLog::LogSnapshot snap = log.Snapshot();
+  // The capacity check (relaxed load, then add) can overshoot by at most
+  // one in-flight record per thread — never by the stale default.
+  EXPECT_LE(snap.events.size(), kCapacity + kThreads);
+  for (const TraceEvent& event : snap.events) {
+    EXPECT_EQ(event.count, 1u) << "distant events must not coalesce";
+  }
 }
 
 // ---------------------------------------------------------------------------
