@@ -1,0 +1,10 @@
+// libFuzzer entry point for the snapshot header/section-directory
+// validator (via ImageDigest, the byte-level entry); the body lives in
+// harness.cc so the corpus-replay test runs the identical checks on
+// every compiler.
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return weber::fuzz::SnapshotHeaderTestOneInput(data, size);
+}

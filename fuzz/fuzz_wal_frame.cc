@@ -1,0 +1,9 @@
+// libFuzzer entry point for the WAL frame parser; the body (and its
+// fail-closed assertions) lives in harness.cc so the corpus-replay test
+// runs the identical checks on every compiler.
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return weber::fuzz::WalFrameTestOneInput(data, size);
+}

@@ -1,0 +1,29 @@
+#ifndef WEBER_FUZZ_HARNESS_H_
+#define WEBER_FUZZ_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace weber::fuzz {
+
+/// Structure-aware fuzz bodies for the deserialization surfaces an
+/// adversary (or a corrupt disk) can reach with arbitrary bytes. Each
+/// takes one input, drives the decoder, and WEBER_CHECK-asserts the
+/// fail-closed contract: a typed error or a valid decode, never a crash,
+/// never an out-of-contract status. The libFuzzer entry points
+/// (fuzz_*.cc) and the corpus-replay ctest case both call these, so the
+/// exact assertions run under the fuzzer and on every compiler.
+
+/// WriteAheadLog::Parse over an arbitrary WAL image.
+int WalFrameTestOneInput(const uint8_t* data, size_t size);
+
+/// SnapshotCodec::ImageDigest over an arbitrary snapshot image.
+int SnapshotHeaderTestOneInput(const uint8_t* data, size_t size);
+
+/// serve protocol Decode{Request,Response} (first input byte selects the
+/// surface) with an encode/decode round-trip check on accepted inputs.
+int ServeProtocolTestOneInput(const uint8_t* data, size_t size);
+
+}  // namespace weber::fuzz
+
+#endif  // WEBER_FUZZ_HARNESS_H_

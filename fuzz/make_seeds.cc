@@ -1,0 +1,202 @@
+// Regenerates the checked-in seed corpora under tests/fuzz/corpus/.
+// Deterministic: running it twice produces byte-identical files, so a
+// format change shows up as a reviewable corpus diff. Each surface gets
+// a valid seed (so the fuzzer starts from deep coverage) plus targeted
+// near-valid mutants for the guard paths: flipped magic, future version,
+// truncation, and an interior bit flip.
+//
+//   weber_make_fuzz_seeds <repo-root>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "incremental/resolver.h"
+#include "matching/matcher.h"
+#include "serve/protocol.h"
+#include "storage/crc32c.h"
+#include "storage/file_io.h"
+#include "storage/snapshot.h"
+
+namespace weber {
+namespace {
+
+constexpr uint64_t kWalMagic = 0x4C41575245424557ull;  // "WEBERWAL"
+
+bool WriteSeed(const std::string& dir, const std::string& name,
+               const std::vector<uint8_t>& bytes) {
+  if (!storage::DirectoryExists(dir)) {
+    storage::Status made = storage::MakeDirectory(dir);
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s: %s\n", dir.c_str(), made.ToString().c_str());
+      return false;
+    }
+  }
+  storage::Status status = storage::AtomicWriteFile(dir + "/" + name, bytes);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s/%s: %s\n", dir.c_str(), name.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+  std::printf("%s/%s: %zu bytes\n", dir.c_str(), name.c_str(), bytes.size());
+  return true;
+}
+
+std::vector<uint8_t> WalHeader(uint64_t base_op, uint32_t version) {
+  std::vector<uint8_t> header(24, 0);
+  std::memcpy(header.data(), &kWalMagic, 8);
+  std::memcpy(header.data() + 8, &version, 4);
+  std::memcpy(header.data() + 16, &base_op, 8);
+  uint32_t crc = storage::Crc32c(header.data(), header.size());
+  std::memcpy(header.data() + 12, &crc, 4);
+  return header;
+}
+
+void AppendWalFrame(std::vector<uint8_t>* image, uint8_t type,
+                    const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame(9 + payload.size());
+  uint32_t payload_len = static_cast<uint32_t>(payload.size());
+  std::memcpy(frame.data(), &payload_len, 4);
+  frame[8] = type;
+  std::memcpy(frame.data() + 9, payload.data(), payload.size());
+  uint32_t crc = storage::Crc32c(frame.data() + 8, payload.size() + 1);
+  std::memcpy(frame.data() + 4, &crc, 4);
+  image->insert(image->end(), frame.begin(), frame.end());
+}
+
+bool MakeWalSeeds(const std::string& dir) {
+  std::vector<uint8_t> valid = WalHeader(/*base_op=*/7, /*version=*/1);
+  AppendWalFrame(&valid, /*type=*/2, {0x2A, 0x00, 0x00, 0x00});  // Remove 42.
+  AppendWalFrame(&valid, /*type=*/1, {0x00, 0x00, 0x00, 0x00});  // Empty batch.
+
+  std::vector<uint8_t> bad_magic = valid;
+  bad_magic[0] ^= 0xFF;
+
+  std::vector<uint8_t> bad_version = WalHeader(/*base_op=*/7, /*version=*/9);
+
+  std::vector<uint8_t> torn = valid;
+  torn.resize(torn.size() - 3);  // Truncated mid final frame: legal tail.
+
+  std::vector<uint8_t> interior_flip = valid;
+  interior_flip[30] ^= 0x01;  // First frame's payload: CRC must catch it.
+
+  return WriteSeed(dir, "valid_two_records.bin", valid) &&
+         WriteSeed(dir, "bad_magic.bin", bad_magic) &&
+         WriteSeed(dir, "bad_version.bin", bad_version) &&
+         WriteSeed(dir, "torn_tail.bin", torn) &&
+         WriteSeed(dir, "interior_bit_flip.bin", interior_flip);
+}
+
+bool MakeSnapshotSeeds(const std::string& dir) {
+  matching::TokenJaccardMatcher matcher;
+  incremental::ResolverOptions options;
+  incremental::IncrementalResolver resolver(&matcher, options);
+  model::EntityDescription a("uri:a");
+  a.AddPair("name", "alpha beta");
+  model::EntityDescription b("uri:b");
+  b.AddPair("name", "alpha beta gamma");
+  resolver.Ingest({a, b});
+  std::vector<uint8_t> valid =
+      storage::SnapshotCodec::Encode(resolver, /*config_fingerprint=*/1,
+                                     /*op_count=*/2);
+
+  std::vector<uint8_t> bad_magic = valid;
+  bad_magic[0] ^= 0xFF;
+
+  std::vector<uint8_t> bad_version = valid;
+  bad_version[8] ^= 0x40;  // Version field; header CRC left stale.
+
+  std::vector<uint8_t> truncated = valid;
+  truncated.resize(truncated.size() / 2);
+
+  std::vector<uint8_t> section_flip = valid;
+  section_flip[valid.size() - 8] ^= 0x01;  // Deep in the last section.
+
+  return WriteSeed(dir, "valid_snapshot.bin", valid) &&
+         WriteSeed(dir, "bad_magic.bin", bad_magic) &&
+         WriteSeed(dir, "bad_version.bin", bad_version) &&
+         WriteSeed(dir, "truncated.bin", truncated) &&
+         WriteSeed(dir, "section_bit_flip.bin", section_flip);
+}
+
+bool MakeProtocolSeeds(const std::string& dir) {
+  // Fuzz-input framing (see ServeProtocolTestOneInput): byte 0 selects
+  // the decoder — even = request, odd = response — and the rest is the
+  // frame body.
+  auto request_seed = [](const serve::Request& request) {
+    std::vector<uint8_t> bytes = {0x00};
+    std::vector<uint8_t> body = serve::EncodeRequest(request);
+    bytes.insert(bytes.end(), body.begin(), body.end());
+    return bytes;
+  };
+  auto response_seed = [](const serve::Response& response) {
+    std::vector<uint8_t> bytes = {0x01};
+    std::vector<uint8_t> body = serve::EncodeResponse(response);
+    bytes.insert(bytes.end(), body.begin(), body.end());
+    return bytes;
+  };
+
+  serve::Request ping;
+  ping.type = serve::MessageType::kPing;
+
+  serve::Request ingest;
+  ingest.type = serve::MessageType::kIngest;
+  model::EntityDescription entity("uri:seed");
+  entity.AddPair("name", "seed entity");
+  ingest.entities = {entity};
+
+  serve::Request resolve;
+  resolve.type = serve::MessageType::kResolve;
+  resolve.id = 42;
+
+  serve::Response ok_ids;
+  ok_ids.status = serve::ServeErrc::kOk;
+  ok_ids.ids = {1, 2, 3};
+
+  serve::Response cluster;
+  cluster.status = serve::ServeErrc::kOk;
+  cluster.representative = 1;
+  cluster.members = {1, 2};
+  cluster.text = "detail";
+
+  std::vector<uint8_t> truncated_ingest = request_seed(ingest);
+  truncated_ingest.resize(truncated_ingest.size() - 2);
+
+  std::vector<uint8_t> bad_type = request_seed(ping);
+  bad_type[1] = 0x63;  // Unknown MessageType: decoder must reject.
+
+  return WriteSeed(dir, "request_ping.bin", request_seed(ping)) &&
+         WriteSeed(dir, "request_ingest.bin", request_seed(ingest)) &&
+         WriteSeed(dir, "request_resolve.bin", request_seed(resolve)) &&
+         WriteSeed(dir, "response_ids.bin", response_seed(ok_ids)) &&
+         WriteSeed(dir, "response_cluster.bin", response_seed(cluster)) &&
+         WriteSeed(dir, "request_ingest_truncated.bin", truncated_ingest) &&
+         WriteSeed(dir, "request_bad_type.bin", bad_type);
+}
+
+}  // namespace
+}  // namespace weber
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <repo-root>\n", argv[0]);
+    return 2;
+  }
+  std::string root = argv[1];
+  std::string base = root + "/tests/fuzz/corpus";
+  // MakeDirectory has mkdir(2) semantics (no parents), so build the
+  // chain up to the per-surface dirs WriteSeed creates.
+  for (const std::string& dir : {root + "/tests/fuzz", base}) {
+    if (!weber::storage::DirectoryExists(dir) &&
+        !weber::storage::MakeDirectory(dir).ok()) {
+      std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+      return 1;
+    }
+  }
+  bool ok = weber::MakeWalSeeds(base + "/wal") &&
+            weber::MakeSnapshotSeeds(base + "/snapshot") &&
+            weber::MakeProtocolSeeds(base + "/protocol");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Replay driver for compilers without libFuzzer: runs the fuzz body
+// over each file argument once and exits. Linked instead of
+// -fsanitize=fuzzer when the toolchain is not clang, so corpus replay
+// and crash reproduction work everywhere the repo builds.
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "storage/file_io.h"
+#include "storage/status.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <input-file>...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::vector<uint8_t> bytes;
+    weber::storage::Status status =
+        weber::storage::ReadFileBytes(argv[i], &bytes);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], status.ToString().c_str());
+      return 2;
+    }
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    std::printf("%s: ok (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}

@@ -27,10 +27,17 @@ std::vector<uint8_t> EncodeHeader(uint64_t base_op) {
 }  // namespace
 
 Status WriteAheadLog::Read(const std::string& path, Contents* out) {
-  *out = Contents{};
   std::vector<uint8_t> bytes;
   Status status = ReadFileBytes(path, &bytes);
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    *out = Contents{};
+    return status;
+  }
+  return Parse(bytes, out);
+}
+
+Status WriteAheadLog::Parse(std::span<const uint8_t> bytes, Contents* out) {
+  *out = Contents{};
   if (bytes.size() < kWalHeaderBytes) {
     // Crash between creating the WAL and syncing its header: no record
     // was ever acknowledged, so this is a clean empty log.

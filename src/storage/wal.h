@@ -2,6 +2,7 @@
 #define WEBER_STORAGE_WAL_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,12 @@ class WriteAheadLog {
   /// corruption is kWalCorrupt. A missing file is an I/O error — callers
   /// decide whether absence is legal (see DurableResolver recovery).
   static Status Read(const std::string& path, Contents* out);
+
+  /// Parses an in-memory WAL image with Read's exact semantics (Read is
+  /// ReadFileBytes + Parse). Byte-level entry point: this is the surface
+  /// the fuzz harness drives, so every validation path stays reachable
+  /// without touching a filesystem.
+  static Status Parse(std::span<const uint8_t> bytes, Contents* out);
 
   WriteAheadLog() = default;
 
